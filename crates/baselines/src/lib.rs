@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+
+//! Baseline GPU-sharing systems the paper compares BLESS against (§6.1).
+//!
+//! | System   | Mechanism | Module |
+//! |----------|-----------|--------|
+//! | ISO      | each app alone on its quota's MPS partition (the latency *target*) | run tenants in separate simulations with [`ShareMode::QuotaMps`] |
+//! | TEMPORAL | round-robin time slices + context switches | [`TemporalDriver`] |
+//! | MIG      | hard partitions at GPC granularity | [`StaticShareDriver`] with [`ShareMode::Mig`] |
+//! | GSLICE   | static MPS SM-affinity at each quota | [`StaticShareDriver`] with [`ShareMode::QuotaMps`] |
+//! | UNBOUND  | full-GPU contexts, hardware arbitration | [`StaticShareDriver`] with [`ShareMode::Unbound`] |
+//! | REEF+    | batched launching + even MPS partitioning | [`ReefPlusDriver`] |
+//! | ZICO     | memory-coordinated tick-tock iteration sharing (training) | [`ZicoDriver`] |
+
+pub mod common;
+pub mod reef;
+pub mod static_share;
+pub mod temporal;
+pub mod zico;
+
+pub use reef::ReefPlusDriver;
+pub use static_share::{mig_slice_sms, ShareMode, StaticShareDriver};
+pub use temporal::TemporalDriver;
+pub use zico::ZicoDriver;

@@ -1,0 +1,15 @@
+//! Fig. 10: the full 18-configuration sweep of one NasNet+R50 squad.
+
+use bench::warm_profiles;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    warm_profiles();
+    let mut g = c.benchmark_group("fig10");
+    g.sample_size(10);
+    g.bench_function("config_sweep", |b| b.iter(harness::experiments::fig10::run));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Fig. 12: one latency-chart panel (7 quota assignments under BLESS).
+
+use bench::warm_profiles;
+use criterion::{criterion_group, criterion_main, Criterion};
+use dnn_models::ModelKind;
+use harness::experiments::fig12::panel;
+use workloads::PaperWorkload;
+
+fn bench(c: &mut Criterion) {
+    warm_profiles();
+    let mut g = c.benchmark_group("fig12");
+    g.sample_size(10);
+    g.bench_function("panel_vgg_r50_low", |b| {
+        b.iter(|| {
+            panel(
+                ModelKind::Vgg11,
+                ModelKind::ResNet50,
+                PaperWorkload::LowLoad,
+                4,
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

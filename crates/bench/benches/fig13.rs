@@ -1,0 +1,36 @@
+//! Fig. 13: one symmetric-pair sweep cell per system.
+
+use bench::warm_profiles;
+use bless::BlessParams;
+use criterion::{criterion_group, criterion_main, Criterion};
+use dnn_models::{ModelKind, Phase};
+use harness::experiments::fig13::sweep;
+use harness::runner::System;
+use workloads::PaperWorkload;
+
+fn bench(c: &mut Criterion) {
+    warm_profiles();
+    let mut g = c.benchmark_group("fig13");
+    g.sample_size(10);
+    for sys in [
+        System::Bless(BlessParams::default()),
+        System::Gslice,
+        System::Temporal,
+    ] {
+        g.bench_function(sys.name(), |b| {
+            b.iter(|| {
+                sweep(
+                    &[ModelKind::ResNet50],
+                    Phase::Inference,
+                    PaperWorkload::MediumLoad,
+                    std::slice::from_ref(&sys),
+                    5,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

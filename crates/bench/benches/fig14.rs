@@ -1,0 +1,22 @@
+//! Fig. 14: latency deviation of one pair across the 7 quota configs.
+
+use bench::warm_profiles;
+use bless::BlessParams;
+use criterion::{criterion_group, criterion_main, Criterion};
+use dnn_models::ModelKind;
+use harness::experiments::fig14::mean_deviation;
+use harness::runner::System;
+
+fn bench(c: &mut Criterion) {
+    warm_profiles();
+    let pair = [(ModelKind::ResNet50, ModelKind::Vgg11)];
+    let mut g = c.benchmark_group("fig14");
+    g.sample_size(10);
+    for sys in [System::Bless(BlessParams::default()), System::Gslice] {
+        g.bench_function(sys.name(), |b| b.iter(|| mean_deviation(&sys, &pair, 4)));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

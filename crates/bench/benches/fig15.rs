@@ -1,0 +1,29 @@
+//! Fig. 15: the 4-tenant simultaneous-burst scenario.
+
+use bench::warm_profiles;
+use criterion::{criterion_group, criterion_main, Criterion};
+use dnn_models::{AppModel, ModelKind, Phase};
+use harness::experiments::fig15::scenario;
+use workloads::FOUR_MODEL_QUOTAS;
+
+fn bench(c: &mut Criterion) {
+    warm_profiles();
+    let apps: Vec<AppModel> = [
+        ModelKind::Vgg11,
+        ModelKind::ResNet50,
+        ModelKind::ResNet101,
+        ModelKind::Bert,
+    ]
+    .iter()
+    .map(|&m| AppModel::build(m, Phase::Inference))
+    .collect();
+    let mut g = c.benchmark_group("fig15");
+    g.sample_size(10);
+    g.bench_function("four_tenant_burst", |b| {
+        b.iter(|| scenario(apps.clone(), &FOUR_MODEL_QUOTAS))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Fig. 16: the extremely biased workload (E).
+
+use bench::warm_profiles;
+use criterion::{criterion_group, criterion_main, Criterion};
+use dnn_models::ModelKind;
+use harness::experiments::fig16::biased_case;
+
+fn bench(c: &mut Criterion) {
+    warm_profiles();
+    let mut g = c.benchmark_group("fig16");
+    g.sample_size(10);
+    g.bench_function("biased_vgg", |b| {
+        b.iter(|| biased_case(ModelKind::Vgg11, 4))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Fig. 17: squad execution under the four schemes.
+
+use bench::warm_profiles;
+use criterion::{criterion_group, criterion_main, Criterion};
+use dnn_models::ModelKind;
+use harness::experiments::fig17::pair_durations;
+
+fn bench(c: &mut Criterion) {
+    warm_profiles();
+    let mut g = c.benchmark_group("fig17");
+    g.sample_size(10);
+    for (a, b) in [
+        (ModelKind::NasNet, ModelKind::Bert),
+        (ModelKind::NasNet, ModelKind::ResNet50),
+    ] {
+        g.bench_function(format!("{}+{}", a.short_name(), b.short_name()), |bench| {
+            bench.iter(|| pair_durations(a, b, 20))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

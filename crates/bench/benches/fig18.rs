@@ -1,0 +1,16 @@
+//! Fig. 18: the fine-grained 70/30 squad trace.
+
+use bench::warm_profiles;
+use criterion::{criterion_group, criterion_main, Criterion};
+use harness::experiments::fig18::squad_trace;
+
+fn bench(c: &mut Criterion) {
+    warm_profiles();
+    let mut g = c.benchmark_group("fig18");
+    g.sample_size(10);
+    g.bench_function("squad_trace_70_30", |b| b.iter(squad_trace));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

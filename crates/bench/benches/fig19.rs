@@ -1,0 +1,20 @@
+//! Fig. 19: hyper-parameter sweeps.
+
+use bench::warm_profiles;
+use criterion::{criterion_group, criterion_main, Criterion};
+use harness::experiments::fig19::{sm_count_point, split_ratio_curve, squad_size_point};
+
+fn bench(c: &mut Criterion) {
+    warm_profiles();
+    let mut g = c.benchmark_group("fig19");
+    g.sample_size(10);
+    g.bench_function("a_squad_size", |b| b.iter(|| squad_size_point(50, 4)));
+    g.bench_function("b_split_ratio", |b| {
+        b.iter(|| split_ratio_curve(&[0.5], 20))
+    });
+    g.bench_function("c_sm_count", |b| b.iter(|| sm_count_point(54, 3)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

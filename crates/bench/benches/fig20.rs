@@ -1,0 +1,32 @@
+//! Fig. 20: the ablation variants.
+
+use bench::warm_profiles;
+use bless::BlessParams;
+use criterion::{criterion_group, criterion_main, Criterion};
+use dnn_models::ModelKind;
+use harness::experiments::fig20::variant_mean;
+
+fn bench(c: &mut Criterion) {
+    warm_profiles();
+    let mut g = c.benchmark_group("fig20");
+    g.sample_size(10);
+    g.bench_function("full", |b| {
+        b.iter(|| variant_mean(BlessParams::default(), &[ModelKind::ResNet50], 4))
+    });
+    g.bench_function("no_multitask", |b| {
+        b.iter(|| {
+            variant_mean(
+                BlessParams {
+                    disable_multitask: true,
+                    ..BlessParams::default()
+                },
+                &[ModelKind::ResNet50],
+                4,
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

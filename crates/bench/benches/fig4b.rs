@@ -1,0 +1,32 @@
+//! Fig. 4(b): the VGG+R50 scheme comparison scenario.
+
+use bench::{run, small_pair, warm_profiles};
+use bless::BlessParams;
+use criterion::{criterion_group, criterion_main, Criterion};
+use dnn_models::ModelKind;
+use harness::runner::System;
+use workloads::PaperWorkload;
+
+fn bench(c: &mut Criterion) {
+    warm_profiles();
+    let ws = small_pair(
+        ModelKind::Vgg11,
+        ModelKind::ResNet50,
+        PaperWorkload::LowLoad,
+        8,
+    );
+    let mut g = c.benchmark_group("fig4b");
+    g.sample_size(10);
+    for sys in [
+        System::Bless(BlessParams::default()),
+        System::Gslice,
+        System::Unbound,
+        System::ReefPlus,
+    ] {
+        g.bench_function(sys.name(), |b| b.iter(|| run(&sys, &ws)));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

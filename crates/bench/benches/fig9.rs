@@ -1,0 +1,24 @@
+//! Fig. 9: interference measurements (kernel- and application-level).
+
+use bench::warm_profiles;
+use criterion::{criterion_group, criterion_main, Criterion};
+use dnn_models::ModelKind;
+use gpu_sim::GpuSpec;
+use harness::experiments::fig9::{app_pair_slowdown, kernel_slowdown};
+
+fn bench(c: &mut Criterion) {
+    warm_profiles();
+    let spec = GpuSpec::a100();
+    let mut g = c.benchmark_group("fig9");
+    g.sample_size(10);
+    g.bench_function("kernel_slowdown", |b| {
+        b.iter(|| kernel_slowdown(std::hint::black_box(0.5), 0.9, &spec))
+    });
+    g.bench_function("app_pair_slowdown", |b| {
+        b.iter(|| app_pair_slowdown(ModelKind::ResNet50, ModelKind::Vgg11, &spec))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

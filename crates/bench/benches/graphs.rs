@@ -1,0 +1,20 @@
+//! CUDA-graph granularity sweep (§6.10 extension).
+
+use bench::warm_profiles;
+use criterion::{criterion_group, criterion_main, Criterion};
+use harness::experiments::graphs::bert_pair_at;
+
+fn bench(c: &mut Criterion) {
+    warm_profiles();
+    let mut g = c.benchmark_group("graphs");
+    g.sample_size(10);
+    for size in [1usize, 8] {
+        g.bench_function(format!("granularity_{size}"), |b| {
+            b.iter(|| bert_pair_at(size, 4))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! §6.9: raw engine operation costs (launch, squad generation, search).
+
+use bless::{generate_squad, ActiveRequest, BlessParams, DeployedApp};
+use criterion::{criterion_group, criterion_main, Criterion};
+use dnn_models::{ModelKind, Phase};
+use gpu_sim::{CtxKind, Gpu, GpuSpec, HostCosts, KernelDesc};
+use harness::cache;
+use sim_core::{SimDuration, SimTime};
+
+fn bench(c: &mut Criterion) {
+    let spec = GpuSpec::a100();
+    let apps = vec![
+        DeployedApp::new(
+            cache::profile(ModelKind::NasNet, Phase::Inference, &spec),
+            0.5,
+            None,
+        ),
+        DeployedApp::new(
+            cache::profile(ModelKind::Bert, Phase::Inference, &spec),
+            0.5,
+            None,
+        ),
+    ];
+    let active: Vec<ActiveRequest> = (0..2)
+        .map(|app| ActiveRequest {
+            app,
+            arrival: SimTime::ZERO,
+            next_kernel: 10,
+        })
+        .collect();
+    let params = BlessParams::default();
+
+    let mut g = c.benchmark_group("overhead");
+    g.bench_function("generate_squad_50", |b| {
+        b.iter(|| generate_squad(SimTime::from_millis(5), &active, &apps, &params))
+    });
+    g.bench_function("launch_and_run_kernel", |b| {
+        b.iter(|| {
+            let mut gpu = Gpu::new(GpuSpec::a100(), HostCosts::paper());
+            let ctx = gpu.create_context(CtxKind::Default).unwrap();
+            let q = gpu.create_queue(ctx).unwrap();
+            gpu.launch(
+                q,
+                KernelDesc::compute("k", SimDuration::from_micros(50), 80, 0.2),
+                0,
+            )
+            .unwrap();
+            gpu.drain();
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

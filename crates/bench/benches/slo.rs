@@ -1,0 +1,27 @@
+//! §6.5: the SLO-guarantee setting.
+
+use bench::warm_profiles;
+use criterion::{criterion_group, criterion_main, Criterion};
+use dnn_models::ModelKind;
+use harness::experiments::slo::setting;
+use workloads::PaperWorkload;
+
+fn bench(c: &mut Criterion) {
+    warm_profiles();
+    let mut g = c.benchmark_group("slo");
+    g.sample_size(10);
+    g.bench_function("tight_targets", |b| {
+        b.iter(|| {
+            setting(
+                (1.2, 2.0),
+                PaperWorkload::MediumLoad,
+                &[ModelKind::ResNet50],
+                4,
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

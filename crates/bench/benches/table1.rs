@@ -1,0 +1,22 @@
+//! Table 1: offline profiling cost per application.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dnn_models::{AppModel, ModelKind, Phase};
+use gpu_sim::GpuSpec;
+use profiler::ProfiledApp;
+
+fn bench(c: &mut Criterion) {
+    let spec = GpuSpec::a100();
+    let mut g = c.benchmark_group("table1_profile");
+    g.sample_size(10);
+    for kind in [ModelKind::Vgg11, ModelKind::ResNet50, ModelKind::Bert] {
+        let app = AppModel::build(kind, Phase::Inference);
+        g.bench_function(kind.short_name(), |b| {
+            b.iter(|| ProfiledApp::profile(std::hint::black_box(&app), &spec))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! §6.3: the synthetic real-world traces.
+
+use bench::warm_profiles;
+use bless::BlessParams;
+use criterion::{criterion_group, criterion_main, Criterion};
+use dnn_models::ModelKind;
+use harness::experiments::traces::trace_mean;
+use harness::runner::System;
+use workloads::PaperWorkload;
+
+fn bench(c: &mut Criterion) {
+    warm_profiles();
+    let pairs = [(ModelKind::Vgg11, ModelKind::ResNet50)];
+    let mut g = c.benchmark_group("traces");
+    g.sample_size(10);
+    for (trace, label) in [
+        (PaperWorkload::TraceTwitter, "twitter"),
+        (PaperWorkload::TraceAzure, "azure"),
+    ] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                trace_mean(
+                    &System::Bless(BlessParams::default()),
+                    trace,
+                    (0.5, 0.5),
+                    &pairs,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion benchmark support: shared scaled-down scenario runners so
+//! every paper table/figure has a `cargo bench` target. The benches time
+//! the simulator+scheduler work for regenerating each artifact; the
+//! `experiments` binary prints the full-size tables.
+
+use dnn_models::{ModelKind, Phase};
+use gpu_sim::GpuSpec;
+use harness::cache;
+use harness::runner::{run_system, RunResult, System};
+use sim_core::SimTime;
+use workloads::{pair_workload, PaperWorkload, WorkloadSet};
+
+/// A small pair workload shared by several benches.
+pub fn small_pair(a: ModelKind, b: ModelKind, load: PaperWorkload, requests: usize) -> WorkloadSet {
+    pair_workload(
+        cache::model(a, Phase::Inference),
+        cache::model(b, Phase::Inference),
+        (0.5, 0.5),
+        load,
+        requests,
+        SimTime::from_secs(5),
+        1,
+    )
+}
+
+/// Runs one system on a workload with the standard horizon.
+pub fn run(sys: &System, ws: &WorkloadSet) -> RunResult {
+    run_system(sys, ws, &GpuSpec::a100(), SimTime::from_secs(120), None)
+}
+
+/// Pre-warms the profile cache so benches measure scheduling, not
+/// profiling.
+pub fn warm_profiles() {
+    let spec = GpuSpec::a100();
+    for kind in [
+        ModelKind::Vgg11,
+        ModelKind::ResNet50,
+        ModelKind::ResNet101,
+        ModelKind::NasNet,
+        ModelKind::Bert,
+    ] {
+        let _ = cache::profile(kind, Phase::Inference, &spec);
+    }
+}

@@ -1,0 +1,22 @@
+#![warn(missing_docs)]
+
+//! Multi-GPU deployment: the paper's §4.2.2 extension.
+//!
+//! > "As for the scenario in which applications have to be coordinated and
+//! > deployed on multiple GPUs as GPUlet, BLESS can also be extended by
+//! > replicating its runtime components for each active GPU. In such a
+//! > case, a central controller can leverage the memory requirement and
+//! > profiled kernel information to decide which specific GPU to place
+//! > applications to avoid conflict."
+//!
+//! This crate implements exactly that: [`place`] packs profiled
+//! applications onto a fleet of identical GPUs — honoring device memory,
+//! quota capacity, and the §4.2.2 kernel-granularity compatibility rule —
+//! and [`run_cluster`] replicates the BLESS runtime per GPU and serves
+//! each GPU's tenants independently (see [`ClusterRun`]).
+
+pub mod placement;
+pub mod run;
+
+pub use placement::{place, Placement, PlacementError, PlacementRequest};
+pub use run::{run_cluster, ClusterRun, GpuRun};

@@ -1,0 +1,223 @@
+//! The central placement controller.
+
+use profiler::{admit, AdmissionError, AdmissionPolicy, ProfiledApp};
+
+/// One application asking to be placed.
+#[derive(Clone, Debug)]
+pub struct PlacementRequest {
+    /// Offline profile (provides memory needs and kernel statistics).
+    pub profile: ProfiledApp,
+    /// Requested GPU quota in `(0, 1]`.
+    pub quota: f64,
+}
+
+/// A computed placement: `assignments[i]` is the GPU index of request `i`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Placement {
+    /// GPU index per request, aligned with the input order.
+    pub assignments: Vec<usize>,
+    /// Number of GPUs actually used.
+    pub gpus_used: usize,
+}
+
+impl Placement {
+    /// The request indices placed on `gpu`.
+    pub fn tenants_of(&self, gpu: usize) -> Vec<usize> {
+        self.assignments
+            .iter()
+            .enumerate()
+            .filter(|&(_, &g)| g == gpu)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Why the fleet could not host the request set.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PlacementError {
+    /// A single request cannot fit on any empty GPU.
+    Unplaceable {
+        /// Index of the offending request.
+        request: usize,
+        /// The admission failure on an empty GPU.
+        reason: AdmissionError,
+    },
+    /// More GPUs are needed than the fleet has.
+    FleetTooSmall {
+        /// GPUs required by the computed packing.
+        needed: usize,
+        /// GPUs available.
+        available: usize,
+    },
+}
+
+impl std::fmt::Display for PlacementError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlacementError::Unplaceable { request, reason } => {
+                write!(f, "request {request} fits no GPU: {reason}")
+            }
+            PlacementError::FleetTooSmall { needed, available } => {
+                write!(f, "placement needs {needed} GPUs, fleet has {available}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlacementError {}
+
+/// Packs `requests` onto at most `fleet_size` GPUs with `memory_mib` each.
+///
+/// First-fit decreasing by memory footprint; a request joins a GPU only if
+///
+/// * the GPU's quota capacity stays ≤ 1,
+/// * the co-located set passes the §4.2.2 admission check (memory
+///   including per-tenant MPS contexts, kernel-granularity compatibility).
+pub fn place(
+    requests: &[PlacementRequest],
+    fleet_size: usize,
+    memory_mib: u64,
+    policy: &AdmissionPolicy,
+) -> Result<Placement, PlacementError> {
+    // Sort indices by descending memory need (classic FFD).
+    let mut order: Vec<usize> = (0..requests.len()).collect();
+    order.sort_by(|&a, &b| {
+        requests[b]
+            .profile
+            .memory_mib
+            .cmp(&requests[a].profile.memory_mib)
+            .then(a.cmp(&b))
+    });
+
+    let mut gpu_members: Vec<Vec<usize>> = Vec::new();
+    let mut assignments = vec![usize::MAX; requests.len()];
+
+    'outer: for &ri in &order {
+        let req = &requests[ri];
+        // Can it stand alone at all?
+        if let Err(reason) = admit(&[&req.profile], memory_mib, policy) {
+            return Err(PlacementError::Unplaceable {
+                request: ri,
+                reason,
+            });
+        }
+        for (gi, members) in gpu_members.iter_mut().enumerate() {
+            let quota_used: f64 = members.iter().map(|&m| requests[m].quota).sum();
+            if quota_used + req.quota > 1.0 + 1e-9 {
+                continue;
+            }
+            let mut profiles: Vec<&ProfiledApp> =
+                members.iter().map(|&m| &requests[m].profile).collect();
+            profiles.push(&req.profile);
+            if admit(&profiles, memory_mib, policy).is_ok() {
+                members.push(ri);
+                assignments[ri] = gi;
+                continue 'outer;
+            }
+        }
+        // Open a new GPU.
+        gpu_members.push(vec![ri]);
+        assignments[ri] = gpu_members.len() - 1;
+    }
+
+    if gpu_members.len() > fleet_size {
+        return Err(PlacementError::FleetTooSmall {
+            needed: gpu_members.len(),
+            available: fleet_size,
+        });
+    }
+    Ok(Placement {
+        assignments,
+        gpus_used: gpu_members.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnn_models::{AppModel, ModelKind, Phase};
+    use gpu_sim::GpuSpec;
+
+    fn profiled(kind: ModelKind) -> ProfiledApp {
+        ProfiledApp::profile(&AppModel::build(kind, Phase::Inference), &GpuSpec::a100())
+    }
+
+    fn req(kind: ModelKind, quota: f64) -> PlacementRequest {
+        PlacementRequest {
+            profile: profiled(kind),
+            quota,
+        }
+    }
+
+    #[test]
+    fn two_small_tenants_share_one_gpu() {
+        let reqs = vec![req(ModelKind::Vgg11, 0.5), req(ModelKind::ResNet50, 0.5)];
+        let p = place(&reqs, 4, 40 * 1024, &AdmissionPolicy::default()).unwrap();
+        assert_eq!(p.gpus_used, 1);
+        assert_eq!(p.assignments[0], p.assignments[1]);
+    }
+
+    #[test]
+    fn quota_capacity_forces_a_second_gpu() {
+        let reqs = vec![
+            req(ModelKind::Vgg11, 0.7),
+            req(ModelKind::ResNet50, 0.7),
+            req(ModelKind::Bert, 0.3),
+        ];
+        let p = place(&reqs, 4, 40 * 1024, &AdmissionPolicy::default()).unwrap();
+        assert_eq!(p.gpus_used, 2);
+        // The two 0.7 tenants cannot share.
+        assert_ne!(p.assignments[0], p.assignments[1]);
+        // Total quota per GPU stays within 1.
+        for g in 0..p.gpus_used {
+            let total: f64 = p.tenants_of(g).iter().map(|&i| reqs[i].quota).sum();
+            assert!(total <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn memory_pressure_spreads_tenants() {
+        // On a tiny 4 GiB GPU, BERT (1.5 GiB) + VGG (1.25 GiB) + contexts
+        // exceed capacity: they must be split across GPUs.
+        let reqs = vec![req(ModelKind::Bert, 0.5), req(ModelKind::Vgg11, 0.5)];
+        let p = place(&reqs, 4, 4 * 1024, &AdmissionPolicy::default()).unwrap();
+        assert_eq!(p.gpus_used, 2);
+    }
+
+    #[test]
+    fn fleet_too_small_is_reported() {
+        let reqs = vec![req(ModelKind::Vgg11, 0.9), req(ModelKind::ResNet50, 0.9)];
+        let err = place(&reqs, 1, 40 * 1024, &AdmissionPolicy::default()).unwrap_err();
+        assert_eq!(
+            err,
+            PlacementError::FleetTooSmall {
+                needed: 2,
+                available: 1
+            }
+        );
+    }
+
+    #[test]
+    fn unplaceable_tenant_is_reported() {
+        let reqs = vec![req(ModelKind::Bert, 0.5)];
+        let err = place(&reqs, 4, 512, &AdmissionPolicy::default()).unwrap_err();
+        assert!(matches!(
+            err,
+            PlacementError::Unplaceable { request: 0, .. }
+        ));
+        assert!(format!("{err}").contains("fits no GPU"));
+    }
+
+    #[test]
+    fn kernel_compatibility_separates_tenants() {
+        // A strict granularity policy forbids co-locating NasNet's short
+        // kernels with VGG's long ones: they land on different GPUs.
+        let strict = AdmissionPolicy {
+            max_mean_kernel_ratio: 1.5,
+            ..AdmissionPolicy::default()
+        };
+        let reqs = vec![req(ModelKind::NasNet, 0.5), req(ModelKind::Vgg11, 0.5)];
+        let p = place(&reqs, 4, 40 * 1024, &strict).unwrap();
+        assert_eq!(p.gpus_used, 2);
+    }
+}

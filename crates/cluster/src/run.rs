@@ -1,0 +1,215 @@
+//! Running a placed multi-GPU deployment: one replicated BLESS runtime
+//! per GPU, each driving its own simulated device.
+
+use bless::{BlessDriver, BlessParams, DeployedApp};
+use gpu_sim::{Gpu, GpuSpec, HostCosts, RequestArrival, RunOutcome, Simulation};
+use metrics::RequestLog;
+use sim_core::SimTime;
+use workloads::{TenantSpec, WorkloadSet};
+
+use crate::placement::{place, Placement, PlacementError, PlacementRequest};
+
+/// Result of one GPU's run within the cluster.
+#[derive(Debug)]
+pub struct GpuRun {
+    /// Request indices (into the cluster's tenant list) served here.
+    pub tenants: Vec<usize>,
+    /// The GPU-local request log (indexed by local tenant position).
+    pub log: RequestLog,
+    /// Simulation outcome.
+    pub outcome: RunOutcome,
+    /// GPU utilization over its makespan.
+    pub utilization: f64,
+}
+
+/// Result of a whole cluster run.
+#[derive(Debug)]
+pub struct ClusterRun {
+    /// The placement used.
+    pub placement: Placement,
+    /// Per-GPU results.
+    pub gpus: Vec<GpuRun>,
+}
+
+impl ClusterRun {
+    /// Mean latency (ms) of one cluster-level tenant.
+    pub fn tenant_mean_ms(&self, tenant: usize) -> Option<f64> {
+        let gpu = self.placement.assignments[tenant];
+        let local = self.gpus[gpu].tenants.iter().position(|&t| t == tenant)?;
+        self.gpus[gpu]
+            .log
+            .stats(local)
+            .mean
+            .map(|d| d.as_millis_f64())
+    }
+
+    /// True when every GPU completed all its requests.
+    pub fn all_completed(&self) -> bool {
+        self.gpus.iter().all(|g| g.outcome == RunOutcome::Completed)
+    }
+}
+
+/// Places the workload's tenants onto a fleet and serves each GPU with a
+/// replicated BLESS runtime.
+///
+/// `profiles` must align with `ws.tenants` (one profile per tenant, on the
+/// fleet's GPU spec).
+pub fn run_cluster(
+    ws: &WorkloadSet,
+    profiles: Vec<profiler::ProfiledApp>,
+    fleet_size: usize,
+    spec: &GpuSpec,
+    params: &BlessParams,
+    horizon: SimTime,
+) -> Result<ClusterRun, PlacementError> {
+    assert_eq!(ws.len(), profiles.len(), "one profile per tenant");
+    let requests: Vec<PlacementRequest> = profiles
+        .iter()
+        .zip(&ws.tenants)
+        .map(|(p, t)| PlacementRequest {
+            profile: p.clone(),
+            quota: t.quota,
+        })
+        .collect();
+    let placement = place(
+        &requests,
+        fleet_size,
+        spec.memory_mib,
+        &profiler::AdmissionPolicy::default(),
+    )?;
+
+    let mut gpus = Vec::new();
+    for g in 0..placement.gpus_used {
+        let tenants = placement.tenants_of(g);
+        // Build a GPU-local workload with remapped app ids.
+        let local_ws = WorkloadSet::new(
+            tenants
+                .iter()
+                .map(|&t| {
+                    TenantSpec::new(
+                        ws.tenants[t].model.clone(),
+                        ws.tenants[t].quota,
+                        ws.tenants[t].pattern.clone(),
+                    )
+                })
+                .collect(),
+            ws.seed.wrapping_add(g as u64),
+        );
+        let apps: Vec<DeployedApp> = tenants
+            .iter()
+            .map(|&t| DeployedApp::new(requests[t].profile.clone(), ws.tenants[t].quota, None))
+            .collect();
+        let driver = BlessDriver::new(apps, params.clone());
+        let gpu = Gpu::new(spec.clone(), HostCosts::paper());
+        let arrivals: Vec<RequestArrival> = local_ws.initial_arrivals();
+        let mut sim =
+            Simulation::new(gpu, driver, arrivals).with_notice_handler(local_ws.notice_handler());
+        let outcome = sim.run(horizon);
+        let makespan = sim.gpu.now().as_secs_f64();
+        let utilization = if makespan > 0.0 {
+            sim.gpu.busy_sm_seconds() / (spec.num_sms as f64 * makespan)
+        } else {
+            0.0
+        };
+        gpus.push(GpuRun {
+            tenants,
+            log: sim.driver.log,
+            outcome,
+            utilization,
+        });
+    }
+    Ok(ClusterRun { placement, gpus })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnn_models::{AppModel, ModelKind, Phase};
+    use profiler::ProfiledApp;
+    use sim_core::SimDuration;
+    use workloads::ArrivalPattern;
+
+    #[test]
+    fn four_tenants_on_two_gpus_all_complete() {
+        let spec = GpuSpec::a100();
+        let kinds = [
+            ModelKind::Vgg11,
+            ModelKind::ResNet50,
+            ModelKind::ResNet101,
+            ModelKind::Bert,
+        ];
+        let tenants: Vec<TenantSpec> = kinds
+            .iter()
+            .map(|&k| {
+                TenantSpec::new(
+                    AppModel::build(k, Phase::Inference),
+                    0.5,
+                    ArrivalPattern::ClosedLoop {
+                        think: SimDuration::from_millis(10),
+                        count: 4,
+                    },
+                )
+            })
+            .collect();
+        // Quotas sum to 2.0: WorkloadSet normally rejects oversubscription,
+        // so build per-GPU sets through the cluster API instead.
+        let profiles: Vec<ProfiledApp> = kinds
+            .iter()
+            .map(|&k| ProfiledApp::profile(&AppModel::build(k, Phase::Inference), &spec))
+            .collect();
+        // Bypass the single-GPU quota check by constructing tenants in two
+        // halves and merging manually.
+        let ws = WorkloadSet { tenants, seed: 5 };
+        let run = run_cluster(
+            &ws,
+            profiles,
+            4,
+            &spec,
+            &BlessParams::default(),
+            SimTime::from_secs(60),
+        )
+        .unwrap();
+        assert_eq!(run.placement.gpus_used, 2);
+        assert!(run.all_completed());
+        for t in 0..4 {
+            let ms = run.tenant_mean_ms(t).expect("tenant served");
+            assert!(ms.is_finite() && ms > 0.0);
+        }
+    }
+
+    #[test]
+    fn fleet_errors_propagate() {
+        let spec = GpuSpec::a100();
+        let tenants: Vec<TenantSpec> = (0..2)
+            .map(|_| {
+                TenantSpec::new(
+                    AppModel::build(ModelKind::ResNet50, Phase::Inference),
+                    0.9,
+                    ArrivalPattern::Simultaneous {
+                        count: 1,
+                        at: SimTime::ZERO,
+                    },
+                )
+            })
+            .collect();
+        let profiles: Vec<ProfiledApp> = (0..2)
+            .map(|_| {
+                ProfiledApp::profile(
+                    &AppModel::build(ModelKind::ResNet50, Phase::Inference),
+                    &spec,
+                )
+            })
+            .collect();
+        let ws = WorkloadSet { tenants, seed: 1 };
+        let err = run_cluster(
+            &ws,
+            profiles,
+            1,
+            &spec,
+            &BlessParams::default(),
+            SimTime::from_secs(10),
+        )
+        .unwrap_err();
+        assert!(matches!(err, PlacementError::FleetTooSmall { .. }));
+    }
+}

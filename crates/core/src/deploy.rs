@@ -1,0 +1,127 @@
+//! Deployed applications: profiled data bound to a quota (and optional SLO).
+
+use std::sync::Arc;
+
+use profiler::ProfiledApp;
+use sim_core::SimDuration;
+
+/// One application as deployed on the GPU: its profile, its provisioned
+/// quota, and (optionally) an explicit SLO target replacing the isolated
+/// latency in the progress model (§6.5).
+#[derive(Clone, Debug)]
+pub struct DeployedApp {
+    /// The offline profile (§4.2), shared cheaply across deployments and
+    /// experiment runs.
+    pub profile: Arc<ProfiledApp>,
+    /// Provisioned GPU quota in `(0, 1]`.
+    pub quota: f64,
+    /// Partition index corresponding to the quota.
+    pub partition: usize,
+    /// Optional SLO target; `None` means the quota's isolated latency.
+    pub slo_target: Option<SimDuration>,
+}
+
+impl DeployedApp {
+    /// Binds a profile to a quota.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quota` is outside `(0, 1]`.
+    pub fn new(
+        profile: impl Into<Arc<ProfiledApp>>,
+        quota: f64,
+        slo_target: Option<SimDuration>,
+    ) -> Self {
+        assert!(quota > 0.0 && quota <= 1.0, "quota must be in (0,1]");
+        let profile = profile.into();
+        let partition = profile.partition_for_quota(quota);
+        DeployedApp {
+            profile,
+            quota,
+            partition,
+            slo_target,
+        }
+    }
+
+    /// `T[n%]`: the isolated latency at this app's quota.
+    pub fn iso_latency(&self) -> SimDuration {
+        self.profile.iso_latency[self.partition]
+    }
+
+    /// The latency target used by the progress model: the SLO if set,
+    /// otherwise the isolated latency.
+    pub fn target_latency(&self) -> SimDuration {
+        self.slo_target.unwrap_or_else(|| self.iso_latency())
+    }
+
+    /// `t[n%][k]` at this app's quota partition.
+    pub fn quota_kernel_duration(&self, kernel: usize) -> SimDuration {
+        self.profile.kernel_duration(self.partition, kernel)
+    }
+
+    /// `τ[n%][k]` at this app's quota partition.
+    pub fn quota_tau(&self, kernel: usize) -> SimDuration {
+        self.profile.tau(self.partition, kernel)
+    }
+
+    /// Predicted duration of kernel `k` under an optional SM cap: the
+    /// interpolated profiled duration at the cap, or the full-partition
+    /// duration when unrestricted. Shared by the squad balancer and the
+    /// execution-configuration machinery.
+    pub fn predicted_kernel_duration(&self, kernel: usize, cap: Option<u32>) -> SimDuration {
+        match cap {
+            Some(cap) => self.profile.duration_at_sms(kernel, cap as f64),
+            None => self
+                .profile
+                .kernel_duration(profiler::PARTITIONS - 1, kernel),
+        }
+    }
+
+    /// Stretch factor applied to the isolated schedule by the SLO target:
+    /// `target / T[n%]` (1.0 in quota mode).
+    pub fn schedule_stretch(&self) -> f64 {
+        let iso = self.iso_latency().as_nanos() as f64;
+        if iso <= 0.0 {
+            return 1.0;
+        }
+        self.target_latency().as_nanos() as f64 / iso
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnn_models::{AppModel, ModelKind, Phase};
+    use gpu_sim::GpuSpec;
+
+    fn profile() -> ProfiledApp {
+        ProfiledApp::profile(
+            &AppModel::build(ModelKind::Vgg11, Phase::Inference),
+            &GpuSpec::a100(),
+        )
+    }
+
+    #[test]
+    fn quota_maps_to_partition() {
+        let d = DeployedApp::new(profile(), 0.5, None);
+        assert_eq!(d.profile.partition_sms[d.partition], 54);
+        assert_eq!(d.iso_latency(), d.profile.iso_latency[8]);
+        assert_eq!(d.target_latency(), d.iso_latency());
+        assert!((d.schedule_stretch() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slo_target_stretches_schedule() {
+        let p = profile();
+        let iso = p.iso_latency[p.partition_for_quota(0.5)];
+        let d = DeployedApp::new(p, 0.5, Some(iso * 2));
+        assert!((d.schedule_stretch() - 2.0).abs() < 1e-9);
+        assert_eq!(d.target_latency(), iso * 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "quota must be")]
+    fn rejects_bad_quota() {
+        DeployedApp::new(profile(), 1.5, None);
+    }
+}

@@ -1,0 +1,112 @@
+//! Tunable BLESS parameters (§6.7) and ablation switches (§6.8).
+
+/// Runtime parameters of the BLESS scheduler.
+#[derive(Clone, Debug)]
+pub struct BlessParams {
+    /// Maximum number of kernels per squad (paper default: 50). Smaller
+    /// squads give finer quota control; larger squads amortize the squad
+    /// switch (Fig. 19a).
+    pub max_kernels_per_squad: usize,
+    /// Semi-SP split ratio `c%`: the fraction of each request's kernels in
+    /// a spatially-partitioned squad that keep the SM restriction; the
+    /// rear `1 − c%` run unrestricted (paper default: 50%, Fig. 19b).
+    pub split_ratio: f64,
+    /// Scheduling granularity in kernels (§6.10): with `G > 1` the
+    /// scheduler treats runs of `G` consecutive kernels as one CUDA-graph
+    /// unit — selected atomically, launched with a single API call, and
+    /// paying the per-kernel scheduling cost once per graph. `1` (the
+    /// default) is plain kernel-granularity BLESS.
+    pub graph_granularity: usize,
+    /// How many kernels per squad entry the kernel manager keeps in
+    /// flight on the device at once. Kernels are fed progressively so a
+    /// squad can drain quickly when a new tenant's request arrives
+    /// (§3.3's "shrink instantly / lazily wait for completion"); the
+    /// window must be large enough to conceal the 3 µs launch overhead.
+    pub launch_window: usize,
+    /// Drain the in-flight squad when a tenant outside it arrives (§3.3's
+    /// "shrink instantly"). Disabling it makes squads run to completion,
+    /// which restores the paper's Fig. 19(a) tradeoff where very large
+    /// squads cannot serve large quotas precisely.
+    pub drain_on_arrival: bool,
+    /// Ablation: disable the multi-task scheduler's progress-based kernel
+    /// selection and fall back to round-robin (§6.8: +16.5% latency).
+    pub disable_multitask: bool,
+    /// Ablation: disable the execution configuration determiner and always
+    /// run squads without spatial restriction (§6.8: +7.6% latency).
+    pub disable_determiner: bool,
+}
+
+impl Default for BlessParams {
+    fn default() -> Self {
+        BlessParams {
+            max_kernels_per_squad: 50,
+            split_ratio: 0.5,
+            graph_granularity: 1,
+            launch_window: 6,
+            drain_on_arrival: true,
+            disable_multitask: false,
+            disable_determiner: false,
+        }
+    }
+}
+
+impl BlessParams {
+    /// Validates parameter ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the squad size is zero or the split ratio is outside
+    /// `[0, 1]`.
+    pub fn validate(&self) {
+        assert!(
+            self.max_kernels_per_squad > 0,
+            "squads need at least one kernel"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.split_ratio),
+            "split ratio must be in [0, 1], got {}",
+            self.split_ratio
+        );
+        assert!(self.launch_window > 0, "launch window must be positive");
+        assert!(
+            self.graph_granularity > 0,
+            "graph granularity must be positive"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let p = BlessParams::default();
+        assert_eq!(p.max_kernels_per_squad, 50);
+        assert_eq!(p.split_ratio, 0.5);
+        assert!(!p.disable_multitask);
+        assert!(p.drain_on_arrival);
+        assert!(!p.disable_determiner);
+        p.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "split ratio")]
+    fn bad_split_ratio_panics() {
+        BlessParams {
+            split_ratio: 1.5,
+            ..BlessParams::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one kernel")]
+    fn zero_squad_panics() {
+        BlessParams {
+            max_kernels_per_squad: 0,
+            ..BlessParams::default()
+        }
+        .validate();
+    }
+}

@@ -1,0 +1,496 @@
+//! The execution configuration determiner (§4.4): the configuration
+//! space, the two kernel-squad performance estimators, and the search for
+//! the fastest configuration.
+//!
+//! For a squad with `K` participating requests on a GPU profiled at `N`
+//! partitions, the space is:
+//!
+//! * **NSP** — no spatial restriction; predicted with the
+//!   *workload-equivalence* estimator (Eq. 2), and
+//! * **SP** — every composition of the `N` partitions into `K` positive
+//!   parts (`C(N−1, K−1)` configurations); each predicted with the
+//!   *interference-free* estimator (Eq. 1).
+//!
+//! With `N = 18` and two active requests that is `17 + 1 = 18` candidates,
+//! matching the paper.
+
+use sim_core::SimDuration;
+
+use crate::deploy::DeployedApp;
+use crate::squad::Squad;
+use profiler::PARTITIONS;
+
+/// The execution configuration selected for one squad.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExecConfig {
+    /// No spatial restriction: all kernels contend freely (Fig. 7a).
+    Nsp,
+    /// Spatial partitioning: `partitions[i]` is the number of 1/N GPU
+    /// slices assigned to the squad's `i`-th entry (Fig. 7b); the runtime
+    /// upgrades this to semi-SP with the split ratio (Fig. 7c).
+    Sp {
+        /// Per-entry partition counts, aligned with `Squad::entries`;
+        /// each ≥ 1 and summing to the total partition count.
+        partitions: Vec<u32>,
+    },
+}
+
+impl ExecConfig {
+    /// The SM cap for entry `i` under this config, or `None` for NSP.
+    ///
+    /// Caps round to the nearest SM, mirroring how the profiler lays out
+    /// its partition grid (so runtime caps land on profiled points even
+    /// when `num_sms` is not a multiple of the partition count).
+    pub fn sm_cap(&self, entry: usize, num_sms: u32) -> Option<u32> {
+        match self {
+            ExecConfig::Nsp => None,
+            ExecConfig::Sp { partitions } => {
+                let total: u32 = partitions.iter().sum::<u32>().max(1);
+                let exact = partitions[entry] as f64 * num_sms as f64 / total as f64;
+                Some((exact.round() as u32).clamp(1, num_sms))
+            }
+        }
+    }
+}
+
+/// Eq. 1 — the interference-free predictor for strictly partitioned
+/// squads: the squad lasts as long as the slowest request's stacked-up
+/// kernel durations at its partition.
+pub fn predict_interference_free(
+    squad: &Squad,
+    apps: &[DeployedApp],
+    partitions: &[u32],
+) -> SimDuration {
+    assert_eq!(
+        squad.entries.len(),
+        partitions.len(),
+        "one partition count per squad entry"
+    );
+    let mut worst = SimDuration::ZERO;
+    for (entry, &parts) in squad.entries.iter().zip(partitions) {
+        assert!(parts >= 1 && (parts as usize) <= PARTITIONS);
+        let part_idx = parts as usize - 1;
+        let profile = &apps[entry.app].profile;
+        let total: SimDuration = entry
+            .kernels
+            .iter()
+            .map(|&k| profile.kernel_duration(part_idx, k))
+            .sum();
+        worst = worst.max(total);
+    }
+    worst
+}
+
+/// Eq. 2 — the workload-equivalence predictor for unrestricted squads:
+/// kernels are walked breadth-first over requests; each overlap row is
+/// modelled as sequential execution where every kernel runs at the speed
+/// it would have given the row's total natural SM demand `Σ_j d_i^j`.
+pub fn predict_workload_equivalence(
+    squad: &Squad,
+    apps: &[DeployedApp],
+    num_sms: u32,
+) -> SimDuration {
+    let q = squad
+        .entries
+        .iter()
+        .map(|e| e.kernels.len())
+        .max()
+        .unwrap_or(0);
+    let mut total = SimDuration::ZERO;
+    for i in 0..q {
+        // The row's aggregate natural SM demand (as a fraction of the GPU).
+        let mut demand_frac = 0.0;
+        for e in &squad.entries {
+            if let Some(&k) = e.kernels.get(i) {
+                demand_frac += apps[e.app].profile.d_frac[k];
+            }
+        }
+        let demand_sms = (demand_frac * num_sms as f64).clamp(1.0, num_sms as f64);
+        for e in &squad.entries {
+            if let Some(&k) = e.kernels.get(i) {
+                let profile = &apps[e.app].profile;
+                let d = if profile.kernels[k].kind.is_compute() {
+                    profile.duration_at_sms(k, demand_sms)
+                } else {
+                    // Memory-management kernels are added at their profiled
+                    // duration regardless of the SM demand.
+                    profile.kernel_duration(PARTITIONS - 1, k)
+                };
+                total += d;
+            }
+        }
+    }
+    total
+}
+
+/// The determiner's verdict for one squad.
+#[derive(Clone, Debug)]
+pub struct ConfigChoice {
+    /// The winning configuration.
+    pub config: ExecConfig,
+    /// Its predicted squad duration.
+    pub predicted: SimDuration,
+    /// Number of candidate configurations evaluated.
+    pub evaluated: usize,
+}
+
+/// Searches the configuration space for the fastest execution (§4.4.2).
+///
+/// For up to [`EXACT_SEARCH_MAX_APPS`] participating requests the SP space
+/// is enumerated exactly; beyond that a quota-proportional seed plus
+/// hill-climbing is used (the paper only determines optimal partitions at
+/// runtime for small squads; REEF+ cannot do this at all, §6.4).
+pub fn determine_config(squad: &Squad, apps: &[DeployedApp], num_sms: u32) -> ConfigChoice {
+    let k = squad.entries.len();
+    assert!(
+        k <= PARTITIONS,
+        "a squad cannot have more participants ({k}) than SM partitions ({PARTITIONS})"
+    );
+    if k == 0 {
+        return ConfigChoice {
+            config: ExecConfig::Nsp,
+            predicted: SimDuration::ZERO,
+            evaluated: 0,
+        };
+    }
+
+    let nsp = predict_workload_equivalence(squad, apps, num_sms);
+    if k == 1 {
+        // A solo squad always runs unrestricted on the whole GPU.
+        return ConfigChoice {
+            config: ExecConfig::Nsp,
+            predicted: nsp,
+            evaluated: 1,
+        };
+    }
+
+    // Precompute per-entry stacked durations at every partition size so
+    // each SP candidate costs O(K).
+    let stacked: Vec<Vec<SimDuration>> = squad
+        .entries
+        .iter()
+        .map(|e| {
+            (0..PARTITIONS)
+                .map(|p| {
+                    e.kernels
+                        .iter()
+                        .map(|&kk| apps[e.app].profile.kernel_duration(p, kk))
+                        .sum()
+                })
+                .collect()
+        })
+        .collect();
+
+    let eval_sp = |parts: &[u32]| -> SimDuration {
+        parts
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| stacked[i][p as usize - 1])
+            .max()
+            .unwrap_or(SimDuration::ZERO)
+    };
+
+    let mut evaluated = 1; // NSP
+    let mut best_sp: Option<(Vec<u32>, SimDuration)> = None;
+    let consider =
+        |parts: &[u32], dur: SimDuration, best: &mut Option<(Vec<u32>, SimDuration)>| match best {
+            Some((_, d)) if *d <= dur => {}
+            _ => *best = Some((parts.to_vec(), dur)),
+        };
+
+    if k <= EXACT_SEARCH_MAX_APPS {
+        // Exact enumeration of all compositions of PARTITIONS into k parts.
+        let mut parts = vec![1u32; k];
+        enumerate_compositions(PARTITIONS as u32, k, &mut parts, 0, &mut |parts| {
+            let dur = eval_sp(parts);
+            evaluated += 1;
+            consider(parts, dur, &mut best_sp);
+        });
+    } else {
+        // Quota-proportional seed + greedy hill climbing: repeatedly move
+        // one slice from the entry with the most slack to the bottleneck.
+        let quotas: Vec<f64> = squad.entries.iter().map(|e| apps[e.app].quota).collect();
+        let mut parts = proportional_partitions(&quotas, PARTITIONS as u32);
+        let mut dur = eval_sp(&parts);
+        evaluated += 1;
+        consider(&parts, dur, &mut best_sp);
+        loop {
+            // Find the bottleneck entry (max stacked duration).
+            let (bottleneck, _) = parts
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| (i, stacked[i][p as usize - 1]))
+                .max_by_key(|&(_, d)| d)
+                .unwrap();
+            // Take a slice from the entry whose duration is smallest after
+            // losing one (and that has a slice to spare).
+            let donor = (0..k)
+                .filter(|&i| i != bottleneck && parts[i] > 1)
+                .min_by_key(|&i| stacked[i][parts[i] as usize - 2]);
+            let Some(donor) = donor else { break };
+            parts[donor] -= 1;
+            parts[bottleneck] += 1;
+            let new_dur = eval_sp(&parts);
+            evaluated += 1;
+            if new_dur >= dur {
+                break;
+            }
+            dur = new_dur;
+            consider(&parts, dur, &mut best_sp);
+        }
+    }
+
+    match best_sp {
+        Some((parts, dur)) if dur < nsp => ConfigChoice {
+            config: ExecConfig::Sp { partitions: parts },
+            predicted: dur,
+            evaluated,
+        },
+        _ => ConfigChoice {
+            config: ExecConfig::Nsp,
+            predicted: nsp,
+            evaluated,
+        },
+    }
+}
+
+/// Exact SP enumeration is used up to this many participating requests;
+/// `C(17, 5) = 6188` candidates is still cheap.
+pub const EXACT_SEARCH_MAX_APPS: usize = 6;
+
+fn enumerate_compositions(
+    total: u32,
+    k: usize,
+    parts: &mut Vec<u32>,
+    idx: usize,
+    f: &mut impl FnMut(&[u32]),
+) {
+    let remaining_slots = (k - idx - 1) as u32;
+    if idx == k - 1 {
+        parts[idx] = total;
+        f(parts);
+        return;
+    }
+    for p in 1..=(total - remaining_slots) {
+        parts[idx] = p;
+        enumerate_compositions(total - p, k, parts, idx + 1, f);
+    }
+}
+
+/// Divides `total` slices proportionally to the quotas, each entry ≥ 1.
+fn proportional_partitions(quotas: &[f64], total: u32) -> Vec<u32> {
+    let k = quotas.len() as u32;
+    let sum: f64 = quotas.iter().sum();
+    let mut parts: Vec<u32> = quotas
+        .iter()
+        .map(|q| (((q / sum) * total as f64).floor() as u32).max(1))
+        .collect();
+    // Fix up rounding drift.
+    loop {
+        let s: u32 = parts.iter().sum();
+        if s == total {
+            break;
+        }
+        if s < total {
+            // Give the remainder to the largest-quota entry.
+            let i = (0..quotas.len())
+                .max_by(|&a, &b| quotas[a].total_cmp(&quotas[b]))
+                .unwrap();
+            parts[i] += 1;
+        } else {
+            let i = (0..quotas.len())
+                .filter(|&i| parts[i] > 1)
+                .max_by_key(|&i| parts[i])
+                .unwrap_or(0);
+            if parts[i] <= 1 {
+                break;
+            }
+            parts[i] -= 1;
+        }
+    }
+    debug_assert_eq!(parts.iter().sum::<u32>(), total.max(k));
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::squad::SquadEntry;
+    use dnn_models::{AppModel, ModelKind, Phase};
+    use gpu_sim::GpuSpec;
+    use profiler::ProfiledApp;
+
+    fn deploy(kind: ModelKind, quota: f64) -> DeployedApp {
+        let profile =
+            ProfiledApp::profile(&AppModel::build(kind, Phase::Inference), &GpuSpec::a100());
+        DeployedApp::new(profile, quota, None)
+    }
+
+    fn squad_of(apps: &[DeployedApp], per_app: usize) -> Squad {
+        Squad {
+            entries: apps
+                .iter()
+                .enumerate()
+                .map(|(i, _)| SquadEntry {
+                    app: i,
+                    // Skip kernel 0 (the H2D copy) for clean compute squads.
+                    kernels: (1..=per_app).collect(),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn composition_count_matches_formula() {
+        // C(N-1, K-1) compositions for K parts of N.
+        let mut parts = vec![1u32; 2];
+        let mut n = 0;
+        enumerate_compositions(18, 2, &mut parts, 0, &mut |_| n += 1);
+        assert_eq!(n, 17); // C(17,1)
+        let mut parts = vec![1u32; 3];
+        let mut n = 0;
+        enumerate_compositions(18, 3, &mut parts, 0, &mut |_| n += 1);
+        assert_eq!(n, 136); // C(17,2)
+    }
+
+    #[test]
+    fn two_app_space_is_eighteen() {
+        // Paper §4.4.1: with N=18 and 2 active requests, 17 SP + 1 NSP.
+        let apps = vec![
+            deploy(ModelKind::NasNet, 0.5),
+            deploy(ModelKind::ResNet50, 0.5),
+        ];
+        let squad = squad_of(&apps, 10);
+        let choice = determine_config(&squad, &apps, 108);
+        assert_eq!(choice.evaluated, 18);
+    }
+
+    #[test]
+    fn interference_free_is_max_of_stacks() {
+        let apps = vec![
+            deploy(ModelKind::Vgg11, 0.5),
+            deploy(ModelKind::ResNet50, 0.5),
+        ];
+        let squad = squad_of(&apps, 5);
+        // Full GPU each (impossible config, but the math is the point):
+        let d_both = predict_interference_free(&squad, &apps, &[9, 9]);
+        let stack = |app: usize| -> SimDuration {
+            (1..=5)
+                .map(|k| apps[app].profile.kernel_duration(8, k))
+                .sum()
+        };
+        assert_eq!(d_both, stack(0).max(stack(1)));
+    }
+
+    #[test]
+    fn more_sms_for_bottleneck_reduces_prediction() {
+        let apps = vec![
+            deploy(ModelKind::NasNet, 0.5),
+            deploy(ModelKind::Vgg11, 0.5),
+        ];
+        // NasNet gets 30 kernels, VGG gets 2: NasNet is the bottleneck.
+        let squad = Squad {
+            entries: vec![
+                SquadEntry {
+                    app: 0,
+                    kernels: (1..=30).collect(),
+                },
+                SquadEntry {
+                    app: 1,
+                    kernels: vec![1, 2],
+                },
+            ],
+        };
+        let even = predict_interference_free(&squad, &apps, &[9, 9]);
+        let skewed = predict_interference_free(&squad, &apps, &[14, 4]);
+        assert!(skewed < even, "{skewed:?} vs {even:?}");
+    }
+
+    #[test]
+    fn determiner_prefers_sp_for_balanced_compute_squads() {
+        // Two compute-heavy requests: strict partitioning avoids the
+        // sequentializing penalty of the hardware scheduler (Fig. 7).
+        let apps = vec![deploy(ModelKind::NasNet, 0.5), deploy(ModelKind::Bert, 0.5)];
+        let squad = squad_of(&apps, 25);
+        let choice = determine_config(&squad, &apps, 108);
+        match &choice.config {
+            ExecConfig::Sp { partitions } => {
+                assert_eq!(partitions.iter().sum::<u32>(), 18);
+                assert!(partitions.iter().all(|&p| p >= 1));
+            }
+            ExecConfig::Nsp => panic!("expected SP for balanced squads"),
+        }
+    }
+
+    #[test]
+    fn solo_squads_run_nsp() {
+        let apps = vec![deploy(ModelKind::ResNet50, 0.5)];
+        let squad = squad_of(&apps, 10);
+        let choice = determine_config(&squad, &apps, 108);
+        assert_eq!(choice.config, ExecConfig::Nsp);
+        assert_eq!(choice.evaluated, 1);
+    }
+
+    #[test]
+    fn sm_cap_computation() {
+        let cfg = ExecConfig::Sp {
+            partitions: vec![9, 9],
+        };
+        assert_eq!(cfg.sm_cap(0, 108), Some(54));
+        assert_eq!(ExecConfig::Nsp.sm_cap(0, 108), None);
+        let cfg = ExecConfig::Sp {
+            partitions: vec![13, 5],
+        };
+        assert_eq!(cfg.sm_cap(0, 108), Some(78));
+        assert_eq!(cfg.sm_cap(1, 108), Some(30));
+    }
+
+    #[test]
+    fn hill_climb_handles_many_apps() {
+        let apps: Vec<DeployedApp> = (0..8)
+            .map(|i| {
+                deploy(
+                    if i % 2 == 0 {
+                        ModelKind::ResNet50
+                    } else {
+                        ModelKind::Vgg11
+                    },
+                    0.125,
+                )
+            })
+            .collect();
+        let squad = squad_of(&apps, 4);
+        let choice = determine_config(&squad, &apps, 108);
+        if let ExecConfig::Sp { partitions } = &choice.config {
+            assert_eq!(partitions.len(), 8);
+            assert_eq!(partitions.iter().sum::<u32>(), 18);
+        }
+        assert!(choice.evaluated < 1000, "hill climbing stays cheap");
+    }
+
+    #[test]
+    fn workload_equivalence_sums_rows() {
+        let apps = vec![deploy(ModelKind::Vgg11, 0.5)];
+        let squad = Squad {
+            entries: vec![SquadEntry {
+                app: 0,
+                kernels: vec![1, 2, 3],
+            }],
+        };
+        let d = predict_workload_equivalence(&squad, &apps, 108);
+        // A single request at its own demand: close to its full-speed sum.
+        let full: SimDuration = (1..=3)
+            .map(|k| apps[0].profile.kernel_duration(PARTITIONS - 1, k))
+            .sum();
+        let ratio = d.as_nanos() as f64 / full.as_nanos() as f64;
+        assert!((1.0..1.8).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn proportional_partitions_respect_quotas() {
+        let parts = proportional_partitions(&[0.1, 0.2, 0.3, 0.4], 18);
+        assert_eq!(parts.iter().sum::<u32>(), 18);
+        assert!(parts[3] > parts[0]);
+        assert!(parts.iter().all(|&p| p >= 1));
+    }
+}

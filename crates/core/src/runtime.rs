@@ -1,0 +1,746 @@
+//! The BLESS runtime: multi-task scheduler + concurrent kernel manager
+//! (§4.3, §4.5) as a [`HostDriver`].
+//!
+//! Each deployed application owns two device queues: one bound to an
+//! unrestricted (default) context and one bound to a resizable MPS
+//! SM-affinity context. The runtime proceeds squad by squad:
+//!
+//! 1. When requests are active and no squad is in flight, the multi-task
+//!    scheduler generates a squad ([`crate::squad::generate_squad`]) and
+//!    the configuration determiner picks NSP or an SM partitioning
+//!    ([`crate::predict::determine_config`]).
+//! 2. Under SP, the first `c%` of each entry's kernels (the split ratio)
+//!    are launched into the app's restricted context; when they finish,
+//!    the rear kernels are launched into the unrestricted context after a
+//!    50 µs context-switch vacuum — the paper's semi-SP sharing (Fig. 7c).
+//!    Under NSP everything goes to the unrestricted contexts.
+//! 3. When the squad's last kernel finishes, a 20 µs squad-switch
+//!    synchronization is charged and the next squad is scheduled.
+//!
+//! Scheduling work (6.7 µs per kernel, §6.9) is pipelined with the
+//! previous squad's device execution: the next squad can only launch once
+//! the background scheduler has had enough host time since the previous
+//! launch — reproducing the paper's "overspending" hazard when kernels
+//! are shorter than the per-kernel scheduling cost.
+
+use std::collections::VecDeque;
+
+use gpu_sim::{CtxId, CtxKind, Gpu, HostDriver, KernelDone, QueueId, RequestArrival};
+use metrics::RequestLog;
+use sim_core::{SimDuration, SimTime};
+
+use crate::deploy::DeployedApp;
+use crate::params::BlessParams;
+use crate::predict::{determine_config, ExecConfig};
+use crate::squad::{generate_squad, scheduling_cost, ActiveRequest, Squad};
+
+// `PendingReq`/`ActiveReq` mirror `baselines::common`'s request-lifecycle
+// types. They cannot be shared: `baselines` depends on this crate, and the
+// BLESS lifecycle is interwoven with squad state in ways the baseline
+// drivers' is not.
+/// A request waiting in an application's task queue.
+#[derive(Clone, Copy, Debug)]
+struct PendingReq {
+    req: usize,
+    arrival: SimTime,
+}
+
+/// The request currently being served for one application.
+#[derive(Clone, Copy, Debug)]
+struct ActiveReq {
+    req: usize,
+    arrival: SimTime,
+    next_kernel: usize,
+}
+
+/// Per-application execution state of the in-flight squad.
+///
+/// Kernels are fed to the device progressively, a small window at a time,
+/// so that the squad can *drain* (stop feeding and end early) the moment a
+/// new tenant's request arrives — the paper's "shrink instantly, lazily
+/// wait for [launched kernels'] completion rather than preempting" (§3.3).
+#[derive(Clone, Debug)]
+struct EntryRun {
+    /// Selected kernel indices, in order.
+    kernels: Vec<usize>,
+    /// Kernels `[0, split_at)` go to the restricted context, the rest to
+    /// the unrestricted one (semi-SP).
+    split_at: usize,
+    /// Next index into `kernels` to launch.
+    next_to_launch: usize,
+    /// Launched but unfinished kernels.
+    inflight: usize,
+    /// Head (restricted) kernels still unfinished.
+    head_remaining: usize,
+    /// Whether the context-switch vacuum for the tail was already charged.
+    tail_started: bool,
+}
+
+/// One record of a completed squad (for the fine-grained analyses of
+/// §6.6/Fig. 18).
+#[derive(Clone, Debug)]
+pub struct SquadRecord {
+    /// When the squad's kernels were launched.
+    pub launched_at: SimTime,
+    /// When its last kernel finished.
+    pub finished_at: SimTime,
+    /// Participating apps and their kernel counts.
+    pub per_app_kernels: Vec<(usize, usize)>,
+    /// Whether the determiner chose spatial partitioning.
+    pub spatial: bool,
+    /// The SM caps per participating app under SP (empty for NSP).
+    pub sm_caps: Vec<(usize, u32)>,
+}
+
+/// The BLESS scheduler, driving one GPU on behalf of its tenants.
+pub struct BlessDriver {
+    /// Deployment data, indexed by app id.
+    pub apps: Vec<DeployedApp>,
+    /// Runtime parameters.
+    pub params: BlessParams,
+    /// Arrival/completion log for metrics.
+    pub log: RequestLog,
+    /// Completed squads (recorded when `record_squads` is set).
+    pub squad_log: Vec<SquadRecord>,
+    /// Record per-squad details (off by default; costs memory).
+    pub record_squads: bool,
+
+    queue_free: Vec<QueueId>,
+    queue_restricted: Vec<QueueId>,
+    ctx_restricted: Vec<CtxId>,
+    task_queues: Vec<VecDeque<PendingReq>>,
+    active: Vec<Option<ActiveReq>>,
+    squad: Option<SquadState>,
+    sched_pending: bool,
+    last_squad_launch: SimTime,
+    /// Total squads launched.
+    pub squads_launched: usize,
+    /// Squads that ran with spatial partitioning.
+    pub sp_squads: usize,
+}
+
+struct SquadState {
+    per_app: Vec<Option<EntryRun>>,
+    /// Launched-but-unfinished kernels across entries.
+    inflight_total: usize,
+    /// Selected-but-unlaunched kernels across entries.
+    pending_total: usize,
+    /// When set, no further kernels are fed; the squad ends as soon as the
+    /// in-flight ones finish (a new tenant's request arrived).
+    draining: bool,
+    launched_at: SimTime,
+    spatial: bool,
+    sm_caps: Vec<(usize, u32)>,
+}
+
+use gpu_sim::{decode_tag as untag, encode_tag as tag_of};
+use workloads::encode_notice as workload_notice;
+
+impl BlessDriver {
+    /// Creates a BLESS driver for the given deployment.
+    pub fn new(apps: Vec<DeployedApp>, params: BlessParams) -> Self {
+        params.validate();
+        let n = apps.len();
+        BlessDriver {
+            log: RequestLog::new(n),
+            squad_log: Vec::new(),
+            record_squads: false,
+            queue_free: Vec::new(),
+            queue_restricted: Vec::new(),
+            ctx_restricted: Vec::new(),
+            task_queues: vec![VecDeque::new(); n],
+            active: vec![None; n],
+            squad: None,
+            sched_pending: false,
+            last_squad_launch: SimTime::ZERO,
+            squads_launched: 0,
+            sp_squads: 0,
+            apps,
+            params,
+        }
+    }
+
+    fn active_requests(&self) -> Vec<ActiveRequest> {
+        self.active
+            .iter()
+            .enumerate()
+            .filter_map(|(app, a)| {
+                a.map(|a| ActiveRequest {
+                    app,
+                    arrival: a.arrival,
+                    next_kernel: a.next_kernel,
+                })
+            })
+            .collect()
+    }
+
+    /// Requests squad scheduling at the current instant, deferred through
+    /// a host wakeup so that all same-timestamp request arrivals are seen
+    /// before the squad is generated.
+    fn request_schedule(&mut self, gpu: &mut Gpu) {
+        if self.sched_pending || self.squad.is_some() {
+            return;
+        }
+        self.sched_pending = true;
+        gpu.wake_at(gpu.now(), SCHED_WAKE_TOKEN);
+    }
+
+    fn schedule_squad(&mut self, gpu: &mut Gpu) {
+        debug_assert!(self.squad.is_none());
+        let active = self.active_requests();
+        if active.is_empty() {
+            return;
+        }
+        let squad = generate_squad(gpu.now(), &active, &self.apps, &self.params);
+        if squad.is_empty() {
+            return;
+        }
+
+        let choice = if self.params.disable_determiner || squad.entries.len() < 2 {
+            crate::predict::ConfigChoice {
+                config: ExecConfig::Nsp,
+                predicted: SimDuration::ZERO,
+                evaluated: 0,
+            }
+        } else {
+            determine_config(&squad, &self.apps, gpu.spec().num_sms)
+        };
+
+        // Balance the squad: trim trailing kernels from entries whose
+        // predicted duration under the chosen configuration overshoots the
+        // shortest entry — they would only straggle past the squad barrier
+        // and are re-selected next squad. (The multi-task scheduler
+        // compensates at fine granularity, §4.3.2; ending squads balanced
+        // is what keeps the 20 µs squad switch the only boundary cost.)
+        let squad = self.trim_squad(squad, &choice.config, gpu.spec().num_sms);
+
+        // Pipeline the scheduling cost with the previous squad: the squad
+        // may not launch before the background scheduler has spent its
+        // per-kernel time since the previous launch.
+        let cost = scheduling_cost(squad.len(), self.params.graph_granularity, gpu.costs());
+        let sched_ready = self.last_squad_launch + cost;
+        let host_free = gpu.host_free_at();
+        if sched_ready > host_free {
+            gpu.charge_host(sched_ready.duration_since(host_free));
+        }
+
+        self.launch_squad(gpu, &squad, &choice.config);
+    }
+
+    /// Trims each entry to roughly the predicted duration of the squad's
+    /// shortest entry (+[`TRIM_TOLERANCE`]), so all entries finish
+    /// near-simultaneously.
+    fn trim_squad(&self, mut squad: Squad, config: &ExecConfig, num_sms: u32) -> Squad {
+        if squad.entries.len() < 2 {
+            return squad;
+        }
+        // Predicted per-kernel durations at the chosen configuration.
+        let kernel_dur = |entry_idx: usize, app: usize, k: usize| -> f64 {
+            self.apps[app]
+                .predicted_kernel_duration(k, config.sm_cap(entry_idx, num_sms))
+                .as_nanos() as f64
+        };
+        let totals: Vec<f64> = squad
+            .entries
+            .iter()
+            .enumerate()
+            .map(|(i, e)| e.kernels.iter().map(|&k| kernel_dur(i, e.app, k)).sum())
+            .collect();
+        let target = totals.iter().cloned().fold(f64::MAX, f64::min) * TRIM_TOLERANCE;
+        for (i, e) in squad.entries.iter_mut().enumerate() {
+            if totals[i] <= target {
+                continue;
+            }
+            let mut cum = 0.0;
+            let mut keep = 0;
+            for &k in &e.kernels {
+                cum += kernel_dur(i, e.app, k);
+                keep += 1;
+                if cum > target {
+                    break;
+                }
+            }
+            e.kernels.truncate(keep.max(1));
+        }
+        squad
+    }
+
+    fn launch_squad(&mut self, gpu: &mut Gpu, squad: &Squad, config: &ExecConfig) {
+        let num_sms = gpu.spec().num_sms;
+        let mut per_app: Vec<Option<EntryRun>> = vec![None; self.apps.len()];
+        let mut pending_total = 0usize;
+        let spatial = matches!(config, ExecConfig::Sp { .. });
+        let mut sm_caps = Vec::new();
+
+        for (entry_idx, entry) in squad.entries.iter().enumerate() {
+            let app = entry.app;
+            let cap = config.sm_cap(entry_idx, num_sms).map(|c| c.max(1));
+            let split_at = match cap {
+                Some(cap_sms) => {
+                    gpu.set_mps_cap(self.ctx_restricted[app], cap_sms)
+                        .expect("resize MPS cap");
+                    sm_caps.push((app, cap_sms));
+                    let c = self.params.split_ratio;
+                    ((entry.kernels.len() as f64 * c).ceil() as usize).min(entry.kernels.len())
+                }
+                None => 0,
+            };
+            pending_total += entry.kernels.len();
+            per_app[app] = Some(EntryRun {
+                head_remaining: split_at,
+                next_to_launch: 0,
+                inflight: 0,
+                tail_started: split_at == 0,
+                kernels: entry.kernels.clone(),
+                split_at,
+            });
+        }
+
+        self.squads_launched += 1;
+        if spatial {
+            self.sp_squads += 1;
+        }
+        self.last_squad_launch = gpu.now();
+        self.squad = Some(SquadState {
+            per_app,
+            inflight_total: 0,
+            pending_total,
+            draining: false,
+            launched_at: gpu.now(),
+            spatial,
+            sm_caps,
+        });
+
+        // Prime the launch windows.
+        let apps: Vec<usize> = squad.entries.iter().map(|e| e.app).collect();
+        for app in apps {
+            self.feed_entry(gpu, app);
+        }
+    }
+
+    /// Feeds the device with this entry's next kernels, up to the launch
+    /// window, respecting the semi-SP barrier (tail kernels only launch
+    /// once the restricted head finished, after the context-switch
+    /// vacuum).
+    fn feed_entry(&mut self, gpu: &mut Gpu, app: usize) {
+        let window = self.params.launch_window;
+        let Some(squad) = &mut self.squad else { return };
+        if squad.draining {
+            return;
+        }
+        let Some(entry) = squad.per_app[app].as_mut() else {
+            return;
+        };
+        let graph = self.params.graph_granularity.max(1);
+        while entry.inflight < window && entry.next_to_launch < entry.kernels.len() {
+            let idx = entry.next_to_launch;
+            let in_head = idx < entry.split_at;
+            // Semi-SP barrier: hold tail kernels until the head drains.
+            if !in_head && entry.split_at > 0 && entry.head_remaining > 0 {
+                break;
+            }
+            let (queue, extra) = if in_head {
+                (self.queue_restricted[app], SimDuration::ZERO)
+            } else if entry.split_at > 0 && !entry.tail_started {
+                entry.tail_started = true;
+                (self.queue_free[app], gpu.costs().context_switch)
+            } else {
+                (self.queue_free[app], SimDuration::ZERO)
+            };
+            // One scheduling unit: a single kernel, or a CUDA graph of up
+            // to `graph` consecutive kernels on the same queue side
+            // (launched with one API call, §6.10).
+            let phase_end = if in_head {
+                entry.split_at
+            } else {
+                entry.kernels.len()
+            };
+            let unit_end = (idx + graph).min(phase_end);
+            let group: Vec<(gpu_sim::KernelDesc, u64)> = entry.kernels[idx..unit_end]
+                .iter()
+                .map(|&k| (self.apps[app].profile.kernels[k].clone(), tag_of(app, k)))
+                .collect();
+            let launched = group.len();
+            if launched == 1 {
+                let (desc, tag) = group.into_iter().next().expect("one kernel");
+                gpu.launch_delayed(queue, desc, tag, extra).expect("launch");
+            } else if extra.is_zero() {
+                gpu.launch_graph(queue, group).expect("launch graph");
+            } else {
+                // The context-switch vacuum stalls only this queue: apply
+                // it to the unit's first kernel; the rest of the graph
+                // follows in FIFO order behind it.
+                let mut it = group.into_iter();
+                let (desc, tag) = it.next().expect("non-empty group");
+                gpu.launch_delayed(queue, desc, tag, extra).expect("launch");
+                gpu.launch_graph(queue, it.collect()).expect("launch graph");
+            }
+            entry.next_to_launch += launched;
+            entry.inflight += launched;
+            squad.inflight_total += launched;
+            squad.pending_total -= launched;
+        }
+    }
+
+    /// Marks the active request of `app` complete and activates the next
+    /// queued one, if any.
+    fn complete_request(&mut self, gpu: &mut Gpu, app: usize, at: SimTime) {
+        let act = self.active[app].take().expect("completing inactive app");
+        self.log.completed(app, act.req, at);
+        gpu.post_notice(workload_notice(app, act.req));
+        if let Some(next) = self.task_queues[app].pop_front() {
+            self.active[app] = Some(ActiveReq {
+                req: next.req,
+                arrival: next.arrival,
+                next_kernel: 0,
+            });
+        }
+    }
+}
+
+/// Wake token used for deferred squad scheduling.
+const SCHED_WAKE_TOKEN: u64 = u64::MAX;
+
+/// Entries predicted to overshoot the squad's shortest entry by more than
+/// this factor are trimmed back (their tail kernels return to the pool).
+const TRIM_TOLERANCE: f64 = 1.10;
+
+impl HostDriver for BlessDriver {
+    fn on_start(&mut self, gpu: &mut Gpu) {
+        for app in &self.apps {
+            gpu.alloc_memory(app.profile.memory_mib)
+                .expect("deployment must fit in device memory");
+            let free_ctx = gpu.create_context(CtxKind::Default).expect("ctx");
+            let res_ctx = gpu
+                .create_context(CtxKind::MpsAffinity {
+                    sm_cap: gpu.spec().num_sms,
+                })
+                .expect("ctx");
+            self.queue_free
+                .push(gpu.create_queue(free_ctx).expect("queue"));
+            self.queue_restricted
+                .push(gpu.create_queue(res_ctx).expect("queue"));
+            self.ctx_restricted.push(res_ctx);
+        }
+    }
+
+    fn on_request(&mut self, gpu: &mut Gpu, req: RequestArrival) {
+        self.log.arrived(req.app, req.req, req.at);
+        let newly_schedulable = self.active[req.app].is_none();
+        if newly_schedulable {
+            self.active[req.app] = Some(ActiveReq {
+                req: req.req,
+                arrival: req.at,
+                next_kernel: 0,
+            });
+        } else {
+            // The tenant already has an active request; this one queues
+            // behind it (one request at a time per application, §4.3).
+            self.task_queues[req.app].push_back(PendingReq {
+                req: req.req,
+                arrival: req.at,
+            });
+        }
+        // Shrink instantly (§3.3): only a *newly schedulable* tenant
+        // changes the next squad's planning input, so only then is
+        // draining the in-flight squad worth its cost. A queued follow-up
+        // request for an already-active tenant cannot join the next squad
+        // anyway.
+        if self.params.drain_on_arrival && newly_schedulable {
+            if let Some(squad) = &mut self.squad {
+                if squad.per_app[req.app].is_none() {
+                    squad.draining = true;
+                }
+            }
+        }
+        self.request_schedule(gpu);
+    }
+
+    fn on_wake(&mut self, gpu: &mut Gpu, token: u64) {
+        if token == SCHED_WAKE_TOKEN {
+            self.sched_pending = false;
+            if self.squad.is_none() {
+                self.schedule_squad(gpu);
+            }
+        }
+    }
+
+    fn on_kernel_done(&mut self, gpu: &mut Gpu, done: KernelDone) {
+        let (app, kernel) = untag(done.tag);
+
+        // Advance the request pointer; complete the request on its last
+        // kernel.
+        let total = self.apps[app].profile.kernel_count();
+        if let Some(act) = &mut self.active[app] {
+            debug_assert_eq!(act.next_kernel, kernel, "kernels complete in order");
+            act.next_kernel = kernel + 1;
+            if act.next_kernel == total {
+                self.complete_request(gpu, app, done.at);
+            }
+        }
+
+        // Squad bookkeeping.
+        let Some(squad) = &mut self.squad else { return };
+        let entry = squad.per_app[app]
+            .as_mut()
+            .expect("kernel from active squad");
+        entry.inflight -= 1;
+        if entry.head_remaining > 0 {
+            entry.head_remaining -= 1;
+        }
+        squad.inflight_total -= 1;
+        let squad_done = squad.inflight_total == 0 && (squad.draining || squad.pending_total == 0);
+        if !squad_done {
+            self.feed_entry(gpu, app);
+            return;
+        }
+        {
+            let finished = self.squad.take().expect("squad exists");
+            if self.record_squads {
+                self.squad_log.push(SquadRecord {
+                    launched_at: finished.launched_at,
+                    finished_at: done.at,
+                    per_app_kernels: finished
+                        .per_app
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(a, e)| e.as_ref().map(|e| (a, e.kernels.len())))
+                        .collect(),
+                    spatial: finished.spatial,
+                    sm_caps: finished.sm_caps,
+                });
+            }
+            // Squad switch: synchronize (20 µs) and schedule the next one
+            // (deferred so same-instant arrivals are observed first).
+            gpu.charge_host(gpu.costs().squad_sync);
+            self.request_schedule(gpu);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnn_models::{AppModel, ModelKind, Phase};
+    use gpu_sim::{GpuSpec, HostCosts, RunOutcome, Simulation};
+    use profiler::ProfiledApp;
+
+    fn deploy(kind: ModelKind, quota: f64) -> DeployedApp {
+        let profile =
+            ProfiledApp::profile(&AppModel::build(kind, Phase::Inference), &GpuSpec::a100());
+        DeployedApp::new(profile, quota, None)
+    }
+
+    fn run_pair(
+        a: ModelKind,
+        b: ModelKind,
+        quotas: (f64, f64),
+        arrivals: Vec<RequestArrival>,
+    ) -> BlessDriver {
+        let apps = vec![deploy(a, quotas.0), deploy(b, quotas.1)];
+        let driver = BlessDriver::new(apps, BlessParams::default());
+        let gpu = Gpu::new(GpuSpec::a100(), HostCosts::paper());
+        let mut sim = Simulation::new(gpu, driver, arrivals);
+        let outcome = sim.run(SimTime::from_secs(10));
+        assert_eq!(outcome, RunOutcome::Completed);
+        assert!(sim.gpu.is_device_idle());
+        sim.driver
+    }
+
+    #[test]
+    fn tag_round_trips() {
+        for (app, k) in [(0, 0), (7, 5034), (3, 12)] {
+            assert_eq!(untag(tag_of(app, k)), (app, k));
+        }
+    }
+
+    #[test]
+    fn solo_request_completes_near_solo_latency() {
+        let apps = vec![deploy(ModelKind::Vgg11, 0.5)];
+        let driver = BlessDriver::new(apps, BlessParams::default());
+        let gpu = Gpu::new(GpuSpec::a100(), HostCosts::paper());
+        let arrivals = vec![RequestArrival {
+            app: 0,
+            req: 0,
+            at: SimTime::ZERO,
+        }];
+        let mut sim = Simulation::new(gpu, driver, arrivals);
+        assert_eq!(sim.run(SimTime::from_secs(1)), RunOutcome::Completed);
+        let lat = sim.driver.log.stats(0).mean.unwrap();
+        // BLESS lets a solo request use the whole GPU (bubble usage), so
+        // its latency must be near the 10.2 ms full-GPU solo latency even
+        // though the quota is only 50%, and far below the 50%-ISO latency.
+        let iso50 = sim.driver.apps[0].iso_latency();
+        assert!(lat.as_millis_f64() < 11.5, "latency {lat}");
+        assert!(lat < iso50, "{lat} should beat the 50% ISO {iso50}");
+    }
+
+    #[test]
+    fn overlapping_pair_stays_near_iso_targets() {
+        // Two requests arriving at the same instant is the worst case:
+        // there are no bubbles to squeeze, so the best any system can do
+        // is the ISO partitioning plus unavoidable memory interference
+        // (~7%, Fig. 9b) and squad overheads. Each app must stay within a
+        // small envelope of its quota's isolated latency.
+        let arrivals = vec![
+            RequestArrival {
+                app: 0,
+                req: 0,
+                at: SimTime::ZERO,
+            },
+            RequestArrival {
+                app: 1,
+                req: 0,
+                at: SimTime::ZERO,
+            },
+        ];
+        let driver = run_pair(
+            ModelKind::Vgg11,
+            ModelKind::ResNet50,
+            (1.0 / 3.0, 2.0 / 3.0),
+            arrivals,
+        );
+        for app in 0..2 {
+            let lat = driver.log.stats(app).mean.unwrap();
+            let iso = driver.apps[app].iso_latency();
+            assert!(
+                lat.as_nanos() as f64 <= iso.as_nanos() as f64 * 1.25,
+                "app {app}: latency {lat} vs ISO {iso}"
+            );
+        }
+        // And the average must beat the ISO average: the fast app reaps
+        // the slack the slow app's quota leaves behind.
+        let mean = driver.log.mean_of_app_means().unwrap();
+        let iso_mean = (driver.apps[0].iso_latency() + driver.apps[1].iso_latency()) / 2;
+        assert!(mean < iso_mean, "{mean} vs ISO mean {iso_mean}");
+    }
+
+    #[test]
+    fn staggered_requests_both_benefit_from_bubbles() {
+        // Requests that only partially overlap: both should beat ISO
+        // clearly because each can use idle SMs of the other's quota.
+        let arrivals = vec![
+            RequestArrival {
+                app: 0,
+                req: 0,
+                at: SimTime::ZERO,
+            },
+            RequestArrival {
+                app: 1,
+                req: 0,
+                at: SimTime::from_millis(6),
+            },
+        ];
+        let driver = run_pair(ModelKind::Vgg11, ModelKind::ResNet50, (0.5, 0.5), arrivals);
+        for app in 0..2 {
+            let lat = driver.log.stats(app).mean.unwrap();
+            let iso = driver.apps[app].iso_latency();
+            assert!(lat < iso, "app {app}: {lat} vs ISO {iso}");
+        }
+    }
+
+    #[test]
+    fn multiple_requests_per_app_run_fifo() {
+        let arrivals = (0..3)
+            .map(|i| RequestArrival {
+                app: 0,
+                req: i,
+                at: SimTime::ZERO,
+            })
+            .collect();
+        let apps = vec![deploy(ModelKind::ResNet50, 1.0)];
+        let driver = BlessDriver::new(apps, BlessParams::default());
+        let gpu = Gpu::new(GpuSpec::a100(), HostCosts::paper());
+        let mut sim = Simulation::new(gpu, driver, arrivals);
+        assert_eq!(sim.run(SimTime::from_secs(5)), RunOutcome::Completed);
+        let recs = sim.driver.log.records(0);
+        assert_eq!(recs.len(), 3);
+        // FIFO: completions strictly ordered.
+        for w in recs.windows(2) {
+            assert!(w[0].completion.unwrap() <= w[1].completion.unwrap());
+        }
+    }
+
+    #[test]
+    fn squads_use_spatial_partitioning_when_beneficial() {
+        let arrivals = vec![
+            RequestArrival {
+                app: 0,
+                req: 0,
+                at: SimTime::ZERO,
+            },
+            RequestArrival {
+                app: 1,
+                req: 0,
+                at: SimTime::ZERO,
+            },
+        ];
+        let apps = vec![deploy(ModelKind::NasNet, 0.5), deploy(ModelKind::Bert, 0.5)];
+        let mut driver = BlessDriver::new(apps, BlessParams::default());
+        driver.record_squads = true;
+        let gpu = Gpu::new(GpuSpec::a100(), HostCosts::paper());
+        let mut sim = Simulation::new(gpu, driver, arrivals);
+        assert_eq!(sim.run(SimTime::from_secs(5)), RunOutcome::Completed);
+        assert!(sim.driver.squads_launched > 1);
+        assert!(
+            sim.driver.sp_squads > 0,
+            "overlapped heavy squads should pick SP at least once"
+        );
+        // Squad records are consistent.
+        for r in &sim.driver.squad_log {
+            assert!(r.finished_at > r.launched_at);
+            let total: usize = r.per_app_kernels.iter().map(|&(_, n)| n).sum();
+            assert!(total <= BlessParams::default().max_kernels_per_squad);
+        }
+    }
+
+    #[test]
+    fn ablations_hurt_latency() {
+        let arrivals = || {
+            vec![
+                RequestArrival {
+                    app: 0,
+                    req: 0,
+                    at: SimTime::ZERO,
+                },
+                RequestArrival {
+                    app: 1,
+                    req: 0,
+                    at: SimTime::ZERO,
+                },
+                RequestArrival {
+                    app: 0,
+                    req: 1,
+                    at: SimTime::from_millis(4),
+                },
+                RequestArrival {
+                    app: 1,
+                    req: 1,
+                    at: SimTime::from_millis(7),
+                },
+            ]
+        };
+        let run = |params: BlessParams| {
+            let apps = vec![
+                deploy(ModelKind::ResNet50, 0.7),
+                deploy(ModelKind::ResNet50, 0.3),
+            ];
+            let driver = BlessDriver::new(apps, params);
+            let gpu = Gpu::new(GpuSpec::a100(), HostCosts::paper());
+            let mut sim = Simulation::new(gpu, driver, arrivals());
+            assert_eq!(sim.run(SimTime::from_secs(5)), RunOutcome::Completed);
+            sim.driver.log.mean_of_app_means().unwrap()
+        };
+        let full = run(BlessParams::default());
+        let no_det = run(BlessParams {
+            disable_determiner: true,
+            ..BlessParams::default()
+        });
+        // Disabling the configuration determiner cannot make things
+        // faster on average (allowing a sliver of noise).
+        assert!(
+            no_det.as_nanos() as f64 >= full.as_nanos() as f64 * 0.98,
+            "full {full}, no determiner {no_det}"
+        );
+    }
+}

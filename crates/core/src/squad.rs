@@ -1,0 +1,405 @@
+//! Kernel squads and the multi-task scheduler's selection logic (§4.3).
+//!
+//! A *kernel squad* is a group of kernels drawn from the concurrently
+//! active requests of different applications. In each generation step the
+//! scheduler picks the next kernel of the request with the smallest
+//! relative progress — the request that is furthest behind its
+//! quota-proportional schedule — so that all co-located requests approach
+//! (and beat) their isolated-latency targets together.
+//!
+//! ## Progress model
+//!
+//! The scheduler's objective (§4.3) is to *approach the isolated latency
+//! target* of every request — the quota guarantee is the deadline
+//! `D_j = arrival_j + target_j` (with `target_j = T[n%]`, or the QoS
+//! target in SLO mode, §6.5) — and, subject to that, to reduce latency
+//! unbiasedly. Each generation step therefore applies **laxity-guarded
+//! earliest-deadline-first**:
+//!
+//! * For each active request, the *laxity* is the slack left if the rest
+//!   of the request ran at its quota pace:
+//!   `L_j = D_j − now − (τ[n][last] − τ[n][next]) · safety`.
+//! * If any request's laxity is negative it is falling behind its quota
+//!   schedule (the paper's `P̃ = P_r/P_e < 1`); among the lagging
+//!   requests, the one with the **earliest deadline** is served first
+//!   (the tightest guarantee wins — laxity magnitude only breaks exact
+//!   ties). This is §4.3.2's fine-grained compensation with EDF inside
+//!   the at-risk tier, which also drives SLO mode (§6.5).
+//! * Otherwise everyone's guarantee is safe, and the request with the
+//!   earliest deadline takes the kernels: leaders finish early at full
+//!   speed, vacating the GPU (creating the very bubbles BLESS exploits)
+//!   while later requests ride their quota schedule and still meet their
+//!   targets.
+//!
+//! This reproduces the paper's Fig. 18(a) dynamics exactly: with 70%/30%
+//! quotas the 70% request has the earlier deadline, receives more kernels
+//! per squad, and completes first, while the 30% request is compensated
+//! whenever its laxity dips.
+
+use sim_core::{SimDuration, SimTime};
+
+use crate::deploy::DeployedApp;
+use crate::params::BlessParams;
+
+/// One application's share of a kernel squad.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SquadEntry {
+    /// Application index.
+    pub app: usize,
+    /// Kernel indices (into the app's kernel trace), in execution order.
+    pub kernels: Vec<usize>,
+}
+
+/// A generated kernel squad.
+#[derive(Clone, Debug, Default)]
+pub struct Squad {
+    /// Per-application kernel selections (apps with no kernels selected do
+    /// not appear).
+    pub entries: Vec<SquadEntry>,
+}
+
+impl Squad {
+    /// Total number of kernels in the squad.
+    pub fn len(&self) -> usize {
+        self.entries.iter().map(|e| e.kernels.len()).sum()
+    }
+
+    /// True if no kernels were selected.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The applications participating in this squad.
+    pub fn apps(&self) -> Vec<usize> {
+        self.entries.iter().map(|e| e.app).collect()
+    }
+}
+
+/// The scheduler's view of one active request during squad generation.
+#[derive(Clone, Debug)]
+pub struct ActiveRequest {
+    /// Application index.
+    pub app: usize,
+    /// Arrival time of the request.
+    pub arrival: SimTime,
+    /// Index of the next unscheduled kernel.
+    pub next_kernel: usize,
+}
+
+/// Generates a kernel squad from the active requests (§4.3.2).
+///
+/// `apps[i]` must hold the deployment data for application `i`. Generation
+/// stops when the squad reaches `params.max_kernels_per_squad` kernels or
+/// when the selected kernel is the last kernel of a request (the paper's
+/// two termination conditions).
+pub fn generate_squad(
+    now: SimTime,
+    active: &[ActiveRequest],
+    apps: &[DeployedApp],
+    params: &BlessParams,
+) -> Squad {
+    let now_ns = now.as_nanos() as f64;
+    let mut selections: Vec<Vec<usize>> = vec![Vec::new(); apps.len()];
+    struct Cand {
+        app: usize,
+        next: usize,
+        total: usize,
+        /// Absolute quota deadline (arrival + target), ns.
+        deadline_ns: f64,
+        /// Remaining time at quota pace for the unscheduled suffix, ns
+        /// (updated tentatively as kernels are selected).
+        remaining_quota_ns: f64,
+    }
+    let mut cands: Vec<Cand> = active
+        .iter()
+        .map(|r| {
+            let d = &apps[r.app];
+            let total = d.profile.kernel_count();
+            let stretch = d.schedule_stretch();
+            let tau_end = d.quota_tau(total - 1).as_nanos() as f64;
+            let tau_done = if r.next_kernel == 0 {
+                0.0
+            } else {
+                d.quota_tau(r.next_kernel - 1).as_nanos() as f64
+            };
+            Cand {
+                app: r.app,
+                next: r.next_kernel,
+                total,
+                deadline_ns: r.arrival.as_nanos() as f64 + d.target_latency().as_nanos() as f64,
+                remaining_quota_ns: (tau_end - tau_done) * stretch,
+            }
+        })
+        .filter(|c| c.next < c.total)
+        .collect();
+
+    // Safety factor on the quota-pace estimate: leaves headroom for
+    // interference and squad-boundary granularity so that deprioritized
+    // requests still land within their targets.
+    const LAXITY_SAFETY: f64 = 1.10;
+
+    let mut count = 0usize;
+    let mut rr_cursor = 0usize; // Round-robin cursor for the ablation mode.
+    while count < params.max_kernels_per_squad {
+        let live: Vec<usize> = (0..cands.len())
+            .filter(|&i| cands[i].next < cands[i].total)
+            .collect();
+        if live.is_empty() {
+            break;
+        }
+
+        let pick = if params.disable_multitask {
+            // Ablation: plain round-robin over live candidates.
+            let p = live[rr_cursor % live.len()];
+            rr_cursor += 1;
+            p
+        } else {
+            let laxity = |c: &Cand| c.deadline_ns - now_ns - c.remaining_quota_ns * LAXITY_SAFETY;
+            // Tier 1: lagging requests (negative laxity) first, the one
+            // with the earliest deadline leading — the tightest guarantee
+            // wins when several are behind schedule.
+            let at_risk = live
+                .iter()
+                .copied()
+                .filter(|&i| laxity(&cands[i]) < 0.0)
+                .min_by(|&a, &b| {
+                    cands[a]
+                        .deadline_ns
+                        .total_cmp(&cands[b].deadline_ns)
+                        .then(laxity(&cands[a]).total_cmp(&laxity(&cands[b])))
+                        .then(cands[a].app.cmp(&cands[b].app))
+                });
+            // Tier 2: everyone safe — earliest deadline finishes first.
+            at_risk.unwrap_or_else(|| {
+                live.iter()
+                    .copied()
+                    .min_by(|&a, &b| {
+                        cands[a]
+                            .deadline_ns
+                            .total_cmp(&cands[b].deadline_ns)
+                            .then(cands[a].app.cmp(&cands[b].app))
+                    })
+                    .expect("live is non-empty")
+            })
+        };
+
+        // Select one scheduling unit: a single kernel, or a whole
+        // CUDA-graph run of `graph_granularity` consecutive kernels
+        // (§6.10 — graphs are atomic scheduling units).
+        let c = &mut cands[pick];
+        let unit = params.graph_granularity.max(1);
+        let mut completed_request = false;
+        for _ in 0..unit {
+            if c.next >= c.total {
+                break;
+            }
+            selections[c.app].push(c.next);
+            c.remaining_quota_ns -= apps[c.app].quota_kernel_duration(c.next).as_nanos() as f64
+                * apps[c.app].schedule_stretch();
+            c.next += 1;
+            count += 1;
+            if c.next >= c.total {
+                completed_request = true;
+            }
+        }
+        if completed_request {
+            // Termination (2): the selected unit completed a request.
+            break;
+        }
+    }
+
+    Squad {
+        entries: selections
+            .into_iter()
+            .enumerate()
+            .filter(|(_, ks)| !ks.is_empty())
+            .map(|(app, kernels)| SquadEntry { app, kernels })
+            .collect(),
+    }
+}
+
+/// Host-side cost of generating and configuring a squad (§6.9: 3.7 µs
+/// multi-task scheduling + 2 µs configuration search + 1 µs squad
+/// generation, per scheduling unit). At graph granularity `G > 1` the
+/// per-unit cost is paid once per graph instead of once per kernel
+/// (§6.10).
+pub fn scheduling_cost(
+    squad_len: usize,
+    graph_granularity: usize,
+    costs: &gpu_sim::HostCosts,
+) -> SimDuration {
+    let units = squad_len.div_ceil(graph_granularity.max(1));
+    (costs.sched_per_kernel + costs.config_search_per_kernel + costs.squad_gen_per_kernel)
+        * units as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deploy::DeployedApp;
+    use dnn_models::{AppModel, ModelKind, Phase};
+    use gpu_sim::GpuSpec;
+    use profiler::ProfiledApp;
+
+    fn deploy(kind: ModelKind, quota: f64) -> DeployedApp {
+        let profile =
+            ProfiledApp::profile(&AppModel::build(kind, Phase::Inference), &GpuSpec::a100());
+        DeployedApp::new(profile, quota, None)
+    }
+
+    fn active(app: usize, next: usize) -> ActiveRequest {
+        ActiveRequest {
+            app,
+            arrival: SimTime::ZERO,
+            next_kernel: next,
+        }
+    }
+
+    #[test]
+    fn squad_respects_max_size() {
+        let apps = vec![
+            deploy(ModelKind::ResNet50, 0.5),
+            deploy(ModelKind::ResNet50, 0.5),
+        ];
+        let params = BlessParams {
+            max_kernels_per_squad: 6,
+            ..BlessParams::default()
+        };
+        let squad = generate_squad(SimTime::ZERO, &[active(0, 0), active(1, 0)], &apps, &params);
+        assert_eq!(squad.len(), 6);
+        assert_eq!(squad.apps().len(), 2);
+    }
+
+    #[test]
+    fn higher_quota_app_gets_more_kernels_when_both_lag() {
+        // Fig. 18: two R50s with 70%/30% quotas arriving simultaneously.
+        // After some wall time has passed, the 70% app's schedule is
+        // tighter, so it should receive more kernels per squad.
+        let apps = vec![
+            deploy(ModelKind::ResNet50, 0.7),
+            deploy(ModelKind::ResNet50, 0.3),
+        ];
+        let params = BlessParams {
+            max_kernels_per_squad: 20,
+            ..BlessParams::default()
+        };
+        // Both requests arrived 5 ms ago and have executed 10 kernels.
+        let now = SimTime::from_millis(5);
+        let squad = generate_squad(now, &[active(0, 10), active(1, 10)], &apps, &params);
+        let count = |app: usize| {
+            squad
+                .entries
+                .iter()
+                .find(|e| e.app == app)
+                .map_or(0, |e| e.kernels.len())
+        };
+        assert!(
+            count(0) > count(1),
+            "70% quota should get more kernels: {} vs {}",
+            count(0),
+            count(1)
+        );
+    }
+
+    #[test]
+    fn lagging_request_is_compensated() {
+        // Same model, same quota, but app 1's request has been waiting far
+        // longer relative to its progress -> it should dominate the squad.
+        let apps = vec![
+            deploy(ModelKind::ResNet50, 0.5),
+            deploy(ModelKind::ResNet50, 0.5),
+        ];
+        let params = BlessParams {
+            max_kernels_per_squad: 20,
+            ..BlessParams::default()
+        };
+        let reqs = [
+            ActiveRequest {
+                app: 0,
+                arrival: SimTime::from_millis(99),
+                next_kernel: 20,
+            },
+            ActiveRequest {
+                app: 1,
+                arrival: SimTime::ZERO, // waiting 100 ms, no progress
+                next_kernel: 0,
+            },
+        ];
+        let squad = generate_squad(SimTime::from_millis(100), &reqs, &apps, &params);
+        let count = |app: usize| {
+            squad
+                .entries
+                .iter()
+                .find(|e| e.app == app)
+                .map_or(0, |e| e.kernels.len())
+        };
+        assert!(count(1) > count(0), "{} vs {}", count(1), count(0));
+    }
+
+    #[test]
+    fn squad_ends_at_request_completion() {
+        let apps = vec![deploy(ModelKind::Vgg11, 1.0)];
+        let total = apps[0].profile.kernel_count();
+        let params = BlessParams {
+            max_kernels_per_squad: 1000,
+            ..BlessParams::default()
+        };
+        let squad = generate_squad(SimTime::ZERO, &[active(0, total - 3)], &apps, &params);
+        // Only the last three kernels fit before termination condition (2).
+        assert_eq!(squad.len(), 3);
+        let ks = &squad.entries[0].kernels;
+        assert_eq!(*ks.last().unwrap(), total - 1);
+    }
+
+    #[test]
+    fn kernels_are_selected_in_order_per_app() {
+        let apps = vec![
+            deploy(ModelKind::ResNet50, 0.5),
+            deploy(ModelKind::Vgg11, 0.5),
+        ];
+        let squad = generate_squad(
+            SimTime::from_millis(1),
+            &[active(0, 5), active(1, 2)],
+            &apps,
+            &BlessParams::default(),
+        );
+        for e in &squad.entries {
+            assert!(e.kernels.windows(2).all(|w| w[1] == w[0] + 1));
+        }
+    }
+
+    #[test]
+    fn round_robin_ablation_splits_evenly() {
+        let apps = vec![
+            deploy(ModelKind::ResNet50, 0.7),
+            deploy(ModelKind::ResNet50, 0.3),
+        ];
+        let params = BlessParams {
+            max_kernels_per_squad: 20,
+            disable_multitask: true,
+            ..BlessParams::default()
+        };
+        let squad = generate_squad(
+            SimTime::from_millis(5),
+            &[active(0, 10), active(1, 10)],
+            &apps,
+            &params,
+        );
+        let count = |app: usize| {
+            squad
+                .entries
+                .iter()
+                .find(|e| e.app == app)
+                .map_or(0, |e| e.kernels.len())
+        };
+        assert_eq!(count(0), count(1), "round-robin ignores quotas");
+    }
+
+    #[test]
+    fn empty_active_set_gives_empty_squad() {
+        let apps = vec![deploy(ModelKind::Vgg11, 1.0)];
+        let squad = generate_squad(SimTime::ZERO, &[], &apps, &BlessParams::default());
+        assert!(squad.is_empty());
+        assert_eq!(squad.len(), 0);
+    }
+}

@@ -1,0 +1,120 @@
+//! Property tests on the multi-task scheduler's squad generation.
+
+use bless::{
+    determine_config, generate_squad, ActiveRequest, BlessParams, DeployedApp, ExecConfig,
+};
+use dnn_models::{AppModel, ModelKind, Phase};
+use gpu_sim::GpuSpec;
+use profiler::ProfiledApp;
+use proptest::prelude::*;
+use sim_core::SimTime;
+use std::sync::OnceLock;
+
+fn deployments() -> &'static Vec<ProfiledApp> {
+    static CACHE: OnceLock<Vec<ProfiledApp>> = OnceLock::new();
+    CACHE.get_or_init(|| {
+        let spec = GpuSpec::a100();
+        [ModelKind::Vgg11, ModelKind::ResNet50, ModelKind::Bert]
+            .iter()
+            .map(|&k| ProfiledApp::profile(&AppModel::build(k, Phase::Inference), &spec))
+            .collect()
+    })
+}
+
+fn apps_for(quotas: &[f64]) -> Vec<DeployedApp> {
+    let profiles = deployments();
+    quotas
+        .iter()
+        .enumerate()
+        .map(|(i, &q)| DeployedApp::new(profiles[i % profiles.len()].clone(), q, None))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Squads never exceed the size cap, select each app's kernels in
+    /// order without duplicates, and never select beyond the trace.
+    #[test]
+    fn prop_squads_are_well_formed(
+        max in 1usize..120,
+        starts in proptest::collection::vec(0usize..80, 1..3),
+        now_ms in 0u64..50,
+    ) {
+        let quotas: Vec<f64> = vec![1.0 / starts.len() as f64; starts.len()];
+        let apps = apps_for(&quotas);
+        let active: Vec<ActiveRequest> = starts
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| ActiveRequest {
+                app: i,
+                arrival: SimTime::ZERO,
+                next_kernel: s.min(apps[i].profile.kernel_count() - 1),
+            })
+            .collect();
+        let params = BlessParams { max_kernels_per_squad: max, ..BlessParams::default() };
+        let squad = generate_squad(SimTime::from_millis(now_ms), &active, &apps, &params);
+
+        prop_assert!(squad.len() <= max);
+        for e in &squad.entries {
+            let total = apps[e.app].profile.kernel_count();
+            // Consecutive, starting at the request pointer.
+            let start = active.iter().find(|r| r.app == e.app).unwrap().next_kernel;
+            for (i, &k) in e.kernels.iter().enumerate() {
+                prop_assert_eq!(k, start + i);
+                prop_assert!(k < total);
+            }
+        }
+    }
+
+    /// The determiner's SP configurations always use every partition and
+    /// give each participant at least one slice; its prediction is never
+    /// worse than the best strict split it evaluated.
+    #[test]
+    fn prop_determiner_configs_are_valid(
+        counts in proptest::collection::vec(3usize..25, 2..4),
+    ) {
+        let quotas: Vec<f64> = vec![1.0 / counts.len() as f64; counts.len()];
+        let apps = apps_for(&quotas);
+        let active: Vec<ActiveRequest> = counts
+            .iter()
+            .enumerate()
+            .map(|(i, _)| ActiveRequest { app: i, arrival: SimTime::ZERO, next_kernel: 1 })
+            .collect();
+        let params = BlessParams::default();
+        let squad = generate_squad(SimTime::from_millis(5), &active, &apps, &params);
+        prop_assume!(squad.entries.len() >= 2);
+        let choice = determine_config(&squad, &apps, 108);
+        match &choice.config {
+            ExecConfig::Sp { partitions } => {
+                prop_assert_eq!(partitions.len(), squad.entries.len());
+                prop_assert_eq!(partitions.iter().sum::<u32>(), 18);
+                prop_assert!(partitions.iter().all(|&p| p >= 1));
+            }
+            ExecConfig::Nsp => {}
+        }
+        prop_assert!(choice.evaluated >= 1);
+    }
+
+    /// A lagging request (old arrival, little progress) always receives
+    /// at least as many kernels as an identical fresh one — the §4.3.2
+    /// compensation property.
+    #[test]
+    fn prop_lagging_requests_are_compensated(
+        wait_ms in 5u64..200,
+    ) {
+        let apps = apps_for(&[0.5, 0.5]);
+        let now = SimTime::from_millis(wait_ms + 1);
+        let reqs = [
+            ActiveRequest { app: 0, arrival: SimTime::from_millis(wait_ms), next_kernel: 0 },
+            ActiveRequest { app: 1, arrival: SimTime::ZERO, next_kernel: 0 },
+        ];
+        let squad = generate_squad(now, &reqs, &apps, &BlessParams::default());
+        let count = |app: usize| {
+            squad.entries.iter().find(|e| e.app == app).map_or(0, |e| e.kernels.len())
+        };
+        // App 1 has waited `wait_ms` longer with zero progress: it must
+        // not be starved below its peer.
+        prop_assert!(count(1) >= count(0), "{} vs {}", count(1), count(0));
+    }
+}

@@ -1,0 +1,25 @@
+#![warn(missing_docs)]
+
+//! Synthetic DNN application models calibrated to the BLESS paper.
+//!
+//! The paper evaluates five models — VGG-11, ResNet-50, ResNet-101, NasNet
+//! and BERT — each as an inference service (TVM/nnfusion kernels) and a
+//! training job (PyTorch kernels). We cannot ship the authors' compiled
+//! kernels, so this crate generates *synthetic kernel traces* with the
+//! statistics that matter to a GPU-sharing scheduler, calibrated to the
+//! paper's Table 1:
+//!
+//! * exact kernel counts (31 … 5035 kernels per request),
+//! * solo-run durations on a full A100 (10.2 ms … 186.1 ms),
+//! * kernel-duration heterogeneity (3 µs … 3 ms),
+//! * solo GPU utilization (Fig. 1: VGG-11 81%, ResNet-50 86%), and
+//! * tensor-core usage for BERT inference.
+//!
+//! Generation is fully deterministic: the same model always produces the
+//! same kernel list.
+
+pub mod gen;
+pub mod micro;
+pub mod model;
+
+pub use model::{AppModel, ModelKind, Phase};

@@ -1,0 +1,1563 @@
+//! The fluid-model GPU execution engine.
+//!
+//! The engine tracks *instances* (launched kernels) through their lifecycle
+//!
+//! ```text
+//! launched --(launch delay)--> queued --(head of queue)--> running --> done
+//! ```
+//!
+//! Running compute kernels are malleable jobs: on every allocation-changing
+//! event (a kernel arriving at the device, starting, or finishing; a context
+//! cap changing) the engine re-divides the SM pools with
+//! [`crate::alloc::allocate_sms`], applies the interference model, and
+//! recomputes every running kernel's completion time from its remaining
+//! work and new progress rate. Stale completion events are invalidated with
+//! an epoch counter. Memcpy kernels run the same way on the two PCIe DMA
+//! engines (one per direction), sharing bandwidth equally.
+//!
+//! Host-side behaviour is modelled with a single host timeline
+//! (`host_free`): launching a kernel occupies the host for the launch
+//! overhead and the kernel only reaches its device queue afterwards, which
+//! reproduces both the paper's 3 µs launch gap at squad start and the
+//! "overspending" hazard of §6.9 (a scheduler that spends more host time
+//! per kernel than the kernels' device time starves the GPU).
+
+use std::collections::VecDeque;
+
+use sim_core::{EventQueue, SimDuration, SimTime};
+
+use crate::alloc::{allocate_sms, CtxGroup, KernelDemand};
+use crate::kernel::{KernelDesc, KernelKind};
+use crate::spec::{GpuSpec, HostCosts, HwPolicy};
+
+/// Identifier of a GPU context.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CtxId(pub u32);
+
+/// Identifier of a device queue (CUDA-stream analogue).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QueueId(pub u32);
+
+/// Handle of one launched kernel instance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct KernelHandle(pub u64);
+
+/// How a context constrains the kernels launched into it.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum CtxKind {
+    /// No SM restriction: kernels may use the whole shared pool.
+    Default,
+    /// MPS SM-affinity context: kernels in this context may collectively
+    /// occupy at most `sm_cap` SMs of the shared pool.
+    MpsAffinity {
+        /// Maximum concurrent SMs for this context.
+        sm_cap: u32,
+    },
+    /// MIG partition: a hard reservation of `sm_count` SMs — and the
+    /// proportional device-memory slice — that no other context can
+    /// touch, and beyond which this context can never grow.
+    MigPartition {
+        /// Number of SMs reserved for this partition.
+        sm_count: u32,
+    },
+}
+
+/// Errors returned by resource-management calls.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GpuError {
+    /// Not enough free device memory.
+    OutOfMemory {
+        /// MiB requested.
+        requested_mib: u64,
+        /// MiB still available.
+        available_mib: u64,
+    },
+    /// The MIG partitions would reserve more SMs than the GPU has.
+    MigBudgetExceeded {
+        /// SMs requested for the new partition.
+        requested_sms: u32,
+        /// SMs not yet reserved.
+        available_sms: u32,
+    },
+    /// An operation referenced an unknown context.
+    UnknownContext(CtxId),
+    /// An operation referenced an unknown queue.
+    UnknownQueue(QueueId),
+    /// The operation is invalid for the context's kind (e.g. resizing the
+    /// cap of a MIG partition).
+    InvalidOperation(&'static str),
+}
+
+impl std::fmt::Display for GpuError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GpuError::OutOfMemory {
+                requested_mib,
+                available_mib,
+            } => write!(
+                f,
+                "out of device memory: requested {requested_mib} MiB, {available_mib} MiB free"
+            ),
+            GpuError::MigBudgetExceeded {
+                requested_sms,
+                available_sms,
+            } => write!(
+                f,
+                "MIG budget exceeded: requested {requested_sms} SMs, {available_sms} unreserved"
+            ),
+            GpuError::UnknownContext(c) => write!(f, "unknown context {c:?}"),
+            GpuError::UnknownQueue(q) => write!(f, "unknown queue {q:?}"),
+            GpuError::InvalidOperation(msg) => write!(f, "invalid operation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GpuError {}
+
+/// Lifecycle state of a kernel instance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InstState {
+    /// Launched on the host; in flight to the device.
+    InFlight,
+    /// In its device queue, waiting to reach the head.
+    Queued,
+    /// Executing (possibly at rate 0 if starved of SMs).
+    Running,
+    /// Finished.
+    Done,
+}
+
+#[derive(Clone, Debug)]
+struct Context {
+    kind: CtxKind,
+    /// Pool index: 0 is the shared pool; each MIG partition gets its own.
+    pool: usize,
+}
+
+#[derive(Debug)]
+struct Queue {
+    ctx: CtxId,
+    /// Instances waiting behind the head (the head itself is `running`).
+    waiting: VecDeque<usize>,
+    /// Slot index of the currently running head, if any.
+    running: Option<usize>,
+    /// Busy SM·ns integral attributed to this queue.
+    busy_integral: f64,
+    /// Device arrival time of the last submitted kernel. CUDA streams are
+    /// FIFO in *submission* order, so later submissions may never arrive
+    /// before earlier ones even when an extra delay (context-switch
+    /// vacuum) was applied to an earlier launch.
+    last_arrival: SimTime,
+}
+
+#[derive(Debug)]
+struct Instance {
+    desc: KernelDesc,
+    queue: QueueId,
+    tag: u64,
+    state: InstState,
+    /// Remaining work: SM·ns for compute, bytes for memcpy.
+    remaining: f64,
+    /// Current progress rate: SM (work/ns) for compute, bytes/ns for memcpy.
+    rate: f64,
+    /// Current SM allocation (compute only; for stats/timeline).
+    alloc_sms: f64,
+    /// Dispatch order among running kernels (greedy-sticky priority).
+    run_seq: u64,
+    /// Epoch of this instance's currently valid completion event; older
+    /// Complete events are stale. Unchanged rates keep their event valid
+    /// across reallocations, so the event heap is not churned for
+    /// bystander kernels.
+    event_epoch: u64,
+    /// Earliest instant the kernel may begin when paying the contended
+    /// dispatch gap (unrestricted context with co-resident tenants).
+    /// Set once: a kernel never pays the arbitration gap twice.
+    dispatch_ready: Option<SimTime>,
+    started_at: Option<SimTime>,
+    finished_at: Option<SimTime>,
+}
+
+/// One recorded execution segment of a kernel (for fine-grained timelines,
+/// paper Fig. 18).
+#[derive(Clone, Debug)]
+pub struct TimelineSegment {
+    /// The kernel instance.
+    pub handle: KernelHandle,
+    /// Queue it ran on.
+    pub queue: QueueId,
+    /// Driver-assigned tag.
+    pub tag: u64,
+    /// Segment start.
+    pub from: SimTime,
+    /// Segment end.
+    pub to: SimTime,
+    /// SMs held during the segment (0 for memcpy segments).
+    pub sms: f64,
+}
+
+#[derive(Debug)]
+enum DevEv {
+    /// A launched kernel reaches its device queue.
+    Arrive { slot: usize },
+    /// Predicted completion of a running instance; valid only if `epoch`
+    /// matches the engine's current allocation epoch.
+    Complete { slot: usize, epoch: u64 },
+    /// Host wakeup requested by the driver.
+    HostWake { token: u64 },
+    /// Internal re-allocation poke (dispatch-gap expiry).
+    Poke,
+}
+
+/// Externally visible outcome of one engine step.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StepOutput {
+    /// A kernel finished.
+    KernelDone {
+        /// The finished instance.
+        handle: KernelHandle,
+        /// Queue it ran on.
+        queue: QueueId,
+        /// Driver-assigned tag.
+        tag: u64,
+    },
+    /// A host wakeup fired.
+    HostWake {
+        /// The token passed to [`Gpu::wake_at`].
+        token: u64,
+    },
+}
+
+/// The simulated GPU plus its host timeline.
+pub struct Gpu {
+    spec: GpuSpec,
+    costs: HostCosts,
+    now: SimTime,
+    host_free: SimTime,
+    contexts: Vec<Context>,
+    queues: Vec<Queue>,
+    instances: Vec<Instance>,
+    events: EventQueue<DevEv>,
+    epoch: u64,
+    /// SM capacity of each pool (pool 0 = shared).
+    pool_capacity: Vec<f64>,
+    mig_reserved_sms: u32,
+    mem_used_mib: u64,
+    busy_sm_integral: f64,
+    last_settle: SimTime,
+    timeline: Option<Vec<TimelineSegment>>,
+    /// Count of instances not yet `Done`.
+    live_instances: usize,
+    /// Driver-posted notices drained by the simulation loop (e.g. request
+    /// completions feeding closed-loop clients).
+    notices: Vec<u64>,
+    next_run_seq: u64,
+}
+
+impl Gpu {
+    /// Creates a GPU with the given hardware spec and host cost model.
+    pub fn new(spec: GpuSpec, costs: HostCosts) -> Self {
+        let shared = spec.num_sms as f64;
+        Gpu {
+            spec,
+            costs,
+            now: SimTime::ZERO,
+            host_free: SimTime::ZERO,
+            contexts: Vec::new(),
+            queues: Vec::new(),
+            instances: Vec::new(),
+            events: EventQueue::new(),
+            epoch: 0,
+            pool_capacity: vec![shared],
+            mig_reserved_sms: 0,
+            mem_used_mib: 0,
+            busy_sm_integral: 0.0,
+            last_settle: SimTime::ZERO,
+            timeline: None,
+            live_instances: 0,
+            notices: Vec::new(),
+            next_run_seq: 0,
+        }
+    }
+
+    /// Creates an A100 with the paper's host costs.
+    pub fn a100() -> Self {
+        Self::new(GpuSpec::a100(), HostCosts::paper())
+    }
+
+    /// The hardware spec.
+    pub fn spec(&self) -> &GpuSpec {
+        &self.spec
+    }
+
+    /// The host cost model.
+    pub fn costs(&self) -> &HostCosts {
+        &self.costs
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The instant at which the host thread becomes free.
+    pub fn host_free_at(&self) -> SimTime {
+        self.host_free.max(self.now)
+    }
+
+    /// Enables per-kernel timeline recording (costs memory; off by default).
+    pub fn enable_timeline(&mut self) {
+        if self.timeline.is_none() {
+            self.timeline = Some(Vec::new());
+        }
+    }
+
+    /// The recorded timeline segments, if recording was enabled.
+    pub fn timeline(&self) -> &[TimelineSegment] {
+        self.timeline.as_deref().unwrap_or(&[])
+    }
+
+    // ------------------------------------------------------------------
+    // Resource management
+    // ------------------------------------------------------------------
+
+    /// Creates a GPU context.
+    ///
+    /// MPS contexts consume [`GpuSpec::mps_context_mib`] of device memory
+    /// (§6.9). MIG partitions additionally reserve their SMs exclusively.
+    pub fn create_context(&mut self, kind: CtxKind) -> Result<CtxId, GpuError> {
+        let pool = match kind {
+            CtxKind::Default => 0,
+            CtxKind::MpsAffinity { sm_cap } => {
+                if sm_cap == 0 || sm_cap > self.spec.num_sms {
+                    return Err(GpuError::InvalidOperation(
+                        "MPS affinity cap must be in 1..=num_sms",
+                    ));
+                }
+                self.alloc_memory(self.spec.mps_context_mib)?;
+                0
+            }
+            CtxKind::MigPartition { sm_count } => {
+                let available = self.spec.num_sms - self.mig_reserved_sms;
+                if sm_count == 0 || sm_count > available {
+                    return Err(GpuError::MigBudgetExceeded {
+                        requested_sms: sm_count,
+                        available_sms: available,
+                    });
+                }
+                // A MIG instance carves out its proportional device-memory
+                // slice along with its SMs — the tenant's allocations then
+                // live inside that reservation (no extra `alloc_memory`
+                // needed, and no access to other slices' memory).
+                let mem_slice = self.spec.memory_mib * sm_count as u64 / self.spec.num_sms as u64;
+                self.alloc_memory(mem_slice)?;
+                self.mig_reserved_sms += sm_count;
+                self.pool_capacity[0] = (self.spec.num_sms - self.mig_reserved_sms) as f64;
+                self.pool_capacity.push(sm_count as f64);
+                self.reallocate();
+                self.pool_capacity.len() - 1
+            }
+        };
+        let id = CtxId(self.contexts.len() as u32);
+        self.contexts.push(Context { kind, pool });
+        Ok(id)
+    }
+
+    /// Creates a device queue bound to `ctx`.
+    pub fn create_queue(&mut self, ctx: CtxId) -> Result<QueueId, GpuError> {
+        if ctx.0 as usize >= self.contexts.len() {
+            return Err(GpuError::UnknownContext(ctx));
+        }
+        let id = QueueId(self.queues.len() as u32);
+        self.queues.push(Queue {
+            ctx,
+            waiting: VecDeque::new(),
+            running: None,
+            busy_integral: 0.0,
+            last_arrival: SimTime::ZERO,
+        });
+        Ok(id)
+    }
+
+    /// Changes the SM-affinity cap of an MPS context (used by adaptive
+    /// baselines such as GSLICE). Takes effect immediately.
+    pub fn set_mps_cap(&mut self, ctx: CtxId, sm_cap: u32) -> Result<(), GpuError> {
+        let c = self
+            .contexts
+            .get_mut(ctx.0 as usize)
+            .ok_or(GpuError::UnknownContext(ctx))?;
+        match c.kind {
+            CtxKind::MpsAffinity { .. } => {
+                if sm_cap == 0 || sm_cap > self.spec.num_sms {
+                    return Err(GpuError::InvalidOperation(
+                        "MPS affinity cap must be in 1..=num_sms",
+                    ));
+                }
+                c.kind = CtxKind::MpsAffinity { sm_cap };
+                self.reallocate();
+                Ok(())
+            }
+            _ => Err(GpuError::InvalidOperation(
+                "set_mps_cap only applies to MPS affinity contexts",
+            )),
+        }
+    }
+
+    /// Reserves `mib` of device memory (application weights/activations).
+    pub fn alloc_memory(&mut self, mib: u64) -> Result<(), GpuError> {
+        let available = self.spec.memory_mib - self.mem_used_mib;
+        if mib > available {
+            return Err(GpuError::OutOfMemory {
+                requested_mib: mib,
+                available_mib: available,
+            });
+        }
+        self.mem_used_mib += mib;
+        Ok(())
+    }
+
+    /// Releases previously reserved device memory.
+    pub fn free_memory(&mut self, mib: u64) {
+        self.mem_used_mib = self.mem_used_mib.saturating_sub(mib);
+    }
+
+    /// Device memory currently reserved, in MiB.
+    pub fn memory_used_mib(&self) -> u64 {
+        self.mem_used_mib
+    }
+
+    // ------------------------------------------------------------------
+    // Host operations
+    // ------------------------------------------------------------------
+
+    /// Occupies the host thread for `d` (scheduling work, synchronization).
+    pub fn charge_host(&mut self, d: SimDuration) {
+        self.host_free = self.host_free.max(self.now) + d;
+    }
+
+    /// Launches a kernel into `queue`.
+    ///
+    /// The launch occupies the host for the per-kernel launch overhead; the
+    /// kernel reaches its device queue when the host call returns.
+    pub fn launch(
+        &mut self,
+        queue: QueueId,
+        desc: KernelDesc,
+        tag: u64,
+    ) -> Result<KernelHandle, GpuError> {
+        self.launch_delayed(queue, desc, tag, SimDuration::ZERO)
+    }
+
+    /// Launches a kernel whose device arrival is additionally delayed by
+    /// `extra` (models the 50 µs context-switch vacuum of §6.9, which stalls
+    /// only this queue).
+    pub fn launch_delayed(
+        &mut self,
+        queue: QueueId,
+        desc: KernelDesc,
+        tag: u64,
+        extra: SimDuration,
+    ) -> Result<KernelHandle, GpuError> {
+        if queue.0 as usize >= self.queues.len() {
+            return Err(GpuError::UnknownQueue(queue));
+        }
+        self.charge_host(self.costs.kernel_launch);
+        let arrive_at = (self.host_free + extra).max(self.queues[queue.0 as usize].last_arrival);
+        self.queues[queue.0 as usize].last_arrival = arrive_at;
+        Ok(self.enqueue_instance(queue, desc, tag, arrive_at))
+    }
+
+    /// Registers one launched instance and schedules its device arrival.
+    fn enqueue_instance(
+        &mut self,
+        queue: QueueId,
+        desc: KernelDesc,
+        tag: u64,
+        arrive_at: SimTime,
+    ) -> KernelHandle {
+        let remaining = match desc.kind {
+            KernelKind::Compute { .. } => desc.work,
+            KernelKind::MemcpyH2D { bytes } | KernelKind::MemcpyD2H { bytes } => bytes as f64,
+        };
+        let slot = self.instances.len();
+        self.instances.push(Instance {
+            desc,
+            queue,
+            tag,
+            state: InstState::InFlight,
+            remaining,
+            rate: 0.0,
+            alloc_sms: 0.0,
+            run_seq: u64::MAX,
+            event_epoch: 0,
+            dispatch_ready: None,
+            started_at: None,
+            finished_at: None,
+        });
+        self.live_instances += 1;
+        self.events.push(arrive_at, DevEv::Arrive { slot });
+        KernelHandle(slot as u64)
+    }
+
+    /// Launches a group of kernels as one unit (a CUDA-graph analogue):
+    /// the whole group costs a single host launch overhead and arrives at
+    /// the device together, in order.
+    ///
+    /// This is the mechanism behind §6.10's "launching a sequence of
+    /// kernels to the GPU with a single API call".
+    pub fn launch_graph(
+        &mut self,
+        queue: QueueId,
+        group: Vec<(KernelDesc, u64)>,
+    ) -> Result<Vec<KernelHandle>, GpuError> {
+        if queue.0 as usize >= self.queues.len() {
+            return Err(GpuError::UnknownQueue(queue));
+        }
+        if group.is_empty() {
+            return Ok(Vec::new());
+        }
+        self.charge_host(self.costs.kernel_launch);
+        let arrive_at = self
+            .host_free
+            .max(self.queues[queue.0 as usize].last_arrival);
+        self.queues[queue.0 as usize].last_arrival = arrive_at;
+        let handles = group
+            .into_iter()
+            .map(|(desc, tag)| self.enqueue_instance(queue, desc, tag, arrive_at))
+            .collect();
+        Ok(handles)
+    }
+
+    /// Posts a notice for the simulation loop (drivers use this to signal
+    /// request completions to closed-loop workload clients).
+    pub fn post_notice(&mut self, notice: u64) {
+        self.notices.push(notice);
+    }
+
+    /// Drains all posted notices (called by the simulation loop).
+    pub fn drain_notices(&mut self) -> Vec<u64> {
+        std::mem::take(&mut self.notices)
+    }
+
+    /// Requests a [`StepOutput::HostWake`] callback at `at`.
+    pub fn wake_at(&mut self, at: SimTime, token: u64) {
+        self.events
+            .push(at.max(self.now), DevEv::HostWake { token });
+    }
+
+    /// Requests a wakeup for the instant the host thread becomes free —
+    /// i.e. after all previously charged host work completes.
+    pub fn wake_when_host_free(&mut self, token: u64) {
+        self.wake_at(self.host_free_at(), token);
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection
+    // ------------------------------------------------------------------
+
+    /// Lifecycle state of an instance.
+    pub fn kernel_state(&self, h: KernelHandle) -> InstState {
+        self.instances[h.0 as usize].state
+    }
+
+    /// When the instance finished, if it has.
+    pub fn kernel_finished_at(&self, h: KernelHandle) -> Option<SimTime> {
+        self.instances[h.0 as usize].finished_at
+    }
+
+    /// When the instance started running, if it has.
+    pub fn kernel_started_at(&self, h: KernelHandle) -> Option<SimTime> {
+        self.instances[h.0 as usize].started_at
+    }
+
+    /// The name of the launched kernel.
+    pub fn kernel_name(&self, h: KernelHandle) -> &str {
+        &self.instances[h.0 as usize].desc.name
+    }
+
+    /// Number of instances that have not yet completed.
+    pub fn live_instances(&self) -> usize {
+        self.live_instances
+    }
+
+    /// True when no kernels are in flight, queued, or running.
+    pub fn is_device_idle(&self) -> bool {
+        self.live_instances == 0
+    }
+
+    /// Total busy SM·seconds accumulated so far (for utilization metrics).
+    pub fn busy_sm_seconds(&self) -> f64 {
+        self.busy_sm_integral / 1e9
+    }
+
+    /// Busy SM·seconds attributed to one queue.
+    pub fn queue_busy_sm_seconds(&self, queue: QueueId) -> f64 {
+        self.queues[queue.0 as usize].busy_integral / 1e9
+    }
+
+    /// Average GPU utilization over `[from, to]` as a fraction of
+    /// `num_sms · (to - from)`. Requires `to > from`.
+    pub fn utilization(&self, from: SimTime, to: SimTime, busy_start: f64, busy_end: f64) -> f64 {
+        let span = to.duration_since(from).as_nanos() as f64;
+        if span <= 0.0 {
+            return 0.0;
+        }
+        ((busy_end - busy_start) * 1e9 / (self.spec.num_sms as f64 * span)).clamp(0.0, 1.0)
+    }
+
+    /// Earliest pending device event, if any.
+    pub fn peek_event_time(&self) -> Option<SimTime> {
+        self.events.peek_time()
+    }
+
+    // ------------------------------------------------------------------
+    // Engine core
+    // ------------------------------------------------------------------
+
+    /// Advances the clock to `t` without processing events at `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an event earlier than `t` is pending, or if `t` is in the
+    /// past — both indicate a driver/loop bug.
+    pub fn advance_to(&mut self, t: SimTime) {
+        assert!(t >= self.now, "time cannot go backwards");
+        if let Some(et) = self.events.peek_time() {
+            assert!(et >= t, "advance_to would skip over a pending event");
+        }
+        self.settle(t);
+        self.now = t;
+    }
+
+    /// Processes the next pending event; returns an externally visible
+    /// output if the event produced one (stale completion events return
+    /// `None`). Returns `None` with no state change when no events remain.
+    pub fn step(&mut self) -> Option<StepOutput> {
+        let (t, ev) = self.events.pop()?;
+        debug_assert!(t >= self.now);
+        self.settle(t);
+        self.now = t;
+        match ev {
+            DevEv::Arrive { slot } => {
+                self.instances[slot].state = InstState::Queued;
+                let q = self.instances[slot].queue.0 as usize;
+                self.queues[q].waiting.push_back(slot);
+                self.try_start_head(q);
+                self.reallocate();
+                None
+            }
+            DevEv::Complete { slot, epoch } => {
+                if epoch != self.instances[slot].event_epoch
+                    || self.instances[slot].state != InstState::Running
+                {
+                    return None; // Stale prediction.
+                }
+                // Guard against float residue: if rounding left real work
+                // behind, reschedule the completion instead of dropping it
+                // (a dropped matching-epoch event would strand the kernel
+                // until some unrelated reallocation).
+                if self.instances[slot].remaining > 1e-6 {
+                    self.push_completion(slot);
+                    return None;
+                }
+                self.finish(slot);
+                let inst = &self.instances[slot];
+                Some(StepOutput::KernelDone {
+                    handle: KernelHandle(slot as u64),
+                    queue: inst.queue,
+                    tag: inst.tag,
+                })
+            }
+            DevEv::HostWake { token } => Some(StepOutput::HostWake { token }),
+            DevEv::Poke => {
+                self.reallocate();
+                None
+            }
+        }
+    }
+
+    /// Runs the device forward until no events remain, discarding outputs.
+    /// Useful in tests and for solo-run profiling where the driver does not
+    /// react to completions.
+    pub fn drain(&mut self) {
+        while self.step().is_some() || !self.events.is_empty() {}
+    }
+
+    fn finish(&mut self, slot: usize) {
+        let inst = &mut self.instances[slot];
+        inst.state = InstState::Done;
+        inst.remaining = 0.0;
+        inst.rate = 0.0;
+        inst.alloc_sms = 0.0;
+        inst.finished_at = Some(self.now);
+        self.live_instances -= 1;
+        let q = inst.queue.0 as usize;
+        debug_assert_eq!(self.queues[q].running, Some(slot));
+        self.queues[q].running = None;
+        self.try_start_head(q);
+        self.reallocate();
+    }
+
+    fn try_start_head(&mut self, q: usize) {
+        if self.queues[q].running.is_some() {
+            return;
+        }
+        if let Some(slot) = self.queues[q].waiting.pop_front() {
+            self.queues[q].running = Some(slot);
+            let inst = &mut self.instances[slot];
+            inst.state = InstState::Running;
+            inst.run_seq = self.next_run_seq;
+            self.next_run_seq += 1;
+            inst.started_at = Some(self.now);
+        }
+    }
+
+    /// Integrates all running work from `last_settle` to `t` and clamps
+    /// remaining work at zero. Records timeline segments and busy
+    /// integrals.
+    fn settle(&mut self, t: SimTime) {
+        if t <= self.last_settle {
+            return;
+        }
+        let dt = t.duration_since(self.last_settle).as_nanos() as f64;
+        for q in 0..self.queues.len() {
+            let Some(slot) = self.queues[q].running else {
+                continue;
+            };
+            let (rate, alloc, tag, queue, is_compute) = {
+                let inst = &self.instances[slot];
+                (
+                    inst.rate,
+                    inst.alloc_sms,
+                    inst.tag,
+                    inst.queue,
+                    inst.desc.kind.is_compute(),
+                )
+            };
+            if rate > 0.0 {
+                let inst = &mut self.instances[slot];
+                inst.remaining = (inst.remaining - rate * dt).max(0.0);
+            }
+            if is_compute && alloc > 0.0 {
+                let contrib = alloc * dt;
+                self.busy_sm_integral += contrib;
+                self.queues[q].busy_integral += contrib;
+                if let Some(tl) = &mut self.timeline {
+                    tl.push(TimelineSegment {
+                        handle: KernelHandle(slot as u64),
+                        queue,
+                        tag,
+                        from: self.last_settle,
+                        to: t,
+                        sms: alloc,
+                    });
+                }
+            }
+        }
+        self.last_settle = t;
+    }
+
+    /// Recomputes SM allocations, interference, rates, and completion
+    /// predictions for every running instance.
+    fn reallocate(&mut self) {
+        self.settle(self.now);
+        self.epoch += 1;
+
+        // Gather running compute kernels and running memcpys.
+        let mut compute: Vec<usize> = Vec::new();
+        let mut h2d: Vec<usize> = Vec::new();
+        let mut d2h: Vec<usize> = Vec::new();
+        for q in &self.queues {
+            if let Some(slot) = q.running {
+                match self.instances[slot].desc.kind {
+                    KernelKind::Compute { .. } => compute.push(slot),
+                    KernelKind::MemcpyH2D { .. } => h2d.push(slot),
+                    KernelKind::MemcpyD2H { .. } => d2h.push(slot),
+                }
+            }
+        }
+
+        // SM allocation for compute kernels, per the hardware policy.
+        let groups: Vec<CtxGroup> = self
+            .contexts
+            .iter()
+            .map(|c| CtxGroup {
+                pool: c.pool,
+                sm_cap: match c.kind {
+                    CtxKind::Default => f64::INFINITY,
+                    CtxKind::MpsAffinity { sm_cap } => sm_cap as f64,
+                    CtxKind::MigPartition { sm_count } => sm_count as f64,
+                },
+            })
+            .collect();
+        let alloc = match self.spec.hw_policy {
+            HwPolicy::FairShare => {
+                let demands: Vec<KernelDemand> = compute
+                    .iter()
+                    .map(|&slot| {
+                        let inst = &self.instances[slot];
+                        KernelDemand {
+                            id: slot,
+                            ctx_group: self.queues[inst.queue.0 as usize].ctx.0 as usize,
+                            kernel_cap: inst.desc.max_sms as f64,
+                        }
+                    })
+                    .collect();
+                allocate_sms(&self.pool_capacity, &groups, &demands)
+            }
+            HwPolicy::GreedySticky => self.sticky_allocate(&compute, &groups),
+        };
+
+        // Interference: each kernel is slowed by the memory traffic of its
+        // co-runners, proportionally to the co-runners' active SM share and
+        // partly to the victim's own memory intensity.
+        let total_traffic: f64 = compute
+            .iter()
+            .zip(&alloc)
+            .map(|(&slot, &a)| {
+                self.instances[slot].desc.mem_intensity * (a / self.spec.num_sms as f64)
+            })
+            .sum();
+
+        for (i, &slot) in compute.iter().enumerate() {
+            let a = alloc[i];
+            let inst = &self.instances[slot];
+            let own = inst.desc.mem_intensity * (a / self.spec.num_sms as f64);
+            let pressure = (total_traffic - own).max(0.0);
+            let sensitivity = self.spec.interference_base
+                + (1.0 - self.spec.interference_base) * inst.desc.mem_intensity;
+            let slowdown = (1.0 + self.spec.interference_alpha * pressure * sensitivity)
+                .min(self.spec.interference_cap);
+            let new_rate = if a > 0.0 { a / slowdown } else { 0.0 };
+            let unchanged = (self.instances[slot].rate - new_rate).abs() < 1e-12
+                && self.instances[slot].rate > 0.0;
+            let inst = &mut self.instances[slot];
+            inst.alloc_sms = a;
+            inst.rate = new_rate;
+            if !unchanged {
+                // Rate changed (or the kernel just started/stalled):
+                // reschedule its completion. Kernels whose rate is
+                // untouched keep their already-scheduled event.
+                self.push_completion(slot);
+            }
+        }
+
+        // DMA engines: equal bandwidth sharing per direction.
+        for dir in [&h2d, &d2h] {
+            if dir.is_empty() {
+                continue;
+            }
+            let per = self.spec.pcie_bytes_per_sec / dir.len() as f64 / 1e9; // bytes per ns
+            for &slot in dir.iter() {
+                let unchanged = (self.instances[slot].rate - per).abs() < 1e-18
+                    && self.instances[slot].rate > 0.0;
+                let inst = &mut self.instances[slot];
+                inst.alloc_sms = 0.0;
+                inst.rate = per;
+                if !unchanged {
+                    self.push_completion(slot);
+                }
+            }
+        }
+    }
+
+    /// Block-granular greedy allocation (the default hardware model):
+    ///
+    /// 1. Running kernels retain their current SMs (clamped only if a
+    ///    context cap was reduced underneath them).
+    /// 2. In dispatch order, kernels grow into free SMs up to their own
+    ///    parallelism limit and their context's cap (remaining thread
+    ///    blocks launching onto freed SMs).
+    /// 3. A kernel that has no SMs yet only begins once at least one full
+    ///    SM is free — two full-GPU kernels therefore serialize instead of
+    ///    fluidly sharing.
+    fn sticky_allocate(&mut self, compute: &[usize], groups: &[CtxGroup]) -> Vec<f64> {
+        let n_pools = self.pool_capacity.len();
+        let mut pool_used = vec![0.0f64; n_pools];
+        let mut ctx_used = vec![0.0f64; groups.len()];
+
+        // Dispatch order: earlier-started kernels have priority.
+        let mut order: Vec<usize> = (0..compute.len()).collect();
+        order.sort_by_key(|&i| self.instances[compute[i]].run_seq);
+
+        let mut alloc = vec![0.0f64; compute.len()];
+        // Phase 1: retain current allocations (clamped to caps).
+        for &i in &order {
+            let slot = compute[i];
+            let inst = &self.instances[slot];
+            let ctx = self.queues[inst.queue.0 as usize].ctx.0 as usize;
+            let pool = groups[ctx].pool;
+            let keep = inst
+                .alloc_sms
+                .min(inst.desc.max_sms as f64)
+                .min((groups[ctx].sm_cap - ctx_used[ctx]).max(0.0))
+                .min((self.pool_capacity[pool] - pool_used[pool]).max(0.0));
+            alloc[i] = keep;
+            ctx_used[ctx] += keep;
+            pool_used[pool] += keep;
+        }
+        // SMs structurally reserved per pool by *other* finite-cap
+        // contexts that currently have runnable kernels. SM-affinity caps
+        // are visible reservations: a kernel can count on the SMs beyond
+        // them, so its block waves launch there immediately. Unrestricted
+        // co-runners reserve nothing structurally — they contend for the
+        // whole pool, and dispatch-order alternation decides (Fig. 7a).
+        let mut ctx_has_runnable = vec![false; groups.len()];
+        for &slot in compute {
+            let ctx = self.queues[self.instances[slot].queue.0 as usize].ctx.0 as usize;
+            ctx_has_runnable[ctx] = true;
+        }
+        let finite_cap_reserved: Vec<f64> = (0..self.pool_capacity.len())
+            .map(|pool| {
+                groups
+                    .iter()
+                    .enumerate()
+                    .filter(|&(c, g)| g.pool == pool && ctx_has_runnable[c] && g.sm_cap.is_finite())
+                    .map(|(_, g)| g.sm_cap)
+                    .sum()
+            })
+            .collect();
+
+        // Phase 2: grow/start in dispatch order.
+        let mut pokes: Vec<SimTime> = Vec::new();
+        for &i in &order {
+            let slot = compute[i];
+            let inst = &self.instances[slot];
+            let ctx = self.queues[inst.queue.0 as usize].ctx.0 as usize;
+            let pool = groups[ctx].pool;
+            let headroom = (groups[ctx].sm_cap - ctx_used[ctx])
+                .min(self.pool_capacity[pool] - pool_used[pool])
+                .max(0.0);
+            let effective_demand = (inst.desc.max_sms as f64)
+                .min(groups[ctx].sm_cap)
+                .min(self.pool_capacity[pool]);
+            let want = (inst.desc.max_sms as f64 - alloc[i]).max(0.0);
+            let mut grant = want.min(headroom);
+            if alloc[i] == 0.0 {
+                // Wave-granular dispatch: a kernel begins only once the
+                // free SMs cover a meaningful fraction of what it could
+                // ever achieve given the co-resident caps.
+                let others_reserved = if groups[ctx].sm_cap.is_finite() {
+                    finite_cap_reserved[pool] - groups[ctx].sm_cap
+                } else {
+                    finite_cap_reserved[pool]
+                };
+                let achievable =
+                    (self.pool_capacity[pool] - others_reserved).clamp(1.0, f64::INFINITY);
+                let threshold =
+                    (effective_demand.min(achievable) * self.spec.dispatch_min_fraction).max(1.0);
+                if grant < threshold {
+                    grant = 0.0;
+                }
+                // Contended dispatch: a kernel from an unrestricted
+                // context sharing the pool with other tenants pays an
+                // arbitration gap before it may begin.
+                if grant > 0.0
+                    && !groups[ctx].sm_cap.is_finite()
+                    && !self.spec.contended_dispatch_gap.is_zero()
+                {
+                    let contended = ctx_has_runnable
+                        .iter()
+                        .enumerate()
+                        .any(|(c, &r)| c != ctx && r && groups[c].pool == pool);
+                    if contended {
+                        match self.instances[slot].dispatch_ready {
+                            Some(ready) if self.now >= ready => {}
+                            Some(_) => grant = 0.0,
+                            None => {
+                                let ready = self.now + self.spec.contended_dispatch_gap;
+                                pokes.push(ready);
+                                self.instances[slot].dispatch_ready = Some(ready);
+                                grant = 0.0;
+                            }
+                        }
+                    }
+                }
+            }
+            alloc[i] += grant;
+            ctx_used[ctx] += grant;
+            pool_used[pool] += grant;
+        }
+        for at in pokes {
+            self.events.push(at, DevEv::Poke);
+        }
+        alloc
+    }
+
+    fn push_completion(&mut self, slot: usize) {
+        self.instances[slot].event_epoch = self.epoch;
+        let inst = &self.instances[slot];
+        if inst.remaining <= 1e-6 {
+            // Already done (e.g. settled to zero just as its allocation
+            // was clamped away): complete now regardless of rate.
+            self.events.push(
+                self.now,
+                DevEv::Complete {
+                    slot,
+                    epoch: self.epoch,
+                },
+            );
+            return;
+        }
+        if inst.rate <= 0.0 {
+            return; // Starved: no completion until the allocation changes.
+        }
+        let eta_ns = (inst.remaining / inst.rate).ceil().max(0.0);
+        let at = self.now + SimDuration::from_nanos(eta_ns as u64);
+        self.events.push(
+            at,
+            DevEv::Complete {
+                slot,
+                epoch: self.epoch,
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn free_gpu() -> Gpu {
+        Gpu::new(GpuSpec::a100(), HostCosts::free())
+    }
+
+    fn run_all(gpu: &mut Gpu) -> Vec<(SimTime, KernelHandle)> {
+        let mut done = Vec::new();
+        while !gpu.events.is_empty() {
+            if let Some(StepOutput::KernelDone { handle, .. }) = gpu.step() {
+                done.push((gpu.now(), handle));
+            }
+        }
+        done
+    }
+
+    #[test]
+    fn single_kernel_runs_at_full_speed() {
+        let mut gpu = free_gpu();
+        let ctx = gpu.create_context(CtxKind::Default).unwrap();
+        let q = gpu.create_queue(ctx).unwrap();
+        let k = KernelDesc::compute("k", SimDuration::from_micros(100), 108, 0.2);
+        let h = gpu.launch(q, k, 0).unwrap();
+        let done = run_all(&mut gpu);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].1, h);
+        assert_eq!(gpu.kernel_finished_at(h), Some(SimTime::from_micros(100)));
+        assert!(gpu.is_device_idle());
+    }
+
+    #[test]
+    fn launch_overhead_delays_arrival() {
+        let mut gpu = Gpu::a100(); // 3 us launch overhead
+        let ctx = gpu.create_context(CtxKind::Default).unwrap();
+        let q = gpu.create_queue(ctx).unwrap();
+        let k = KernelDesc::compute("k", SimDuration::from_micros(10), 108, 0.0);
+        let h = gpu.launch(q, k, 0).unwrap();
+        run_all(&mut gpu);
+        assert_eq!(gpu.kernel_finished_at(h), Some(SimTime::from_micros(13)));
+    }
+
+    #[test]
+    fn queue_is_in_order() {
+        let mut gpu = free_gpu();
+        let ctx = gpu.create_context(CtxKind::Default).unwrap();
+        let q = gpu.create_queue(ctx).unwrap();
+        let a = gpu
+            .launch(
+                q,
+                KernelDesc::compute("a", SimDuration::from_micros(10), 108, 0.0),
+                0,
+            )
+            .unwrap();
+        let b = gpu
+            .launch(
+                q,
+                KernelDesc::compute("b", SimDuration::from_micros(5), 108, 0.0),
+                1,
+            )
+            .unwrap();
+        run_all(&mut gpu);
+        // Same queue: b waits for a even though it is shorter.
+        assert_eq!(gpu.kernel_finished_at(a), Some(SimTime::from_micros(10)));
+        assert_eq!(gpu.kernel_finished_at(b), Some(SimTime::from_micros(15)));
+    }
+
+    #[test]
+    fn greedy_sticky_serializes_full_gpu_kernels() {
+        // Fig. 7a's phenomenon: two kernels that each want the whole GPU
+        // do NOT share fluidly — the first-dispatched one holds all SMs
+        // and the second waits.
+        let mut gpu = free_gpu();
+        let ctx = gpu.create_context(CtxKind::Default).unwrap();
+        let q1 = gpu.create_queue(ctx).unwrap();
+        let q2 = gpu.create_queue(ctx).unwrap();
+        let a = gpu
+            .launch(
+                q1,
+                KernelDesc::compute("a", SimDuration::from_micros(100), 108, 0.0),
+                0,
+            )
+            .unwrap();
+        let b = gpu
+            .launch(
+                q2,
+                KernelDesc::compute("b", SimDuration::from_micros(100), 108, 0.0),
+                1,
+            )
+            .unwrap();
+        run_all(&mut gpu);
+        assert_eq!(gpu.kernel_finished_at(a), Some(SimTime::from_micros(100)));
+        assert_eq!(gpu.kernel_finished_at(b), Some(SimTime::from_micros(200)));
+    }
+
+    #[test]
+    fn fair_share_policy_splits_sms_evenly() {
+        // The idealized ablation policy keeps the old fluid behaviour.
+        let mut spec = GpuSpec::a100();
+        spec.hw_policy = crate::spec::HwPolicy::FairShare;
+        let mut gpu = Gpu::new(spec, HostCosts::free());
+        let ctx = gpu.create_context(CtxKind::Default).unwrap();
+        let q1 = gpu.create_queue(ctx).unwrap();
+        let q2 = gpu.create_queue(ctx).unwrap();
+        let a = gpu
+            .launch(
+                q1,
+                KernelDesc::compute("a", SimDuration::from_micros(100), 108, 0.0),
+                0,
+            )
+            .unwrap();
+        let b = gpu
+            .launch(
+                q2,
+                KernelDesc::compute("b", SimDuration::from_micros(100), 108, 0.0),
+                1,
+            )
+            .unwrap();
+        run_all(&mut gpu);
+        assert_eq!(gpu.kernel_finished_at(a), Some(SimTime::from_micros(200)));
+        assert_eq!(gpu.kernel_finished_at(b), Some(SimTime::from_micros(200)));
+    }
+
+    #[test]
+    fn wide_kernels_alternate_in_unrestricted_pool() {
+        let mut gpu = free_gpu();
+        let ctx = gpu.create_context(CtxKind::Default).unwrap();
+        let q1 = gpu.create_queue(ctx).unwrap();
+        let q2 = gpu.create_queue(ctx).unwrap();
+        // Both kernels want nearly the whole GPU: the second's wave does
+        // not launch on the sliver left by the first (Fig. 7a's poor
+        // overlap) — it waits, then runs at full width.
+        let a = gpu
+            .launch(
+                q1,
+                KernelDesc::compute("a", SimDuration::from_micros(100), 100, 0.0),
+                0,
+            )
+            .unwrap();
+        let b = gpu
+            .launch(
+                q2,
+                KernelDesc::compute("b", SimDuration::from_micros(100), 100, 0.0),
+                1,
+            )
+            .unwrap();
+        run_all(&mut gpu);
+        assert_eq!(gpu.kernel_finished_at(a), Some(SimTime::from_micros(100)));
+        assert_eq!(gpu.kernel_finished_at(b), Some(SimTime::from_micros(200)));
+    }
+
+    #[test]
+    fn narrow_kernel_backfills_with_dispatch_gap() {
+        let mut gpu = free_gpu();
+        // Separate tenants (distinct contexts): cross-context dispatch in
+        // the shared pool pays the arbitration gap.
+        let ctx1 = gpu.create_context(CtxKind::Default).unwrap();
+        let ctx2 = gpu.create_context(CtxKind::Default).unwrap();
+        let q1 = gpu.create_queue(ctx1).unwrap();
+        let q2 = gpu.create_queue(ctx2).unwrap();
+        // a holds 54 SMs; b (108-wide) backfills the free 54 after the
+        // contended dispatch gap (4us), then grows when a finishes.
+        let a = gpu
+            .launch(
+                q1,
+                KernelDesc::compute("a", SimDuration::from_micros(100), 54, 0.0),
+                0,
+            )
+            .unwrap();
+        let b = gpu
+            .launch(
+                q2,
+                KernelDesc::compute("b", SimDuration::from_micros(100), 108, 0.0),
+                1,
+            )
+            .unwrap();
+        run_all(&mut gpu);
+        assert_eq!(gpu.kernel_finished_at(a), Some(SimTime::from_micros(100)));
+        // b: 96us at 54 SMs then (10800-5184)/108 = 52us at 108 -> 152us.
+        assert_eq!(gpu.kernel_finished_at(b), Some(SimTime::from_micros(152)));
+    }
+
+    #[test]
+    fn finite_caps_are_structural_so_backfill_starts() {
+        let mut gpu = free_gpu();
+        // One tenant capped at 54 SMs; an unrestricted kernel can count on
+        // the other 54 and starts immediately.
+        let capped = gpu
+            .create_context(CtxKind::MpsAffinity { sm_cap: 54 })
+            .unwrap();
+        let free_ctx = gpu.create_context(CtxKind::Default).unwrap();
+        let q1 = gpu.create_queue(capped).unwrap();
+        let q2 = gpu.create_queue(free_ctx).unwrap();
+        let a = gpu
+            .launch(
+                q1,
+                KernelDesc::compute("a", SimDuration::from_micros(50), 108, 0.0),
+                0,
+            )
+            .unwrap();
+        let b = gpu
+            .launch(
+                q2,
+                KernelDesc::compute("b", SimDuration::from_micros(100), 108, 0.0),
+                1,
+            )
+            .unwrap();
+        run_all(&mut gpu);
+        // a (50us x 108 work) at 54 SMs: 100us. b pays the 4us contended
+        // dispatch gap, then starts at 54 (the cap is structural) and
+        // grows to 108 when a finishes: 96us x 54 + 52us x 108 = work.
+        assert_eq!(gpu.kernel_finished_at(a), Some(SimTime::from_micros(100)));
+        let b_done = gpu.kernel_finished_at(b).unwrap().as_millis_f64() * 1000.0;
+        assert!((b_done - 152.0).abs() < 1.0, "b finished at {b_done}us");
+    }
+
+    #[test]
+    fn mps_affinity_caps_context_usage() {
+        let mut gpu = free_gpu();
+        let ctx = gpu
+            .create_context(CtxKind::MpsAffinity { sm_cap: 27 })
+            .unwrap();
+        let q = gpu.create_queue(ctx).unwrap();
+        let h = gpu
+            .launch(
+                q,
+                KernelDesc::compute("k", SimDuration::from_micros(100), 108, 0.0),
+                0,
+            )
+            .unwrap();
+        run_all(&mut gpu);
+        // 108-SM kernel on 27 SMs: 4x duration.
+        assert_eq!(gpu.kernel_finished_at(h), Some(SimTime::from_micros(400)));
+    }
+
+    #[test]
+    fn mps_context_consumes_memory() {
+        let mut gpu = free_gpu();
+        let before = gpu.memory_used_mib();
+        gpu.create_context(CtxKind::MpsAffinity { sm_cap: 54 })
+            .unwrap();
+        assert_eq!(gpu.memory_used_mib(), before + 230);
+    }
+
+    #[test]
+    fn mig_partitions_are_hard_isolated() {
+        let mut gpu = free_gpu();
+        let big = gpu
+            .create_context(CtxKind::MigPartition { sm_count: 80 })
+            .unwrap();
+        let small = gpu
+            .create_context(CtxKind::MigPartition { sm_count: 28 })
+            .unwrap();
+        let qb = gpu.create_queue(big).unwrap();
+        let qs = gpu.create_queue(small).unwrap();
+        // Even with the small partition idle, the big one cannot exceed 80.
+        let h = gpu
+            .launch(
+                qb,
+                KernelDesc::compute("k", SimDuration::from_micros(80), 108, 0.0),
+                0,
+            )
+            .unwrap();
+        run_all(&mut gpu);
+        // work = 80us * 108 SMs; on 80 SMs -> 108 us.
+        assert_eq!(gpu.kernel_finished_at(h), Some(SimTime::from_micros(108)));
+        // And the small partition still works.
+        let h2 = gpu
+            .launch(
+                qs,
+                KernelDesc::compute("k2", SimDuration::from_micros(28), 28, 0.0),
+                0,
+            )
+            .unwrap();
+        run_all(&mut gpu);
+        assert_eq!(
+            gpu.kernel_finished_at(h2)
+                .unwrap()
+                .duration_since(gpu.kernel_started_at(h2).unwrap()),
+            SimDuration::from_micros(28)
+        );
+    }
+
+    #[test]
+    fn mig_budget_is_enforced() {
+        let mut gpu = free_gpu();
+        gpu.create_context(CtxKind::MigPartition { sm_count: 80 })
+            .unwrap();
+        let err = gpu
+            .create_context(CtxKind::MigPartition { sm_count: 60 })
+            .unwrap_err();
+        assert_eq!(
+            err,
+            GpuError::MigBudgetExceeded {
+                requested_sms: 60,
+                available_sms: 28
+            }
+        );
+    }
+
+    #[test]
+    fn memcpys_share_pcie_bandwidth() {
+        let mut gpu = free_gpu();
+        let ctx = gpu.create_context(CtxKind::Default).unwrap();
+        let q1 = gpu.create_queue(ctx).unwrap();
+        let q2 = gpu.create_queue(ctx).unwrap();
+        // 25 MB at 25 GB/s = 1 ms alone; two concurrent H2Ds share -> 2 ms.
+        let a = gpu
+            .launch(q1, KernelDesc::memcpy_h2d("a", 25_000_000), 0)
+            .unwrap();
+        let b = gpu
+            .launch(q2, KernelDesc::memcpy_h2d("b", 25_000_000), 1)
+            .unwrap();
+        run_all(&mut gpu);
+        assert_eq!(gpu.kernel_finished_at(a), Some(SimTime::from_millis(2)));
+        assert_eq!(gpu.kernel_finished_at(b), Some(SimTime::from_millis(2)));
+    }
+
+    #[test]
+    fn opposite_directions_do_not_contend() {
+        let mut gpu = free_gpu();
+        let ctx = gpu.create_context(CtxKind::Default).unwrap();
+        let q1 = gpu.create_queue(ctx).unwrap();
+        let q2 = gpu.create_queue(ctx).unwrap();
+        let a = gpu
+            .launch(q1, KernelDesc::memcpy_h2d("a", 25_000_000), 0)
+            .unwrap();
+        let b = gpu
+            .launch(q2, KernelDesc::memcpy_d2h("b", 25_000_000), 1)
+            .unwrap();
+        run_all(&mut gpu);
+        assert_eq!(gpu.kernel_finished_at(a), Some(SimTime::from_millis(1)));
+        assert_eq!(gpu.kernel_finished_at(b), Some(SimTime::from_millis(1)));
+    }
+
+    #[test]
+    fn interference_slows_memory_hungry_pairs() {
+        let mut gpu = free_gpu();
+        let ctx = gpu.create_context(CtxKind::Default).unwrap();
+        let q1 = gpu.create_queue(ctx).unwrap();
+        let q2 = gpu.create_queue(ctx).unwrap();
+        // Two half-GPU kernels (54 SMs each): no SM contention, but both
+        // memory-intense -> interference extends both beyond 100 us.
+        let a = gpu
+            .launch(
+                q1,
+                KernelDesc::compute("a", SimDuration::from_micros(100), 54, 0.9),
+                0,
+            )
+            .unwrap();
+        let b = gpu
+            .launch(
+                q2,
+                KernelDesc::compute("b", SimDuration::from_micros(100), 54, 0.9),
+                1,
+            )
+            .unwrap();
+        run_all(&mut gpu);
+        let fa = gpu.kernel_finished_at(a).unwrap();
+        let fb = gpu.kernel_finished_at(b).unwrap();
+        assert!(fa > SimTime::from_micros(100), "{fa:?}");
+        assert!(fb > SimTime::from_micros(100), "{fb:?}");
+        // And the cap keeps it under 2x.
+        assert!(fa < SimTime::from_micros(200), "{fa:?}");
+    }
+
+    #[test]
+    fn zero_mem_intensity_pairs_do_not_interfere() {
+        let mut gpu = free_gpu();
+        let ctx = gpu.create_context(CtxKind::Default).unwrap();
+        let q1 = gpu.create_queue(ctx).unwrap();
+        let q2 = gpu.create_queue(ctx).unwrap();
+        let a = gpu
+            .launch(
+                q1,
+                KernelDesc::compute("a", SimDuration::from_micros(100), 54, 0.0),
+                0,
+            )
+            .unwrap();
+        let b = gpu
+            .launch(
+                q2,
+                KernelDesc::compute("b", SimDuration::from_micros(100), 54, 0.0),
+                1,
+            )
+            .unwrap();
+        run_all(&mut gpu);
+        assert_eq!(gpu.kernel_finished_at(a), Some(SimTime::from_micros(100)));
+        assert_eq!(gpu.kernel_finished_at(b), Some(SimTime::from_micros(100)));
+    }
+
+    #[test]
+    fn host_wake_fires() {
+        let mut gpu = free_gpu();
+        gpu.wake_at(SimTime::from_millis(5), 42);
+        let out = gpu.step().unwrap();
+        assert_eq!(out, StepOutput::HostWake { token: 42 });
+        assert_eq!(gpu.now(), SimTime::from_millis(5));
+    }
+
+    #[test]
+    fn utilization_accounting() {
+        let mut gpu = free_gpu();
+        let ctx = gpu.create_context(CtxKind::Default).unwrap();
+        let q = gpu.create_queue(ctx).unwrap();
+        // A 54-SM kernel for 100us: utilization = 0.5 over its run.
+        gpu.launch(
+            q,
+            KernelDesc::compute("k", SimDuration::from_micros(100), 54, 0.0),
+            0,
+        )
+        .unwrap();
+        let b0 = gpu.busy_sm_seconds();
+        run_all(&mut gpu);
+        let b1 = gpu.busy_sm_seconds();
+        let util = gpu.utilization(SimTime::ZERO, SimTime::from_micros(100), b0, b1);
+        assert!((util - 0.5).abs() < 1e-9, "util = {util}");
+    }
+
+    #[test]
+    fn timeline_records_segments() {
+        let mut gpu = free_gpu();
+        gpu.enable_timeline();
+        let ctx = gpu.create_context(CtxKind::Default).unwrap();
+        let q = gpu.create_queue(ctx).unwrap();
+        gpu.launch(
+            q,
+            KernelDesc::compute("k", SimDuration::from_micros(10), 108, 0.0),
+            7,
+        )
+        .unwrap();
+        run_all(&mut gpu);
+        let tl = gpu.timeline();
+        assert!(!tl.is_empty());
+        assert_eq!(tl[0].tag, 7);
+        let total: f64 = tl
+            .iter()
+            .map(|s| s.to.duration_since(s.from).as_nanos() as f64)
+            .sum();
+        assert!((total - 10_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn launch_delayed_stalls_only_its_queue() {
+        let mut gpu = free_gpu();
+        let ctx = gpu.create_context(CtxKind::Default).unwrap();
+        let q1 = gpu.create_queue(ctx).unwrap();
+        let q2 = gpu.create_queue(ctx).unwrap();
+        let a = gpu
+            .launch_delayed(
+                q1,
+                KernelDesc::compute("a", SimDuration::from_micros(10), 54, 0.0),
+                0,
+                SimDuration::from_micros(50),
+            )
+            .unwrap();
+        let b = gpu
+            .launch(
+                q2,
+                KernelDesc::compute("b", SimDuration::from_micros(10), 54, 0.0),
+                1,
+            )
+            .unwrap();
+        run_all(&mut gpu);
+        assert_eq!(gpu.kernel_finished_at(b), Some(SimTime::from_micros(10)));
+        assert_eq!(gpu.kernel_finished_at(a), Some(SimTime::from_micros(60)));
+    }
+
+    #[test]
+    fn starved_context_makes_no_progress_until_cap_raised() {
+        let mut gpu = free_gpu();
+        let ctx = gpu
+            .create_context(CtxKind::MpsAffinity { sm_cap: 1 })
+            .unwrap();
+        let q = gpu.create_queue(ctx).unwrap();
+        let h = gpu
+            .launch(
+                q,
+                KernelDesc::compute("k", SimDuration::from_micros(108), 108, 0.0),
+                0,
+            )
+            .unwrap();
+        // Advance some; then raise the cap to full and let it finish.
+        while gpu.peek_event_time() == Some(SimTime::ZERO) {
+            gpu.step();
+        }
+        gpu.advance_to(SimTime::from_micros(100));
+        gpu.set_mps_cap(ctx, 108).unwrap();
+        run_all(&mut gpu);
+        let fin = gpu.kernel_finished_at(h).unwrap();
+        // 100us at 1 SM did 100 SM·us of the 108*108 total; remaining at
+        // 108 SMs takes (108*108-100)/108 us ~ 107.07us -> ~207.07us total.
+        let expect_us = 100.0 + (108.0 * 108.0 - 100.0) / 108.0;
+        assert!(
+            (fin.as_millis_f64() * 1000.0 - expect_us).abs() < 0.1,
+            "{fin:?}"
+        );
+    }
+
+    #[test]
+    fn launch_graph_costs_one_launch_overhead() {
+        let mut gpu = Gpu::a100(); // 3 us per launch
+        let ctx = gpu.create_context(CtxKind::Default).unwrap();
+        let q = gpu.create_queue(ctx).unwrap();
+        let group: Vec<(KernelDesc, u64)> = (0..5)
+            .map(|i| {
+                (
+                    KernelDesc::compute(format!("g{i}"), SimDuration::from_micros(10), 108, 0.0),
+                    i,
+                )
+            })
+            .collect();
+        let handles = gpu.launch_graph(q, group).unwrap();
+        run_all(&mut gpu);
+        // One 3 us launch + 5 x 10 us sequential kernels = 53 us, instead
+        // of 5 launches costing 15 us of host time.
+        assert_eq!(
+            gpu.kernel_finished_at(*handles.last().unwrap()),
+            Some(SimTime::from_micros(53))
+        );
+        assert!(gpu.launch_graph(q, Vec::new()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn oom_is_reported() {
+        let mut gpu = free_gpu();
+        gpu.alloc_memory(40 * 1024 - 100).unwrap();
+        let err = gpu.alloc_memory(200).unwrap_err();
+        assert_eq!(
+            err,
+            GpuError::OutOfMemory {
+                requested_mib: 200,
+                available_mib: 100
+            }
+        );
+        gpu.free_memory(40 * 1024 - 100);
+        assert_eq!(gpu.memory_used_mib(), 0);
+    }
+
+    #[test]
+    fn errors_display_cleanly() {
+        let e = GpuError::UnknownQueue(QueueId(3));
+        assert!(format!("{e}").contains("unknown queue"));
+        let e = GpuError::InvalidOperation("nope");
+        assert!(format!("{e}").contains("nope"));
+    }
+}

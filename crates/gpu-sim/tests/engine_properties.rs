@@ -1,0 +1,151 @@
+//! Property tests for the engine under the default greedy-sticky policy:
+//! random kernel mixes must conserve work, respect caps, and terminate.
+
+use gpu_sim::{CtxKind, Gpu, GpuSpec, HostCosts, HwPolicy, KernelDesc};
+use proptest::prelude::*;
+use sim_core::{SimDuration, SimTime};
+
+/// A random compute kernel description.
+fn arb_kernel() -> impl Strategy<Value = (u64, u32, f64)> {
+    // (duration us, max_sms, mem_intensity)
+    (5u64..500, 1u32..=108, 0.0f64..1.0)
+}
+
+fn run_mix(
+    policy: HwPolicy,
+    caps: Vec<Option<u32>>,
+    kernels: Vec<Vec<(u64, u32, f64)>>,
+) -> (Gpu, Vec<gpu_sim::KernelHandle>) {
+    let mut spec = GpuSpec::a100();
+    spec.hw_policy = policy;
+    let mut gpu = Gpu::new(spec, HostCosts::paper());
+    let mut handles = Vec::new();
+    for (ctx_cap, ks) in caps.iter().zip(&kernels) {
+        let ctx = match ctx_cap {
+            None => gpu.create_context(CtxKind::Default).unwrap(),
+            Some(c) => gpu
+                .create_context(CtxKind::MpsAffinity { sm_cap: *c })
+                .unwrap(),
+        };
+        let q = gpu.create_queue(ctx).unwrap();
+        for (i, &(us, sms, mem)) in ks.iter().enumerate() {
+            let k = KernelDesc::compute(format!("k{i}"), SimDuration::from_micros(us), sms, mem);
+            handles.push(gpu.launch(q, k, i as u64).unwrap());
+        }
+    }
+    gpu.drain();
+    (gpu, handles)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every launched kernel completes, regardless of mix, caps, policy.
+    #[test]
+    fn prop_all_kernels_complete(
+        caps in proptest::collection::vec(proptest::option::of(1u32..=108), 1..4),
+        per_queue in proptest::collection::vec(
+            proptest::collection::vec(arb_kernel(), 1..12), 1..4),
+        fair in any::<bool>(),
+    ) {
+        let n = caps.len().min(per_queue.len());
+        let policy = if fair { HwPolicy::FairShare } else { HwPolicy::GreedySticky };
+        let (gpu, handles) = run_mix(
+            policy,
+            caps[..n].to_vec(),
+            per_queue[..n].to_vec(),
+        );
+        prop_assert!(gpu.is_device_idle());
+        for h in handles {
+            prop_assert!(gpu.kernel_finished_at(h).is_some());
+        }
+    }
+
+    /// Work conservation: total busy SM·time equals the sum of every
+    /// kernel's work divided by its (interference-adjusted) rate — i.e.
+    /// busy time is at least the interference-free work and at most the
+    /// 2x interference cap over it.
+    #[test]
+    fn prop_busy_time_brackets_total_work(
+        per_queue in proptest::collection::vec(
+            proptest::collection::vec(arb_kernel(), 1..10), 1..3),
+    ) {
+        let caps = vec![None; per_queue.len()];
+        let (gpu, _) = run_mix(HwPolicy::GreedySticky, caps, per_queue.clone());
+        let total_work_sm_s: f64 = per_queue
+            .iter()
+            .flatten()
+            .map(|&(us, sms, _)| us as f64 * 1e-6 * sms as f64)
+            .sum();
+        let busy = gpu.busy_sm_seconds();
+        prop_assert!(
+            busy >= total_work_sm_s * 0.999,
+            "busy {busy} < work {total_work_sm_s}"
+        );
+        prop_assert!(
+            busy <= total_work_sm_s * 2.001,
+            "busy {busy} exceeds the interference cap over {total_work_sm_s}"
+        );
+    }
+
+    /// Kernels in one queue finish in submission order (CUDA stream FIFO).
+    #[test]
+    fn prop_queue_is_fifo(
+        ks in proptest::collection::vec(arb_kernel(), 2..15),
+    ) {
+        let (gpu, handles) = run_mix(HwPolicy::GreedySticky, vec![None], vec![ks]);
+        let mut last = SimTime::ZERO;
+        for h in handles {
+            let f = gpu.kernel_finished_at(h).unwrap();
+            prop_assert!(f >= last, "completion order violates FIFO");
+            last = f;
+        }
+    }
+
+    /// A solo queue's makespan is independent of the hardware policy:
+    /// with no co-runners, greedy-sticky and fair-share agree exactly.
+    #[test]
+    fn prop_solo_runs_are_policy_independent(
+        ks in proptest::collection::vec(arb_kernel(), 1..12),
+        cap in proptest::option::of(1u32..=108),
+    ) {
+        let (g1, h1) = run_mix(HwPolicy::GreedySticky, vec![cap], vec![ks.clone()]);
+        let (g2, h2) = run_mix(HwPolicy::FairShare, vec![cap], vec![ks]);
+        let end1 = h1.iter().map(|&h| g1.kernel_finished_at(h).unwrap()).max();
+        let end2 = h2.iter().map(|&h| g2.kernel_finished_at(h).unwrap()).max();
+        prop_assert_eq!(end1, end2);
+    }
+
+    /// MIG partitions never leak capacity: two saturating tenants in
+    /// disjoint partitions finish exactly as if each had its own GPU of
+    /// the partition size.
+    #[test]
+    fn prop_mig_partitions_isolate(
+        us in 50u64..500,
+        split in 1u32..7,
+    ) {
+        let sms_a = split * 15;
+        let sms_b = 105 - sms_a;
+        let mut gpu = Gpu::new(GpuSpec::a100(), HostCosts::free());
+        let ca = gpu.create_context(CtxKind::MigPartition { sm_count: sms_a }).unwrap();
+        let cb = gpu.create_context(CtxKind::MigPartition { sm_count: sms_b }).unwrap();
+        let qa = gpu.create_queue(ca).unwrap();
+        let qb = gpu.create_queue(cb).unwrap();
+        let k = |n: &str| KernelDesc::compute(n, SimDuration::from_micros(us), 108, 0.0);
+        let ha = gpu.launch(qa, k("a"), 0).unwrap();
+        let hb = gpu.launch(qb, k("b"), 1).unwrap();
+        gpu.drain();
+        // Each kernel's duration = work / partition size, exactly.
+        let expect = |sms: u32| {
+            SimDuration::from_nanos(
+                ((us * 1000) as f64 * 108.0 / sms as f64).ceil() as u64)
+        };
+        let da = gpu.kernel_finished_at(ha).unwrap().duration_since(SimTime::ZERO);
+        let db = gpu.kernel_finished_at(hb).unwrap().duration_since(SimTime::ZERO);
+        let tol = SimDuration::from_nanos(2);
+        prop_assert!(da.saturating_sub(expect(sms_a)) <= tol && expect(sms_a).saturating_sub(da) <= tol,
+            "partition A: {da} vs {:?}", expect(sms_a));
+        prop_assert!(db.saturating_sub(expect(sms_b)) <= tol && expect(sms_b).saturating_sub(db) <= tol,
+            "partition B: {db} vs {:?}", expect(sms_b));
+    }
+}

@@ -1,0 +1,60 @@
+//! Experiment runner: regenerates the paper's tables and figures.
+//!
+//! ```text
+//! experiments list              # show all experiment ids
+//! experiments <id> [...]        # run one or more experiments
+//! experiments all               # run everything, in paper order
+//! experiments --csv <dir> <id>  # additionally export each table as CSV
+//! ```
+
+use harness::experiments::{find, registry};
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut csv_dir: Option<std::path::PathBuf> = None;
+    if let Some(pos) = args.iter().position(|a| a == "--csv") {
+        if pos + 1 >= args.len() {
+            eprintln!("--csv requires a directory argument");
+            std::process::exit(2);
+        }
+        csv_dir = Some(std::path::PathBuf::from(args.remove(pos + 1)));
+        args.remove(pos);
+    }
+    if args.is_empty() || args[0] == "list" || args[0] == "--help" {
+        println!("usage: experiments <id>... | all | list\n");
+        println!("available experiments:");
+        for e in registry() {
+            println!("  {:<10} {}", e.id, e.describes);
+        }
+        return;
+    }
+
+    let ids: Vec<String> = if args[0] == "all" {
+        registry().into_iter().map(|e| e.id.to_string()).collect()
+    } else {
+        args
+    };
+
+    for id in ids {
+        match find(&id) {
+            Some(exp) => {
+                eprintln!("[experiments] running {id}: {}", exp.describes);
+                let start = std::time::Instant::now();
+                for table in (exp.run)() {
+                    println!("{}", table.render());
+                    if let Some(dir) = &csv_dir {
+                        std::fs::create_dir_all(dir).expect("create csv dir");
+                        let path = dir.join(format!("{}.csv", table.slug()));
+                        std::fs::write(&path, table.to_csv()).expect("write csv");
+                        eprintln!("[experiments]   wrote {}", path.display());
+                    }
+                }
+                eprintln!("[experiments] {id} finished in {:.1?}\n", start.elapsed());
+            }
+            None => {
+                eprintln!("unknown experiment '{id}'; try 'experiments list'");
+                std::process::exit(2);
+            }
+        }
+    }
+}

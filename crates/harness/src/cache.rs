@@ -1,0 +1,65 @@
+//! Process-wide profile cache.
+//!
+//! Offline profiling (19 simulated runs per application) is deterministic,
+//! so experiments share one cache keyed by `(model, phase, num_sms)`.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use dnn_models::{AppModel, ModelKind, Phase};
+use gpu_sim::GpuSpec;
+use profiler::ProfiledApp;
+
+type Key = (ModelKind, Phase, u32);
+
+fn cache() -> &'static Mutex<HashMap<Key, Arc<ProfiledApp>>> {
+    static CACHE: OnceLock<Mutex<HashMap<Key, Arc<ProfiledApp>>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Returns the profile of `(kind, phase)` on a GPU with `spec`'s SM count,
+/// profiling it on first use. The returned handle shares the cached data
+/// (no per-call deep copy of the 19-run duration tables).
+pub fn profile(kind: ModelKind, phase: Phase, spec: &GpuSpec) -> Arc<ProfiledApp> {
+    let key = (kind, phase, spec.num_sms);
+    if let Some(p) = cache().lock().expect("cache lock").get(&key) {
+        return Arc::clone(p);
+    }
+    let app = AppModel::build(kind, phase);
+    let profiled = Arc::new(ProfiledApp::profile(&app, spec));
+    cache()
+        .lock()
+        .expect("cache lock")
+        .insert(key, Arc::clone(&profiled));
+    profiled
+}
+
+/// Returns the generated application model (cheap; not cached).
+pub fn model(kind: ModelKind, phase: Phase) -> AppModel {
+    AppModel::build(kind, phase)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_round_trips() {
+        let spec = GpuSpec::a100();
+        let a = profile(ModelKind::Vgg11, Phase::Inference, &spec);
+        let b = profile(ModelKind::Vgg11, Phase::Inference, &spec);
+        assert_eq!(a.iso_latency, b.iso_latency);
+        assert_eq!(a.kernel_count(), b.kernel_count());
+    }
+
+    #[test]
+    fn different_sm_counts_are_distinct_entries() {
+        let a = profile(ModelKind::ResNet50, Phase::Inference, &GpuSpec::a100());
+        let b = profile(
+            ModelKind::ResNet50,
+            Phase::Inference,
+            &GpuSpec::a100_with_sms(54),
+        );
+        assert!(b.iso_latency[profiler::PARTITIONS - 1] > a.iso_latency[profiler::PARTITIONS - 1]);
+    }
+}

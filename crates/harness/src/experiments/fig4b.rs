@@ -1,0 +1,116 @@
+//! Fig. 4(b): the motivating comparison — a VGG-11 (quota 1/3) and a
+//! ResNet-50 (quota 2/3) serving a partially overlapping request stream
+//! under each scheduling scheme.
+//!
+//! Paper values (average latency of the two applications): static sharing
+//! 16.8 ms, unbounded 13.1 ms, biased (REEF-style) 14.3 ms, BLESS 11.3 ms.
+
+use dnn_models::{ModelKind, Phase};
+use gpu_sim::GpuSpec;
+use metrics::Table;
+use sim_core::SimTime;
+use workloads::{pair_workload, PaperWorkload};
+
+use crate::cache;
+use crate::runner::{run_system, System};
+
+/// The Fig. 1/4 scenario: low-load closed-loop requests so that requests
+/// partially overlap, leaving bubbles the schemes exploit differently.
+fn workload() -> workloads::WorkloadSet {
+    pair_workload(
+        cache::model(ModelKind::Vgg11, Phase::Inference),
+        cache::model(ModelKind::ResNet50, Phase::Inference),
+        (1.0 / 3.0, 2.0 / 3.0),
+        PaperWorkload::LowLoad,
+        20,
+        SimTime::from_secs(10),
+        1,
+    )
+}
+
+/// Paper's Fig. 4(b) numbers for the annotation column.
+fn paper_value(name: &str) -> &'static str {
+    match name {
+        "GSLICE" => "16.8 (static)",
+        "UNBOUND" => "13.1 (unbounded)",
+        "REEF+" => "14.3 (biased)",
+        "BLESS" => "11.3",
+        _ => "-",
+    }
+}
+
+/// Regenerates Fig. 4(b).
+pub fn run() -> Vec<Table> {
+    let spec = GpuSpec::a100();
+    let ws = workload();
+    let horizon = SimTime::from_secs(60);
+
+    let mut t = Table::new(
+        "Fig. 4(b): VGG11 (1/3) + R50 (2/3), low-load stream",
+        &[
+            "scheme",
+            "avg latency ms",
+            "VGG ms",
+            "R50 ms",
+            "util %",
+            "paper ms",
+        ],
+    );
+    let mut systems = vec![System::Iso];
+    systems.extend(System::inference_set());
+    for sys in systems {
+        let r = run_system(&sys, &ws, &spec, horizon, None);
+        let means = r.app_means();
+        t.row(&[
+            sys.name().to_string(),
+            format!("{:.2}", r.mean_ms()),
+            format!("{:.2}", means[0].as_millis_f64()),
+            format!("{:.2}", means[1].as_millis_f64()),
+            format!("{:.1}", r.utilization * 100.0),
+            paper_value(sys.name()).to_string(),
+        ]);
+    }
+    t.note("paper column: Fig. 4(b) measured on a real A100 with its scheme taxonomy");
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bless::BlessParams;
+    use gpu_sim::RunOutcome;
+
+    #[test]
+    fn bless_wins_figure_4b() {
+        let spec = GpuSpec::a100();
+        let ws = workload();
+        let horizon = SimTime::from_secs(60);
+        let bless = run_system(
+            &System::Bless(BlessParams::default()),
+            &ws,
+            &spec,
+            horizon,
+            None,
+        );
+        assert_eq!(bless.outcome, RunOutcome::Completed);
+        for sys in [System::Gslice, System::Temporal, System::Mig] {
+            let other = run_system(&sys, &ws, &spec, horizon, None);
+            assert!(
+                bless.mean_ms() < other.mean_ms(),
+                "BLESS {:.2} must beat {} {:.2}",
+                bless.mean_ms(),
+                sys.name(),
+                other.mean_ms()
+            );
+        }
+        // REEF+ lands close to BLESS at low load in our substrate (the
+        // paper's gap is 27%; see EXPERIMENTS.md).
+        let reef = run_system(&System::ReefPlus, &ws, &spec, horizon, None);
+        assert!(
+            bless.mean_ms() < reef.mean_ms() * 1.25,
+            "BLESS {:.2} vs REEF+ {:.2}",
+            bless.mean_ms(),
+            reef.mean_ms()
+        );
+    }
+}

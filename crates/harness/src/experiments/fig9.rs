@@ -1,0 +1,151 @@
+//! Fig. 9: the interference study.
+//!
+//! (a) kernel-level slowdown of victims under co-located memory pressure —
+//! the paper observes slowdown ratios that stay below 2× even against a
+//! highly memory-intensive aggressor.
+//!
+//! (b) application-level slowdown when co-locating mutual pairs of
+//! ResNet-50, VGG-11, AlexNet, and BERT — the paper measures ≈7% average.
+
+use dnn_models::micro;
+use dnn_models::{ModelKind, Phase};
+use gpu_sim::{CtxKind, Gpu, GpuSpec, HostCosts};
+use metrics::Table;
+use sim_core::{SimDuration, SimTime};
+use workloads::{pair_workload, PaperWorkload};
+
+use crate::cache;
+use crate::runner::{run_system, System};
+
+/// Runs a victim kernel against an aggressor and returns the slowdown.
+pub fn kernel_slowdown(victim_mem: f64, aggressor_mem: f64, spec: &GpuSpec) -> f64 {
+    let mut gpu = Gpu::new(spec.clone(), HostCosts::free());
+    let ctx = gpu.create_context(CtxKind::Default).expect("ctx");
+    let q1 = gpu.create_queue(ctx).expect("q");
+    let q2 = gpu.create_queue(ctx).expect("q");
+    let base = SimDuration::from_micros(500);
+    let half = spec.num_sms / 2;
+    let v = gpu
+        .launch(q1, micro::victim(base, half, victim_mem), 0)
+        .expect("launch");
+    gpu.launch(q2, micro::aggressor(half, aggressor_mem), 1)
+        .expect("launch");
+    while gpu.kernel_finished_at(v).is_none() {
+        if gpu.step().is_none() && gpu.peek_event_time().is_none() {
+            break;
+        }
+    }
+    let t = gpu.kernel_finished_at(v).expect("victim finished");
+    t.duration_since(SimTime::ZERO).as_nanos() as f64 / base.as_nanos() as f64
+}
+
+/// Regenerates Fig. 9(a).
+pub fn run_a() -> Vec<Table> {
+    let spec = GpuSpec::a100();
+    let mut t = Table::new(
+        "Fig. 9(a): victim kernel slowdown vs aggressor memory pressure",
+        &[
+            "aggressor mem",
+            "compute victim (mem 0.0)",
+            "mixed victim (mem 0.5)",
+            "memory victim (mem 1.0)",
+        ],
+    );
+    for aggr in [0.0, 0.2, 0.4, 0.6, 0.8, 1.0] {
+        t.row(&[
+            format!("{aggr:.1}"),
+            format!("{:.3}", kernel_slowdown(0.0, aggr, &spec)),
+            format!("{:.3}", kernel_slowdown(0.5, aggr, &spec)),
+            format!("{:.3}", kernel_slowdown(1.0, aggr, &spec)),
+        ]);
+    }
+    t.note("paper: slowdown ratio no larger than 2 even against a highly memory-intensive kernel");
+    vec![t]
+}
+
+/// The Fig. 9(b) model set: R50, VGG, AlexNet, BERT.
+const PAIR_MODELS: [ModelKind; 4] = [
+    ModelKind::ResNet50,
+    ModelKind::Vgg11,
+    ModelKind::AlexNet,
+    ModelKind::Bert,
+];
+
+/// Application-level slowdown of a 50/50 MPS co-location of (a, b)
+/// relative to each app's isolated 50% latency. Returns the mean of both
+/// apps' slowdowns.
+pub fn app_pair_slowdown(a: ModelKind, b: ModelKind, spec: &GpuSpec) -> f64 {
+    let ws = pair_workload(
+        cache::model(a, Phase::Inference),
+        cache::model(b, Phase::Inference),
+        (0.5, 0.5),
+        PaperWorkload::HighLoad,
+        8,
+        SimTime::from_secs(5),
+        3,
+    );
+    let r = run_system(&System::Gslice, &ws, spec, SimTime::from_secs(60), None);
+    let mut total = 0.0;
+    for app in 0..2 {
+        let lat = r.log.stats(app).mean.expect("latency").as_nanos() as f64;
+        let iso = r.iso_targets[app].as_nanos() as f64;
+        total += lat / iso - 1.0;
+    }
+    total / 2.0
+}
+
+/// Regenerates Fig. 9(b).
+pub fn run_b() -> Vec<Table> {
+    let spec = GpuSpec::a100();
+    let mut t = Table::new(
+        "Fig. 9(b): application-level interference (mutual pairs, 50/50 MPS)",
+        &["pair", "mean slowdown %"],
+    );
+    let mut total = 0.0;
+    let mut n = 0;
+    for (i, &a) in PAIR_MODELS.iter().enumerate() {
+        for &b in &PAIR_MODELS[i..] {
+            let s = app_pair_slowdown(a, b, &spec);
+            total += s;
+            n += 1;
+            t.row(&[
+                format!("{}+{}", a.short_name(), b.short_name()),
+                format!("{:.1}", s * 100.0),
+            ]);
+        }
+    }
+    t.row(&[
+        "AVERAGE".to_string(),
+        format!("{:.1}", total / n as f64 * 100.0),
+    ]);
+    t.note("paper: average slowdown caused by interference is 7%");
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig9a_slowdown_capped_at_two_and_monotone() {
+        let spec = GpuSpec::a100();
+        let mut prev = 0.0;
+        for aggr in [0.0, 0.5, 1.0] {
+            let s = kernel_slowdown(1.0, aggr, &spec);
+            assert!(s >= prev - 1e-9, "monotone in aggressor pressure");
+            assert!(s <= 2.0 + 1e-9, "capped at 2x, got {s}");
+            prev = s;
+        }
+        assert!(prev > 1.2, "worst case should be substantial: {prev}");
+    }
+
+    #[test]
+    fn fig9b_average_is_single_digit_percent() {
+        let spec = GpuSpec::a100();
+        let s = app_pair_slowdown(ModelKind::ResNet50, ModelKind::Vgg11, &spec);
+        assert!(
+            (0.0..0.20).contains(&s),
+            "pair slowdown should be a modest positive percentage: {s}"
+        );
+    }
+}

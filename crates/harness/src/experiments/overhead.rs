@@ -1,0 +1,124 @@
+//! §6.9: scheduling overheads.
+//!
+//! The simulator charges the paper's measured host costs explicitly; this
+//! experiment reports those constants plus measured squad statistics from
+//! a live BLESS run (squads launched, squad durations, and the break-even
+//! kernel duration above which the host never starves the GPU).
+
+use bless::{BlessDriver, BlessParams, DeployedApp};
+use dnn_models::{ModelKind, Phase};
+use gpu_sim::{GpuSpec, HostCosts};
+use metrics::Table;
+use sim_core::SimTime;
+use workloads::{pair_workload, PaperWorkload};
+
+use crate::cache;
+use crate::runner::run_custom;
+
+/// Regenerates the §6.9 numbers.
+pub fn run() -> Vec<Table> {
+    let costs = HostCosts::paper();
+    let mut t = Table::new(
+        "§6.9: host-side cost model (charged by the simulator)",
+        &["operation", "cost"],
+    );
+    t.row(&["kernel launch".into(), format!("{}", costs.kernel_launch)]);
+    t.row(&["squad switch sync".into(), format!("{}", costs.squad_sync)]);
+    t.row(&[
+        "GPU context switch vacuum".into(),
+        format!("{}", costs.context_switch),
+    ]);
+    t.row(&[
+        "multi-task scheduling / kernel".into(),
+        format!("{}", costs.sched_per_kernel),
+    ]);
+    t.row(&[
+        "config-space search / kernel".into(),
+        format!("{}", costs.config_search_per_kernel),
+    ]);
+    t.row(&[
+        "squad generation / kernel".into(),
+        format!("{}", costs.squad_gen_per_kernel),
+    ]);
+    t.row(&["MPS context memory".into(), "230 MiB".into()]);
+    let per_kernel =
+        costs.sched_per_kernel + costs.config_search_per_kernel + costs.squad_gen_per_kernel;
+    t.note(format!(
+        "break-even: kernels longer than {per_kernel} never starve the GPU (paper: 6.7 µs)"
+    ));
+
+    // Live squad statistics from a BLESS run.
+    let spec = GpuSpec::a100();
+    let apps = vec![
+        DeployedApp::new(
+            cache::profile(ModelKind::NasNet, Phase::Inference, &spec),
+            0.5,
+            None,
+        ),
+        DeployedApp::new(
+            cache::profile(ModelKind::Bert, Phase::Inference, &spec),
+            0.5,
+            None,
+        ),
+    ];
+    let mut driver = BlessDriver::new(apps, BlessParams::default());
+    driver.record_squads = true;
+    let ws = pair_workload(
+        cache::model(ModelKind::NasNet, Phase::Inference),
+        cache::model(ModelKind::Bert, Phase::Inference),
+        (0.5, 0.5),
+        PaperWorkload::MediumLoad,
+        8,
+        SimTime::from_secs(10),
+        111,
+    );
+    let (driver, _, _) = run_custom(driver, &ws, &spec, SimTime::from_secs(120));
+    let durs: Vec<f64> = driver
+        .squad_log
+        .iter()
+        .map(|s| s.finished_at.duration_since(s.launched_at).as_millis_f64())
+        .collect();
+    let mut t2 = Table::new(
+        "§6.9: measured squad statistics (NAS+BERT, workload B)",
+        &["metric", "value"],
+    );
+    t2.row(&["squads launched".into(), driver.squads_launched.to_string()]);
+    t2.row(&[
+        "spatially partitioned squads".into(),
+        driver.sp_squads.to_string(),
+    ]);
+    if !durs.is_empty() {
+        let mean = durs.iter().sum::<f64>() / durs.len() as f64;
+        let min = durs.iter().cloned().fold(f64::MAX, f64::min);
+        let max = durs.iter().cloned().fold(0.0, f64::max);
+        t2.row(&["mean squad duration ms".into(), format!("{mean:.2}")]);
+        t2.row(&[
+            "min/max squad duration ms".into(),
+            format!("{min:.2} / {max:.2}"),
+        ]);
+    }
+    t2.note("paper: squad durations range from 0.7 ms to 10 ms across applications (§6.7)");
+    vec![t, t2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn squad_durations_are_in_paper_band() {
+        let tables = run();
+        let t2 = &tables[1];
+        // Mean squad duration row exists and is within the paper's
+        // 0.7-10 ms envelope (with slack for the boundary squads).
+        let mut found = false;
+        for r in 0..t2.row_count() {
+            if t2.cell(r, 0) == "mean squad duration ms" {
+                let v: f64 = t2.cell(r, 1).parse().unwrap();
+                assert!((0.2..=12.0).contains(&v), "mean squad duration {v}");
+                found = true;
+            }
+        }
+        assert!(found, "squad statistics missing");
+    }
+}

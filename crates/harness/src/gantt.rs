@@ -1,0 +1,170 @@
+//! ASCII Gantt rendering of GPU timelines (Fig. 18a-style plots).
+//!
+//! The engine's [`gpu_sim::TimelineSegment`]s record which kernel held how
+//! many SMs over which interval. This module folds them into a per-tag
+//! occupancy strip so squad structure, spatial splits, and bubbles are
+//! visible in a terminal.
+
+use gpu_sim::TimelineSegment;
+use sim_core::SimTime;
+
+/// Renders per-tag SM occupancy over `[from, to]` as one text row per tag
+/// plus a shared idle row. `cols` is the number of time buckets.
+///
+/// Each cell shows the tag's mean SM share of the GPU in that bucket:
+/// `' '` < 6.25%, then `▁▂▃▄▅▆▇█` in 12.5% steps.
+pub fn render(
+    segments: &[TimelineSegment],
+    tags: &[(u64, &str)],
+    num_sms: u32,
+    from: SimTime,
+    to: SimTime,
+    cols: usize,
+) -> String {
+    assert!(cols > 0, "need at least one column");
+    assert!(to > from, "empty window");
+    let span = to.duration_since(from).as_nanos() as f64;
+    let bucket_ns = span / cols as f64;
+
+    // Accumulate SM·ns per (tag row, bucket).
+    let mut rows = vec![vec![0.0f64; cols]; tags.len()];
+    let mut total = vec![0.0f64; cols];
+    for seg in segments {
+        let Some(row) = tags
+            .iter()
+            .position(|&(t, _)| t & 0xF_FFFF == seg.tag & 0xF_FFFF)
+        else {
+            continue;
+        };
+        let s = (seg.from.max(from).as_nanos() as f64) - from.as_nanos() as f64;
+        let e = (seg.to.min(to).as_nanos() as f64) - from.as_nanos() as f64;
+        if e <= s {
+            continue;
+        }
+        // Spread the segment across the buckets it overlaps.
+        let first = (s / bucket_ns) as usize;
+        let last = ((e / bucket_ns) as usize).min(cols - 1);
+        for b in first..=last {
+            let b_start = b as f64 * bucket_ns;
+            let b_end = b_start + bucket_ns;
+            let overlap = (e.min(b_end) - s.max(b_start)).max(0.0);
+            rows[row][b] += seg.sms * overlap;
+            total[b] += seg.sms * overlap;
+        }
+    }
+
+    const LEVELS: [char; 9] = [' ', '▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let cell = |sm_ns: f64| -> char {
+        let share = sm_ns / (num_sms as f64 * bucket_ns);
+        let idx = ((share * 8.0).round() as usize).min(8);
+        LEVELS[idx]
+    };
+
+    let label_w = tags.iter().map(|&(_, n)| n.len()).max().unwrap_or(4).max(4);
+    let mut out = String::new();
+    for (row, &(_, name)) in rows.iter().zip(tags) {
+        out.push_str(&format!("{name:>label_w$} |"));
+        for &v in row {
+            out.push(cell(v));
+        }
+        out.push_str("|\n");
+    }
+    // Idle strip: whatever of the GPU nothing occupied.
+    out.push_str(&format!("{:>label_w$} |", "idle"));
+    for &v in &total {
+        let idle = (num_sms as f64 * bucket_ns - v).max(0.0);
+        out.push(cell(idle));
+    }
+    out.push_str("|\n");
+    out.push_str(&format!(
+        "{:>label_w$}  {} .. {} ({} buckets of {:.2} ms)\n",
+        "",
+        from,
+        to,
+        cols,
+        bucket_ns / 1e6
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::{KernelHandle, QueueId};
+    use sim_core::SimTime;
+
+    fn seg(tag: u64, from_us: u64, to_us: u64, sms: f64) -> TimelineSegment {
+        TimelineSegment {
+            handle: KernelHandle(0),
+            queue: QueueId(0),
+            tag,
+            from: SimTime::from_micros(from_us),
+            to: SimTime::from_micros(to_us),
+            sms,
+        }
+    }
+
+    #[test]
+    fn renders_occupancy_rows() {
+        let segments = vec![seg(0, 0, 500, 108.0), seg(1, 500, 1000, 54.0)];
+        let s = render(
+            &segments,
+            &[(0, "app0"), (1, "app1")],
+            108,
+            SimTime::ZERO,
+            SimTime::from_millis(1),
+            10,
+        );
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4, "two apps + idle + axis");
+        // app0 occupies the full GPU in the first half.
+        assert!(lines[0].contains("app0"));
+        let cells: Vec<char> = lines[0]
+            .chars()
+            .skip_while(|&c| c != '|')
+            .skip(1)
+            .take(10)
+            .collect();
+        assert_eq!(cells[0], '█');
+        assert_eq!(cells[9], ' ');
+        // app1 at half occupancy in the second half.
+        let cells1: Vec<char> = lines[1]
+            .chars()
+            .skip_while(|&c| c != '|')
+            .skip(1)
+            .take(10)
+            .collect();
+        assert_eq!(cells1[0], ' ');
+        assert_eq!(cells1[9], '▄');
+        // Idle row shows the free half in the second half.
+        assert!(lines[2].contains("idle"));
+    }
+
+    #[test]
+    fn unknown_tags_are_ignored() {
+        let segments = vec![seg(99, 0, 1000, 108.0)];
+        let s = render(
+            &segments,
+            &[(0, "app0")],
+            108,
+            SimTime::ZERO,
+            SimTime::from_millis(1),
+            4,
+        );
+        let first: Vec<char> = s.lines().next().unwrap().chars().collect();
+        assert!(!first.contains(&'█'), "foreign tag must not render");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty window")]
+    fn rejects_empty_window() {
+        render(
+            &[],
+            &[(0, "a")],
+            108,
+            SimTime::from_millis(1),
+            SimTime::from_millis(1),
+            4,
+        );
+    }
+}

@@ -1,0 +1,14 @@
+//! Experiment harness regenerating every table and figure of the paper.
+//!
+//! Each experiment module reproduces one artifact of the evaluation
+//! section and returns [`metrics::Table`]s with the same rows/series the
+//! paper reports. The `experiments` binary runs them by id (see
+//! [`experiments::registry`]).
+
+pub mod cache;
+pub mod experiments;
+pub mod gantt;
+pub mod runner;
+pub mod squadlab;
+
+pub use runner::{deployment, run_custom, run_system, RunResult, System};

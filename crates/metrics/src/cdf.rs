@@ -1,0 +1,173 @@
+//! Latency distributions: empirical CDFs and terminal sparkline plots.
+//!
+//! The paper's latency charts aggregate means; for debugging schedulers
+//! the full distribution is often more revealing (e.g. a bimodal CDF
+//! exposes the solo-vs-overlapped split behind a bland mean).
+
+use sim_core::SimDuration;
+
+/// An empirical latency distribution.
+#[derive(Clone, Debug)]
+pub struct Cdf {
+    sorted: Vec<SimDuration>,
+}
+
+impl Cdf {
+    /// Builds a CDF from raw samples.
+    pub fn new(mut samples: Vec<SimDuration>) -> Self {
+        samples.sort_unstable();
+        Cdf { sorted: samples }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True when no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The value at quantile `q ∈ [0, 1]` (nearest rank).
+    ///
+    /// # Panics
+    ///
+    /// Panics if empty or `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> SimDuration {
+        assert!(!self.sorted.is_empty(), "empty CDF");
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        let rank = ((q * self.sorted.len() as f64).ceil() as usize).clamp(1, self.sorted.len());
+        self.sorted[rank - 1]
+    }
+
+    /// Fraction of samples at or below `x`.
+    pub fn fraction_below(&self, x: SimDuration) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let n = self.sorted.partition_point(|&v| v <= x);
+        n as f64 / self.sorted.len() as f64
+    }
+
+    /// Renders the CDF as a fixed-width terminal strip: `cols` buckets
+    /// spanning `[min, max]`, each cell showing the cumulative fraction
+    /// reached by that bucket's upper edge (`▁…█`).
+    pub fn sparkline(&self, cols: usize) -> String {
+        assert!(cols > 0);
+        if self.sorted.is_empty() {
+            return String::new();
+        }
+        let lo = self.sorted[0].as_nanos() as f64;
+        let hi = self.sorted[self.sorted.len() - 1].as_nanos() as f64;
+        const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+        let mut out = String::new();
+        for c in 0..cols {
+            let edge = if hi > lo {
+                lo + (hi - lo) * (c as f64 + 1.0) / cols as f64
+            } else {
+                hi
+            };
+            let frac = self.fraction_below(SimDuration::from_nanos(edge.round() as u64));
+            let idx = ((frac * 8.0).ceil() as usize).clamp(1, 8) - 1;
+            out.push(LEVELS[idx]);
+        }
+        out
+    }
+
+    /// A one-line summary: `min p50 p95 p99 max` in milliseconds plus the
+    /// sparkline.
+    pub fn summary_line(&self, cols: usize) -> String {
+        if self.sorted.is_empty() {
+            return "(no samples)".into();
+        }
+        format!(
+            "min {:.2} p50 {:.2} p95 {:.2} p99 {:.2} max {:.2} ms  |{}|",
+            self.quantile(0.0 + f64::EPSILON).as_millis_f64(),
+            self.quantile(0.50).as_millis_f64(),
+            self.quantile(0.95).as_millis_f64(),
+            self.quantile(0.99).as_millis_f64(),
+            self.quantile(1.0).as_millis_f64(),
+            self.sparkline(cols)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn ms(x: u64) -> SimDuration {
+        SimDuration::from_millis(x)
+    }
+
+    #[test]
+    fn quantiles_from_uniform_samples() {
+        let cdf = Cdf::new((1..=100).map(ms).collect());
+        assert_eq!(cdf.quantile(0.5), ms(50));
+        assert_eq!(cdf.quantile(1.0), ms(100));
+        assert_eq!(cdf.len(), 100);
+        assert!((cdf.fraction_below(ms(25)) - 0.25).abs() < 1e-9);
+        assert_eq!(cdf.fraction_below(ms(0)), 0.0);
+        assert_eq!(cdf.fraction_below(ms(1000)), 1.0);
+    }
+
+    #[test]
+    fn sparkline_is_monotone() {
+        let cdf = Cdf::new((1..=50).map(ms).collect());
+        let s: Vec<char> = cdf.sparkline(20).chars().collect();
+        assert_eq!(s.len(), 20);
+        // Cumulative: levels never decrease.
+        const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+        let level = |c: char| LEVELS.iter().position(|&l| l == c).unwrap();
+        for w in s.windows(2) {
+            assert!(level(w[1]) >= level(w[0]));
+        }
+        assert_eq!(*s.last().unwrap(), '█');
+    }
+
+    #[test]
+    fn degenerate_single_sample() {
+        let cdf = Cdf::new(vec![ms(7)]);
+        assert_eq!(cdf.quantile(0.5), ms(7));
+        assert_eq!(cdf.sparkline(4), "████");
+        assert!(cdf.summary_line(4).contains("p99 7.00"));
+    }
+
+    #[test]
+    fn empty_cdf_is_safe_where_documented() {
+        let cdf = Cdf::new(vec![]);
+        assert!(cdf.is_empty());
+        assert_eq!(cdf.fraction_below(ms(1)), 0.0);
+        assert_eq!(cdf.sparkline(5), "");
+        assert_eq!(cdf.summary_line(5), "(no samples)");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty CDF")]
+    fn empty_quantile_panics() {
+        Cdf::new(vec![]).quantile(0.5);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_quantiles_monotone(samples in proptest::collection::vec(1u64..10_000, 1..200)) {
+            let cdf = Cdf::new(samples.iter().map(|&x| SimDuration::from_micros(x)).collect());
+            let mut last = SimDuration::ZERO;
+            for q in [0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+                let v = cdf.quantile(q);
+                prop_assert!(v >= last);
+                last = v;
+            }
+        }
+
+        #[test]
+        fn prop_fraction_below_matches_quantile(samples in proptest::collection::vec(1u64..1_000, 2..100)) {
+            let cdf = Cdf::new(samples.iter().map(|&x| SimDuration::from_micros(x)).collect());
+            let median = cdf.quantile(0.5);
+            let frac = cdf.fraction_below(median);
+            prop_assert!(frac >= 0.5 - 1e-9, "fraction below median {frac}");
+        }
+    }
+}

@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+
+//! Metrics for multi-tenant GPU-sharing experiments.
+//!
+//! The paper evaluates systems with two headline metrics (§6.2):
+//!
+//! * **average latency** of requests per application under a quota
+//!   assignment, and
+//! * **latency deviation**: `Σ_j max(T_sys^j[n^j%] − T^j[n^j%], 0)` — how
+//!   far each application's achieved latency exceeds its isolated (ISO)
+//!   target, summed over applications.
+//!
+//! This crate provides a [`RequestLog`] that schedulers fill in, summary
+//! statistics ([`LatencyStats`]), the deviation metric, QoS-violation
+//! accounting (§6.5), throughput, and plain-text table rendering for the
+//! experiment harness.
+
+pub mod cdf;
+pub mod report;
+pub mod stats;
+
+pub use cdf::Cdf;
+pub use report::Table;
+pub use stats::{latency_deviation, LatencyStats, RequestLog, RequestRecord};

@@ -1,0 +1,357 @@
+//! Request logging and latency statistics.
+
+use sim_core::{SimDuration, SimTime};
+
+/// One completed (or in-flight) request.
+#[derive(Clone, Copy, Debug)]
+pub struct RequestRecord {
+    /// Application index.
+    pub app: usize,
+    /// Per-application request sequence number.
+    pub req: usize,
+    /// Arrival at the host scheduler.
+    pub arrival: SimTime,
+    /// Completion of the last kernel, if finished.
+    pub completion: Option<SimTime>,
+}
+
+impl RequestRecord {
+    /// End-to-end latency, if the request completed.
+    pub fn latency(&self) -> Option<SimDuration> {
+        self.completion.map(|c| c.duration_since(self.arrival))
+    }
+}
+
+/// Per-application request log filled in by schedulers.
+#[derive(Clone, Debug, Default)]
+pub struct RequestLog {
+    per_app: Vec<Vec<RequestRecord>>,
+}
+
+impl RequestLog {
+    /// Creates a log for `apps` applications.
+    pub fn new(apps: usize) -> Self {
+        RequestLog {
+            per_app: vec![Vec::new(); apps],
+        }
+    }
+
+    /// Number of applications.
+    pub fn apps(&self) -> usize {
+        self.per_app.len()
+    }
+
+    /// Records a request arrival. Requests of one app must be recorded in
+    /// sequence-number order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `app` is out of range or `req` is not the next sequence
+    /// number for that app.
+    pub fn arrived(&mut self, app: usize, req: usize, at: SimTime) {
+        let records = &mut self.per_app[app];
+        assert_eq!(records.len(), req, "requests must arrive in order per app");
+        records.push(RequestRecord {
+            app,
+            req,
+            arrival: at,
+            completion: None,
+        });
+    }
+
+    /// Records a request completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request was never recorded as arrived, or completed
+    /// twice, or completes before it arrived.
+    pub fn completed(&mut self, app: usize, req: usize, at: SimTime) {
+        let rec = &mut self.per_app[app][req];
+        assert!(rec.completion.is_none(), "request completed twice");
+        assert!(at >= rec.arrival, "completion before arrival");
+        rec.completion = Some(at);
+    }
+
+    /// All records of one application.
+    pub fn records(&self, app: usize) -> &[RequestRecord] {
+        &self.per_app[app]
+    }
+
+    /// Latencies of one application's completed requests.
+    pub fn latencies(&self, app: usize) -> Vec<SimDuration> {
+        self.per_app[app]
+            .iter()
+            .filter_map(|r| r.latency())
+            .collect()
+    }
+
+    /// Summary statistics for one application.
+    pub fn stats(&self, app: usize) -> LatencyStats {
+        LatencyStats::from_latencies(&self.latencies(app))
+    }
+
+    /// Mean latency across *all* completed requests of all applications.
+    pub fn overall_mean(&self) -> Option<SimDuration> {
+        let all: Vec<SimDuration> = (0..self.apps()).flat_map(|a| self.latencies(a)).collect();
+        if all.is_empty() {
+            return None;
+        }
+        Some(mean(&all))
+    }
+
+    /// Mean of the per-application mean latencies (the paper's "average
+    /// latency of requests from different applications").
+    pub fn mean_of_app_means(&self) -> Option<SimDuration> {
+        let means: Vec<SimDuration> = (0..self.apps())
+            .filter_map(|a| self.stats(a).mean)
+            .collect();
+        if means.is_empty() {
+            return None;
+        }
+        Some(mean(&means))
+    }
+
+    /// Completed-request throughput of one app over `[from, to]`, in
+    /// requests per second.
+    pub fn throughput(&self, app: usize, from: SimTime, to: SimTime) -> f64 {
+        let n = self.per_app[app]
+            .iter()
+            .filter(|r| r.completion.is_some_and(|c| c >= from && c <= to))
+            .count();
+        let span = to.duration_since(from).as_secs_f64();
+        if span <= 0.0 {
+            0.0
+        } else {
+            n as f64 / span
+        }
+    }
+
+    /// Number of completed requests for one app.
+    pub fn completed_count(&self, app: usize) -> usize {
+        self.per_app[app]
+            .iter()
+            .filter(|r| r.completion.is_some())
+            .count()
+    }
+
+    /// Fraction of an app's completed requests whose latency exceeds
+    /// `target` (§6.5 QoS-violation rate).
+    pub fn violation_rate(&self, app: usize, target: SimDuration) -> f64 {
+        let lats = self.latencies(app);
+        if lats.is_empty() {
+            return 0.0;
+        }
+        lats.iter().filter(|&&l| l > target).count() as f64 / lats.len() as f64
+    }
+}
+
+fn mean(durs: &[SimDuration]) -> SimDuration {
+    let total_ns: u128 = durs.iter().map(|d| d.as_nanos() as u128).sum();
+    SimDuration::from_nanos((total_ns / durs.len() as u128) as u64)
+}
+
+/// Summary statistics over a set of latencies.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LatencyStats {
+    /// Number of samples.
+    pub count: usize,
+    /// Mean latency.
+    pub mean: Option<SimDuration>,
+    /// Median (p50).
+    pub p50: Option<SimDuration>,
+    /// 95th percentile.
+    pub p95: Option<SimDuration>,
+    /// 99th percentile.
+    pub p99: Option<SimDuration>,
+    /// Minimum.
+    pub min: Option<SimDuration>,
+    /// Maximum.
+    pub max: Option<SimDuration>,
+}
+
+impl LatencyStats {
+    /// Computes statistics from raw latencies.
+    pub fn from_latencies(latencies: &[SimDuration]) -> Self {
+        if latencies.is_empty() {
+            return LatencyStats::default();
+        }
+        let mut sorted = latencies.to_vec();
+        sorted.sort_unstable();
+        let pct = |p: f64| -> SimDuration {
+            // Nearest-rank percentile.
+            let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            sorted[rank - 1]
+        };
+        LatencyStats {
+            count: sorted.len(),
+            mean: Some(mean(&sorted)),
+            p50: Some(pct(0.50)),
+            p95: Some(pct(0.95)),
+            p99: Some(pct(0.99)),
+            min: sorted.first().copied(),
+            max: sorted.last().copied(),
+        }
+    }
+
+    /// Mean in milliseconds, or NaN when empty (for report formatting).
+    pub fn mean_ms(&self) -> f64 {
+        self.mean.map_or(f64::NAN, |d| d.as_millis_f64())
+    }
+}
+
+/// The paper's latency-deviation metric (§6.2):
+/// `Σ_j max(achieved_j − iso_target_j, 0)`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn latency_deviation(achieved: &[SimDuration], iso_target: &[SimDuration]) -> SimDuration {
+    assert_eq!(
+        achieved.len(),
+        iso_target.len(),
+        "one achieved latency per target"
+    );
+    achieved
+        .iter()
+        .zip(iso_target)
+        .map(|(&a, &t)| a.saturating_sub(t))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn ms(x: u64) -> SimDuration {
+        SimDuration::from_millis(x)
+    }
+
+    #[test]
+    fn log_round_trip() {
+        let mut log = RequestLog::new(2);
+        log.arrived(0, 0, SimTime::ZERO);
+        log.arrived(1, 0, SimTime::from_millis(1));
+        log.completed(0, 0, SimTime::from_millis(10));
+        log.completed(1, 0, SimTime::from_millis(4));
+        assert_eq!(log.latencies(0), vec![ms(10)]);
+        assert_eq!(log.latencies(1), vec![ms(3)]);
+        assert_eq!(log.completed_count(0), 1);
+        assert_eq!(log.overall_mean(), Some(SimDuration::from_micros(6500)));
+        assert_eq!(
+            log.mean_of_app_means(),
+            Some(SimDuration::from_micros(6500))
+        );
+    }
+
+    #[test]
+    fn incomplete_requests_are_excluded() {
+        let mut log = RequestLog::new(1);
+        log.arrived(0, 0, SimTime::ZERO);
+        log.arrived(0, 1, SimTime::from_millis(5));
+        log.completed(0, 0, SimTime::from_millis(2));
+        assert_eq!(log.latencies(0).len(), 1);
+        assert_eq!(log.completed_count(0), 1);
+        assert!(log.records(0)[1].latency().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "in order")]
+    fn out_of_order_arrivals_panic() {
+        let mut log = RequestLog::new(1);
+        log.arrived(0, 1, SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "twice")]
+    fn double_completion_panics() {
+        let mut log = RequestLog::new(1);
+        log.arrived(0, 0, SimTime::ZERO);
+        log.completed(0, 0, SimTime::from_millis(1));
+        log.completed(0, 0, SimTime::from_millis(2));
+    }
+
+    #[test]
+    fn stats_percentiles() {
+        let lats: Vec<SimDuration> = (1..=100).map(ms).collect();
+        let s = LatencyStats::from_latencies(&lats);
+        assert_eq!(s.count, 100);
+        assert_eq!(s.p50, Some(ms(50)));
+        assert_eq!(s.p95, Some(ms(95)));
+        assert_eq!(s.p99, Some(ms(99)));
+        assert_eq!(s.min, Some(ms(1)));
+        assert_eq!(s.max, Some(ms(100)));
+        assert_eq!(s.mean, Some(SimDuration::from_micros(50_500)));
+    }
+
+    #[test]
+    fn empty_stats_are_none() {
+        let s = LatencyStats::from_latencies(&[]);
+        assert_eq!(s.count, 0);
+        assert!(s.mean.is_none());
+        assert!(s.mean_ms().is_nan());
+    }
+
+    #[test]
+    fn deviation_only_counts_excess() {
+        let dev = latency_deviation(&[ms(12), ms(5)], &[ms(10), ms(8)]);
+        assert_eq!(dev, ms(2)); // 2ms over + 0 (under target is free)
+        let none = latency_deviation(&[ms(1), ms(1)], &[ms(10), ms(8)]);
+        assert_eq!(none, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn throughput_counts_window() {
+        let mut log = RequestLog::new(1);
+        for i in 0..10 {
+            log.arrived(0, i, SimTime::from_millis(i as u64 * 100));
+            log.completed(0, i, SimTime::from_millis(i as u64 * 100 + 50));
+        }
+        // All 10 completions within [0, 1s): 10 rps.
+        let tput = log.throughput(0, SimTime::ZERO, SimTime::from_millis(1000));
+        assert!((tput - 10.0).abs() < 1e-9);
+        // Only the first five complete before 500 ms.
+        let tput = log.throughput(0, SimTime::ZERO, SimTime::from_millis(500));
+        assert!((tput - 10.0).abs() < 1e-9, "5 completions / 0.5 s = {tput}");
+    }
+
+    #[test]
+    fn violation_rate_counts_exceedances() {
+        let mut log = RequestLog::new(1);
+        for i in 0..4 {
+            log.arrived(0, i, SimTime::ZERO);
+            log.completed(0, i, SimTime::from_millis((i as u64 + 1) * 5));
+        }
+        // Latencies 5, 10, 15, 20 ms; target 12 ms -> 2 of 4 violate.
+        assert!((log.violation_rate(0, ms(12)) - 0.5).abs() < 1e-9);
+        assert_eq!(log.violation_rate(0, ms(100)), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_percentiles_are_ordered(lats in proptest::collection::vec(1u64..10_000, 1..300)) {
+            let durs: Vec<SimDuration> = lats.iter().map(|&x| SimDuration::from_micros(x)).collect();
+            let s = LatencyStats::from_latencies(&durs);
+            let (p50, p95, p99) = (s.p50.unwrap(), s.p95.unwrap(), s.p99.unwrap());
+            prop_assert!(s.min.unwrap() <= p50);
+            prop_assert!(p50 <= p95);
+            prop_assert!(p95 <= p99);
+            prop_assert!(p99 <= s.max.unwrap());
+            prop_assert!(s.mean.unwrap() >= s.min.unwrap());
+            prop_assert!(s.mean.unwrap() <= s.max.unwrap());
+        }
+
+        #[test]
+        fn prop_deviation_is_monotone(
+            pairs in proptest::collection::vec((0u64..100, 0u64..100), 1..20)
+        ) {
+            let achieved: Vec<SimDuration> = pairs.iter().map(|&(a, _)| ms(a)).collect();
+            let targets: Vec<SimDuration> = pairs.iter().map(|&(_, t)| ms(t)).collect();
+            let dev = latency_deviation(&achieved, &targets);
+            // Raising every achieved latency by 1ms cannot lower deviation.
+            let worse: Vec<SimDuration> = achieved.iter().map(|&a| a + ms(1)).collect();
+            let dev2 = latency_deviation(&worse, &targets);
+            prop_assert!(dev2 >= dev);
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! Deployment admission checks (§4.2.2).
+//!
+//! Before co-locating applications, BLESS uses the profiled data to
+//! decide whether a placement is safe:
+//!
+//! * applications with short kernels must not be paired with applications
+//!   with extremely long kernels (the former would starve in every kernel
+//!   squad), and
+//! * the combined resident memory (plus the extra MPS contexts) must fit
+//!   on the GPU.
+
+use sim_core::SimDuration;
+
+use crate::profile::ProfiledApp;
+
+/// Tunable admission thresholds.
+#[derive(Clone, Debug)]
+pub struct AdmissionPolicy {
+    /// Maximum allowed ratio between two co-located applications' mean
+    /// kernel durations. The paper co-locates applications whose average
+    /// kernel durations range from 10 µs to 300 µs, a 30× spread; we allow
+    /// some headroom beyond that.
+    pub max_mean_kernel_ratio: f64,
+    /// Hard ceiling on any single kernel's duration (kernels beyond this
+    /// would monopolize squads; the paper's traces top out at 3 ms).
+    pub max_single_kernel: SimDuration,
+    /// Device memory each deployed application additionally consumes in
+    /// MPS contexts (the runtime keeps several contexts per client).
+    pub contexts_per_app: u64,
+    /// MiB per MPS context (§6.9: ~230 MB).
+    pub mib_per_context: u64,
+}
+
+impl Default for AdmissionPolicy {
+    fn default() -> Self {
+        AdmissionPolicy {
+            max_mean_kernel_ratio: 64.0,
+            max_single_kernel: SimDuration::from_millis(5),
+            contexts_per_app: 3,
+            mib_per_context: 230,
+        }
+    }
+}
+
+/// Why a placement was rejected.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AdmissionError {
+    /// Two applications' kernel granularities are incompatible.
+    IncompatibleKernelDurations {
+        /// Application with the short kernels.
+        short_app: String,
+        /// Application with the long kernels.
+        long_app: String,
+    },
+    /// An application has a kernel too long for squad scheduling.
+    KernelTooLong {
+        /// The offending application.
+        app: String,
+        /// Its longest kernel.
+        duration: SimDuration,
+    },
+    /// The placement does not fit in device memory.
+    OutOfMemory {
+        /// Total MiB required (apps + contexts).
+        required_mib: u64,
+        /// GPU capacity in MiB.
+        capacity_mib: u64,
+    },
+}
+
+impl std::fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmissionError::IncompatibleKernelDurations {
+                short_app,
+                long_app,
+            } => write!(
+                f,
+                "kernel granularity mismatch: {short_app} (short kernels) would starve \
+                 next to {long_app} (long kernels)"
+            ),
+            AdmissionError::KernelTooLong { app, duration } => {
+                write!(f, "{app} has a {duration} kernel, too long for squads")
+            }
+            AdmissionError::OutOfMemory {
+                required_mib,
+                capacity_mib,
+            } => write!(
+                f,
+                "placement needs {required_mib} MiB but the GPU has {capacity_mib} MiB"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {}
+
+/// Checks whether the given applications can be co-located on a GPU with
+/// `capacity_mib` of device memory.
+pub fn admit(
+    apps: &[&ProfiledApp],
+    capacity_mib: u64,
+    policy: &AdmissionPolicy,
+) -> Result<(), AdmissionError> {
+    // Per-kernel ceiling.
+    for app in apps {
+        let max = app.max_kernel_duration();
+        if max > policy.max_single_kernel {
+            return Err(AdmissionError::KernelTooLong {
+                app: app.name.clone(),
+                duration: max,
+            });
+        }
+    }
+
+    // Pairwise mean-kernel-duration compatibility.
+    for (i, a) in apps.iter().enumerate() {
+        for b in &apps[i + 1..] {
+            let (da, db) = (
+                a.mean_kernel_duration().as_nanos() as f64,
+                b.mean_kernel_duration().as_nanos() as f64,
+            );
+            if da <= 0.0 || db <= 0.0 {
+                continue;
+            }
+            let ratio = if da > db { da / db } else { db / da };
+            if ratio > policy.max_mean_kernel_ratio {
+                let (short, long) = if da < db { (a, b) } else { (b, a) };
+                return Err(AdmissionError::IncompatibleKernelDurations {
+                    short_app: short.name.clone(),
+                    long_app: long.name.clone(),
+                });
+            }
+        }
+    }
+
+    // Memory capacity, including the per-app MPS contexts.
+    let required: u64 = apps
+        .iter()
+        .map(|a| a.memory_mib + policy.contexts_per_app * policy.mib_per_context)
+        .sum();
+    if required > capacity_mib {
+        return Err(AdmissionError::OutOfMemory {
+            required_mib: required,
+            capacity_mib,
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnn_models::{AppModel, ModelKind, Phase};
+    use gpu_sim::GpuSpec;
+
+    fn profiled(kind: ModelKind) -> ProfiledApp {
+        ProfiledApp::profile(&AppModel::build(kind, Phase::Inference), &GpuSpec::a100())
+    }
+
+    #[test]
+    fn paper_models_co_locate() {
+        let a = profiled(ModelKind::Vgg11);
+        let b = profiled(ModelKind::ResNet50);
+        let c = profiled(ModelKind::Bert);
+        admit(&[&a, &b, &c], 40 * 1024, &AdmissionPolicy::default()).unwrap();
+    }
+
+    #[test]
+    fn memory_limit_rejects() {
+        let a = profiled(ModelKind::Vgg11);
+        let b = profiled(ModelKind::ResNet50);
+        let err = admit(&[&a, &b], 2_000, &AdmissionPolicy::default()).unwrap_err();
+        assert!(matches!(err, AdmissionError::OutOfMemory { .. }));
+        assert!(format!("{err}").contains("MiB"));
+    }
+
+    #[test]
+    fn kernel_ratio_rejects_extreme_mismatch() {
+        let a = profiled(ModelKind::NasNet); // many short kernels
+        let b = profiled(ModelKind::Vgg11);
+        let strict = AdmissionPolicy {
+            max_mean_kernel_ratio: 1.5,
+            ..AdmissionPolicy::default()
+        };
+        let err = admit(&[&a, &b], 40 * 1024, &strict).unwrap_err();
+        assert!(matches!(
+            err,
+            AdmissionError::IncompatibleKernelDurations { .. }
+        ));
+    }
+
+    #[test]
+    fn long_kernels_reject() {
+        let a = profiled(ModelKind::Vgg11);
+        let strict = AdmissionPolicy {
+            max_single_kernel: SimDuration::from_micros(100),
+            ..AdmissionPolicy::default()
+        };
+        let err = admit(&[&a], 40 * 1024, &strict).unwrap_err();
+        assert!(matches!(err, AdmissionError::KernelTooLong { .. }));
+    }
+}

@@ -1,0 +1,25 @@
+#![warn(missing_docs)]
+
+//! The BLESS offline profiler (§4.2) and deployment admission (§4.2.2).
+//!
+//! For each registered application provisioned `n%` of the GPU, the
+//! profiler measures — by actually running the application on the GPU
+//! simulator, once unrestricted and once per SM partition —
+//!
+//! * the isolated latency `T[n%]` under MPS,
+//! * each kernel's duration `t[n%][k]`,
+//! * the cumulative time `τ[n%][k]` from request start to the end of `k`,
+//! * each kernel's maximum active SM proportion `d%`, and
+//! * the application's resident memory requirement.
+//!
+//! The GPU is split into `N = 18` partitions on an A100 (6, 12, …, 108
+//! SMs), matching the paper's choice that bounds the runtime configuration
+//! search space. Profiling one application therefore takes `N + 1`
+//! simulated runs; the total simulated profiling time is reported as the
+//! Table 1 "profile cost".
+
+pub mod admission;
+pub mod profile;
+
+pub use admission::{admit, AdmissionError, AdmissionPolicy};
+pub use profile::{ProfiledApp, PARTITIONS};

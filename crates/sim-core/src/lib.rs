@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+
+//! Deterministic discrete-event simulation primitives.
+//!
+//! This crate provides the foundation every other crate in the BLESS
+//! reproduction builds on:
+//!
+//! * [`SimTime`] and [`SimDuration`] — nanosecond-resolution simulated time.
+//! * [`EventQueue`] — a stable (FIFO-on-tie) priority queue of timed events.
+//! * [`rng::SimRng`] — a small, seedable, fully deterministic PRNG so that
+//!   every experiment is bit-for-bit reproducible without external crates.
+//!
+//! The simulator is single-threaded by design: GPU scheduling experiments
+//! need deterministic replay far more than they need wall-clock speed, and
+//! the fluid-model GPU simulation in `gpu-sim` is cheap enough that entire
+//! paper-scale experiments complete in milliseconds of host time.
+
+pub mod event;
+pub mod rng;
+pub mod time;
+
+pub use event::EventQueue;
+pub use rng::SimRng;
+pub use time::{SimDuration, SimTime};

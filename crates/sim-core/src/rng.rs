@@ -1,0 +1,257 @@
+//! A small deterministic PRNG for workload generation.
+//!
+//! The simulator must replay bit-for-bit across runs and platforms, so we
+//! carry our own generator instead of depending on external crates whose
+//! stream may change between versions. The core is `xoshiro256**` seeded
+//! via SplitMix64 — the standard, well-tested construction.
+
+/// Deterministic pseudo-random number generator (xoshiro256\*\*).
+#[derive(Clone, Debug)]
+pub struct SimRng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = splitmix64(&mut sm);
+        }
+        // xoshiro requires a nonzero state; splitmix64 of any seed gives one
+        // with overwhelming probability, but guard against the pathological
+        // all-zero case anyway.
+        if s == [0, 0, 0, 0] {
+            s[0] = 0x9E3779B97F4A7C15;
+        }
+        SimRng { s }
+    }
+
+    /// Derives an independent child generator; useful for giving each
+    /// application or trace its own stream while keeping one master seed.
+    pub fn fork(&mut self, label: u64) -> SimRng {
+        let seed = self.next_u64() ^ label.wrapping_mul(0xA24BAED4963EE407);
+        SimRng::new(seed)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 high bits -> uniform double in [0,1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform float in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo <= hi, "uniform: empty range");
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// Uniform integer in `[0, n)` using Lemire's unbiased method.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn next_below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "next_below: n must be positive");
+        // Rejection-free for most draws; loop handles the biased region.
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128).wrapping_mul(n as u128);
+            let lo = m as u64;
+            if lo >= n || lo >= n.wrapping_neg() % n {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Uniform integer in `[lo, hi]` inclusive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "range_inclusive: empty range");
+        lo + self.next_below(hi - lo + 1)
+    }
+
+    /// Samples an exponential variate with the given mean.
+    ///
+    /// Used for Poisson arrival processes in the trace generators.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        debug_assert!(mean > 0.0);
+        // Avoid ln(0) by nudging the uniform sample away from zero.
+        let u = self.next_f64().max(1e-12);
+        -mean * u.ln()
+    }
+
+    /// Samples a log-normal-ish heavy-tailed variate with the given median
+    /// and spread (sigma of the underlying normal).
+    pub fn lognormal(&mut self, median: f64, sigma: f64) -> f64 {
+        median * (sigma * self.standard_normal()).exp()
+    }
+
+    /// Samples a standard normal variate (Box–Muller).
+    pub fn standard_normal(&mut self) -> f64 {
+        let u1 = self.next_f64().max(1e-12);
+        let u2 = self.next_f64();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * core::f64::consts::PI * u2).cos()
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p.clamp(0.0, 1.0)
+    }
+
+    /// Picks a uniformly random element of `items`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "choose: empty slice");
+        &items[self.next_below(items.len() as u64) as usize]
+    }
+
+    /// Fisher–Yates shuffles `items` in place.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.next_below(i as u64 + 1) as usize;
+            items.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::new(42);
+        let mut b = SimRng::new(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4, "streams should be essentially uncorrelated");
+    }
+
+    #[test]
+    fn fork_produces_independent_streams() {
+        let mut root = SimRng::new(7);
+        let mut c1 = root.fork(0);
+        let mut c2 = root.fork(1);
+        let same = (0..64).filter(|_| c1.next_u64() == c2.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn uniform_mean_is_half() {
+        let mut rng = SimRng::new(9);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| rng.next_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean = {mean}");
+    }
+
+    #[test]
+    fn exponential_mean_matches() {
+        let mut rng = SimRng::new(11);
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| rng.exponential(3.0)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.1, "mean = {mean}");
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = SimRng::new(13);
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| rng.standard_normal()).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean = {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var = {var}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = SimRng::new(5);
+        let mut v: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(
+            v,
+            (0..100).collect::<Vec<_>>(),
+            "100 items staying put is ~impossible"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn uniform_panics_on_inverted_range() {
+        SimRng::new(0).uniform(2.0, 1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_next_below_in_range(seed: u64, n in 1u64..10_000) {
+            let mut rng = SimRng::new(seed);
+            for _ in 0..32 {
+                prop_assert!(rng.next_below(n) < n);
+            }
+        }
+
+        #[test]
+        fn prop_range_inclusive_in_bounds(seed: u64, lo in 0u64..1000, span in 0u64..1000) {
+            let mut rng = SimRng::new(seed);
+            let hi = lo + span;
+            for _ in 0..16 {
+                let x = rng.range_inclusive(lo, hi);
+                prop_assert!(x >= lo && x <= hi);
+            }
+        }
+
+        #[test]
+        fn prop_f64_in_unit_interval(seed: u64) {
+            let mut rng = SimRng::new(seed);
+            for _ in 0..64 {
+                let x = rng.next_f64();
+                prop_assert!((0.0..1.0).contains(&x));
+            }
+        }
+    }
+}

@@ -1,0 +1,351 @@
+//! Request arrival patterns.
+//!
+//! The paper's workloads (Table 2) mix closed-loop clients (workloads A–C,
+//! with think times of 1/3, 2/3, and 1× the model's solo latency), two
+//! real-world traces (a Twitter request trace and the Azure serverless
+//! function trace), and special shapes (simultaneous bursts for Fig. 15,
+//! an extremely dense client for workload E).
+//!
+//! Open-loop patterns are pre-generated as timestamp lists; closed-loop
+//! clients are realized through the simulation's notice mechanism: the
+//! scheduler posts a notice when a request completes and the workload
+//! controller injects the next arrival after the think time.
+
+use gpu_sim::RequestArrival;
+use sim_core::{SimDuration, SimRng, SimTime};
+
+/// How one application's requests arrive.
+#[derive(Clone, Debug)]
+pub enum ArrivalPattern {
+    /// Closed loop: the next request arrives `think` after the previous
+    /// one completes. The paper's workloads A/B/C use
+    /// `think = {1/3, 2/3, 1} × solo latency`.
+    ClosedLoop {
+        /// Think time between a completion and the next arrival.
+        think: SimDuration,
+        /// Total number of requests to issue.
+        count: usize,
+    },
+    /// Open loop with deterministic period.
+    Periodic {
+        /// Inter-arrival period.
+        period: SimDuration,
+        /// Number of requests.
+        count: usize,
+        /// Offset of the first request.
+        offset: SimDuration,
+    },
+    /// Open-loop Poisson process.
+    Poisson {
+        /// Mean inter-arrival time.
+        mean_interval: SimDuration,
+        /// Generate arrivals in `[0, horizon)`.
+        horizon: SimTime,
+    },
+    /// Twitter-like trace: a diurnally modulated Poisson process. The real
+    /// trace's 24 h cycle is compressed to `cycle` of simulated time; the
+    /// rate swings ±60% around the mean, producing the dense-but-variable
+    /// tenancy the paper describes for this trace.
+    TwitterLike {
+        /// Mean inter-arrival time.
+        mean_interval: SimDuration,
+        /// Length of one compressed diurnal cycle.
+        cycle: SimDuration,
+        /// Generate arrivals in `[0, horizon)`.
+        horizon: SimTime,
+    },
+    /// Azure-serverless-like trace: sparse ON/OFF bursts. Long idle gaps
+    /// (the "abundant bubbles" of §6.3) separated by short bursts of a few
+    /// invocations.
+    AzureLike {
+        /// Mean idle gap between bursts.
+        mean_gap: SimDuration,
+        /// Maximum burst size (uniform in `1..=max`).
+        max_burst: u32,
+        /// Spacing of requests inside a burst.
+        intra_burst: SimDuration,
+        /// Generate arrivals in `[0, horizon)`.
+        horizon: SimTime,
+    },
+    /// All requests arrive at the same instant (Fig. 15's simultaneous
+    /// multi-tenant burst, Fig. 18's overlapped pair).
+    Simultaneous {
+        /// Number of requests, all at `at`.
+        count: usize,
+        /// The shared arrival instant.
+        at: SimTime,
+    },
+    /// Explicit timestamps (replaying a recorded trace).
+    AtTimes(Vec<SimTime>),
+}
+
+impl ArrivalPattern {
+    /// Generates this pattern's *open-loop* arrivals for application
+    /// `app`. Closed-loop patterns contribute only their first arrival
+    /// here; the rest are injected at runtime by the workload controller.
+    pub fn initial_arrivals(&self, app: usize, rng: &mut SimRng) -> Vec<RequestArrival> {
+        let mk = |req: usize, at: SimTime| RequestArrival { app, req, at };
+        match self {
+            ArrivalPattern::ClosedLoop { think, count } => {
+                if *count == 0 {
+                    Vec::new()
+                } else {
+                    // Desynchronize tenants: real client streams do not
+                    // start in lockstep, and perfectly phase-locked
+                    // closed loops would leave no partial overlaps (and
+                    // no bubbles) at all. The first request lands at a
+                    // deterministic, per-tenant random offset in
+                    // [0, think).
+                    let offset = SimDuration::from_secs_f64(rng.next_f64() * think.as_secs_f64());
+                    vec![mk(0, SimTime::ZERO + offset)]
+                }
+            }
+            ArrivalPattern::Periodic {
+                period,
+                count,
+                offset,
+            } => (0..*count)
+                .map(|i| mk(i, SimTime::ZERO + *offset + *period * i as u64))
+                .collect(),
+            ArrivalPattern::Poisson {
+                mean_interval,
+                horizon,
+            } => {
+                let mut out = Vec::new();
+                let mut t = SimTime::ZERO;
+                loop {
+                    let gap =
+                        SimDuration::from_secs_f64(rng.exponential(mean_interval.as_secs_f64()));
+                    t += gap;
+                    if t >= *horizon {
+                        break;
+                    }
+                    out.push(mk(out.len(), t));
+                }
+                out
+            }
+            ArrivalPattern::TwitterLike {
+                mean_interval,
+                cycle,
+                horizon,
+            } => {
+                // Thinning: simulate a Poisson process at the peak rate and
+                // keep each point with probability rate(t)/peak.
+                let mean = mean_interval.as_secs_f64();
+                let peak_rate = 1.6 / mean;
+                let cycle_s = cycle.as_secs_f64();
+                let mut out = Vec::new();
+                let mut t_s = 0.0f64;
+                let horizon_s = horizon.as_secs_f64();
+                loop {
+                    t_s += rng.exponential(1.0 / peak_rate);
+                    if t_s >= horizon_s {
+                        break;
+                    }
+                    let phase = (t_s / cycle_s) * std::f64::consts::TAU;
+                    let rate = (1.0 + 0.6 * phase.sin()) / mean;
+                    if rng.chance(rate / peak_rate) {
+                        out.push(mk(
+                            out.len(),
+                            SimTime::ZERO + SimDuration::from_secs_f64(t_s),
+                        ));
+                    }
+                }
+                out
+            }
+            ArrivalPattern::AzureLike {
+                mean_gap,
+                max_burst,
+                intra_burst,
+                horizon,
+            } => {
+                let mut out = Vec::new();
+                let mut t = SimTime::ZERO;
+                loop {
+                    let gap = SimDuration::from_secs_f64(rng.exponential(mean_gap.as_secs_f64()));
+                    t += gap;
+                    if t >= *horizon {
+                        break;
+                    }
+                    let burst = rng.range_inclusive(1, (*max_burst).max(1) as u64) as usize;
+                    for b in 0..burst {
+                        let at = t + *intra_burst * b as u64;
+                        if at >= *horizon {
+                            break;
+                        }
+                        out.push(mk(out.len(), at));
+                    }
+                    t += *intra_burst * burst as u64;
+                }
+                out
+            }
+            ArrivalPattern::Simultaneous { count, at } => (0..*count).map(|i| mk(i, *at)).collect(),
+            ArrivalPattern::AtTimes(times) => {
+                // Requests are numbered in arrival order regardless of the
+                // input ordering (request logs require in-order sequence
+                // numbers per app).
+                let mut sorted = times.clone();
+                sorted.sort_unstable();
+                sorted
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, t)| mk(i, t))
+                    .collect()
+            }
+        }
+    }
+
+    /// For closed-loop patterns: the think time and total request budget.
+    pub fn closed_loop_params(&self) -> Option<(SimDuration, usize)> {
+        match self {
+            ArrivalPattern::ClosedLoop { think, count } => Some((*think, *count)),
+            _ => None,
+        }
+    }
+}
+
+/// Encodes a request-completion notice as `app << 32 | req`.
+pub fn encode_notice(app: usize, req: usize) -> u64 {
+    debug_assert!(app < u32::MAX as usize && req < u32::MAX as usize);
+    ((app as u64) << 32) | req as u64
+}
+
+/// Decodes a notice produced by [`encode_notice`].
+pub fn decode_notice(notice: u64) -> (usize, usize) {
+    ((notice >> 32) as usize, (notice & 0xFFFF_FFFF) as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SimRng {
+        SimRng::new(1234)
+    }
+
+    #[test]
+    fn periodic_is_regular() {
+        let p = ArrivalPattern::Periodic {
+            period: SimDuration::from_millis(10),
+            count: 5,
+            offset: SimDuration::from_millis(2),
+        };
+        let arr = p.initial_arrivals(3, &mut rng());
+        assert_eq!(arr.len(), 5);
+        assert_eq!(arr[0].at, SimTime::from_millis(2));
+        assert_eq!(arr[4].at, SimTime::from_millis(42));
+        assert!(arr.iter().all(|a| a.app == 3));
+        assert_eq!(arr[2].req, 2);
+    }
+
+    #[test]
+    fn closed_loop_emits_only_the_first() {
+        let p = ArrivalPattern::ClosedLoop {
+            think: SimDuration::from_millis(5),
+            count: 100,
+        };
+        let arr = p.initial_arrivals(0, &mut rng());
+        assert_eq!(arr.len(), 1);
+        // The first request lands at a random offset within one think time.
+        assert!(arr[0].at < SimTime::ZERO + SimDuration::from_millis(5));
+        assert_eq!(
+            p.closed_loop_params(),
+            Some((SimDuration::from_millis(5), 100))
+        );
+        let empty = ArrivalPattern::ClosedLoop {
+            think: SimDuration::from_millis(5),
+            count: 0,
+        };
+        assert!(empty.initial_arrivals(0, &mut rng()).is_empty());
+    }
+
+    #[test]
+    fn poisson_rate_is_approximately_right() {
+        let p = ArrivalPattern::Poisson {
+            mean_interval: SimDuration::from_millis(10),
+            horizon: SimTime::from_millis(100_000),
+        };
+        let arr = p.initial_arrivals(0, &mut rng());
+        // Expect ~10_000 arrivals over 100 s at 100/s.
+        assert!((arr.len() as f64 - 10_000.0).abs() < 500.0, "{}", arr.len());
+        assert!(arr.windows(2).all(|w| w[0].at <= w[1].at));
+    }
+
+    #[test]
+    fn twitter_like_is_modulated_but_dense() {
+        let p = ArrivalPattern::TwitterLike {
+            mean_interval: SimDuration::from_millis(20),
+            cycle: SimDuration::from_secs(10),
+            horizon: SimTime::from_millis(40_000),
+        };
+        let arr = p.initial_arrivals(0, &mut rng());
+        assert!(arr.len() > 1000, "{}", arr.len());
+        // Peak half-cycle should carry clearly more arrivals than trough.
+        let cycle_ns = 10_000_000_000u64;
+        let in_first_half = arr
+            .iter()
+            .filter(|a| (a.at.as_nanos() % cycle_ns) < cycle_ns / 2)
+            .count();
+        let in_second_half = arr.len() - in_first_half;
+        assert!(
+            in_first_half as f64 > 1.3 * in_second_half as f64,
+            "{in_first_half} vs {in_second_half}"
+        );
+    }
+
+    #[test]
+    fn azure_like_is_sparse_and_bursty() {
+        let p = ArrivalPattern::AzureLike {
+            mean_gap: SimDuration::from_millis(500),
+            max_burst: 4,
+            intra_burst: SimDuration::from_millis(5),
+            horizon: SimTime::from_millis(60_000),
+        };
+        let arr = p.initial_arrivals(0, &mut rng());
+        assert!(!arr.is_empty());
+        // Mean inter-arrival must be much larger than the intra-burst gap
+        // (sparse overall) while some gaps are tiny (bursts).
+        let gaps: Vec<u64> = arr
+            .windows(2)
+            .map(|w| w[1].at.as_nanos() - w[0].at.as_nanos())
+            .collect();
+        let mean_gap = gaps.iter().sum::<u64>() as f64 / gaps.len() as f64;
+        assert!(mean_gap > 50.0e6, "mean gap {mean_gap} ns");
+        assert!(gaps.iter().any(|&g| g <= 5_000_000), "no bursts found");
+    }
+
+    #[test]
+    fn simultaneous_and_at_times() {
+        let p = ArrivalPattern::Simultaneous {
+            count: 4,
+            at: SimTime::from_millis(1),
+        };
+        let arr = p.initial_arrivals(0, &mut rng());
+        assert_eq!(arr.len(), 4);
+        assert!(arr.iter().all(|a| a.at == SimTime::from_millis(1)));
+
+        let p = ArrivalPattern::AtTimes(vec![SimTime::ZERO, SimTime::from_millis(3)]);
+        let arr = p.initial_arrivals(1, &mut rng());
+        assert_eq!(arr[1].req, 1);
+        assert_eq!(arr[1].at, SimTime::from_millis(3));
+    }
+
+    #[test]
+    fn notice_encoding_round_trips() {
+        for (app, req) in [(0, 0), (3, 17), (1000, 1_000_000)] {
+            assert_eq!(decode_notice(encode_notice(app, req)), (app, req));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let p = ArrivalPattern::Poisson {
+            mean_interval: SimDuration::from_millis(10),
+            horizon: SimTime::from_millis(1000),
+        };
+        let a = p.initial_arrivals(0, &mut SimRng::new(7));
+        let b = p.initial_arrivals(0, &mut SimRng::new(7));
+        assert_eq!(a.len(), b.len());
+        assert!(a.iter().zip(&b).all(|(x, y)| x.at == y.at));
+    }
+}

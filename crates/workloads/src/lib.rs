@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+
+//! Request arrival traces and the paper's workload definitions.
+//!
+//! This crate is the *client side* of the reproduction: it decides when
+//! each tenant's requests arrive at the host scheduler. It provides:
+//!
+//! * [`ArrivalPattern`] — closed-loop clients (workloads A/B/C), Poisson,
+//!   Twitter-like and Azure-serverless-like synthetic traces (workload D),
+//!   and special shapes for the microbenchmarks;
+//! * [`TenantSpec`] / [`WorkloadSet`] — applications with quotas and load
+//!   patterns, plus the closed-loop controller that injects follow-up
+//!   requests through the simulation's notice mechanism;
+//! * [`table2`] — the paper's Table 2 constants (quota assignments,
+//!   workload definitions A–E).
+//!
+//! ## Trace substitution
+//!
+//! The paper replays a Twitter request trace \[5\] and the Azure
+//! serverless function trace \[74\]. Neither ships with this repository,
+//! so we generate synthetic equivalents with the properties the paper's
+//! evaluation exploits: the Twitter-like trace is dense with diurnal
+//! modulation (few idle bubbles → modest gains), and the Azure-like trace
+//! is sparse and bursty (abundant bubbles → large gains). See DESIGN.md.
+
+pub mod arrivals;
+pub mod table2;
+pub mod tenancy;
+
+pub use arrivals::{decode_notice, encode_notice, ArrivalPattern};
+pub use table2::{
+    multi_workload, pair_workload, PaperWorkload, EIGHT_MODEL_QUOTAS, FOUR_MODEL_QUOTAS,
+    TWO_MODEL_QUOTAS,
+};
+pub use tenancy::{TenantSpec, WorkloadSet};

@@ -1,0 +1,229 @@
+//! The paper's Table 2: workloads A–E and the quota configurations.
+
+use dnn_models::gen::CALIBRATION_PCIE;
+use dnn_models::AppModel;
+use sim_core::{SimDuration, SimTime};
+
+use crate::arrivals::ArrivalPattern;
+use crate::tenancy::{TenantSpec, WorkloadSet};
+
+/// The paper's five workloads (Table 2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PaperWorkload {
+    /// (A) closed loop, think = 1/3 × solo latency.
+    HighLoad,
+    /// (B) closed loop, think = 2/3 × solo latency.
+    MediumLoad,
+    /// (C) closed loop, think = 1 × solo latency (QPS matches REEF's low
+    /// load).
+    LowLoad,
+    /// (D) Twitter-like real-world trace: dense, diurnally modulated.
+    TraceTwitter,
+    /// (D) Azure-serverless-like real-world trace: sparse and bursty.
+    TraceAzure,
+    /// (E) extremely biased: one app with a huge quota but low load
+    /// co-located with a dense low-quota app (built explicitly by the
+    /// harness; this variant covers the dense client).
+    BiasedDense,
+}
+
+impl PaperWorkload {
+    /// The closed-loop think-time factor for workloads A/B/C.
+    pub fn closed_loop_factor(self) -> Option<f64> {
+        match self {
+            PaperWorkload::HighLoad => Some(1.0 / 3.0),
+            PaperWorkload::MediumLoad => Some(2.0 / 3.0),
+            PaperWorkload::LowLoad => Some(1.0),
+            _ => None,
+        }
+    }
+
+    /// Builds the arrival pattern for one tenant with the given solo-run
+    /// latency, request budget, and horizon (horizon only matters for the
+    /// trace workloads).
+    pub fn pattern(
+        self,
+        solo_latency: SimDuration,
+        requests: usize,
+        horizon: SimTime,
+    ) -> ArrivalPattern {
+        match self {
+            PaperWorkload::HighLoad | PaperWorkload::MediumLoad | PaperWorkload::LowLoad => {
+                let think = solo_latency.mul_f64(self.closed_loop_factor().unwrap());
+                ArrivalPattern::ClosedLoop {
+                    think,
+                    count: requests,
+                }
+            }
+            PaperWorkload::TraceTwitter => ArrivalPattern::TwitterLike {
+                // Dense tenancy: mean inter-arrival ≈ 2.6 × solo latency,
+                // so a mutual pair keeps the GPU busy (~80% aggregate
+                // demand) without oversaturating it.
+                mean_interval: solo_latency.mul_f64(2.6),
+                cycle: SimDuration::from_secs(2),
+                horizon,
+            },
+            PaperWorkload::TraceAzure => ArrivalPattern::AzureLike {
+                // Sparse: long idle gaps of ~8 × solo latency between
+                // bursts of up to 3 invocations.
+                mean_gap: solo_latency.mul_f64(8.0),
+                max_burst: 3,
+                intra_burst: solo_latency.mul_f64(0.25),
+                horizon,
+            },
+            PaperWorkload::BiasedDense => ArrivalPattern::ClosedLoop {
+                // "Consistently submits requests with extremely dense
+                // workloads": zero think time.
+                think: SimDuration::ZERO,
+                count: requests,
+            },
+        }
+    }
+}
+
+/// Table 2's seven 2-model quota assignments.
+pub const TWO_MODEL_QUOTAS: [(f64, f64); 7] = [
+    (1.0 / 3.0, 2.0 / 3.0),
+    (7.0 / 18.0, 11.0 / 18.0),
+    (4.0 / 9.0, 5.0 / 9.0),
+    (0.5, 0.5),
+    (5.0 / 9.0, 4.0 / 9.0),
+    (11.0 / 18.0, 7.0 / 18.0),
+    (2.0 / 3.0, 1.0 / 3.0),
+];
+
+/// Table 2's 4-model quota assignment.
+pub const FOUR_MODEL_QUOTAS: [f64; 4] = [0.10, 0.20, 0.30, 0.40];
+
+/// Table 2's 8-model quota assignment.
+pub const EIGHT_MODEL_QUOTAS: [f64; 8] = [0.05, 0.05, 0.10, 0.10, 0.15, 0.15, 0.20, 0.20];
+
+/// Builds a pair-wise workload: two models with the given quotas and the
+/// same paper workload, `requests` requests each.
+pub fn pair_workload(
+    a: AppModel,
+    b: AppModel,
+    quotas: (f64, f64),
+    workload: PaperWorkload,
+    requests: usize,
+    horizon: SimTime,
+    seed: u64,
+) -> WorkloadSet {
+    let pa = workload.pattern(a.solo_duration(CALIBRATION_PCIE), requests, horizon);
+    let pb = workload.pattern(b.solo_duration(CALIBRATION_PCIE), requests, horizon);
+    WorkloadSet::new(
+        vec![
+            TenantSpec::new(a, quotas.0, pa),
+            TenantSpec::new(b, quotas.1, pb),
+        ],
+        seed,
+    )
+}
+
+/// Builds an n-tenant workload with per-tenant quotas and one shared paper
+/// workload.
+pub fn multi_workload(
+    models: Vec<AppModel>,
+    quotas: &[f64],
+    workload: PaperWorkload,
+    requests: usize,
+    horizon: SimTime,
+    seed: u64,
+) -> WorkloadSet {
+    assert_eq!(models.len(), quotas.len(), "one quota per model");
+    let tenants = models
+        .into_iter()
+        .zip(quotas)
+        .map(|(m, &q)| {
+            let p = workload.pattern(m.solo_duration(CALIBRATION_PCIE), requests, horizon);
+            TenantSpec::new(m, q, p)
+        })
+        .collect();
+    WorkloadSet::new(tenants, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnn_models::{ModelKind, Phase};
+
+    #[test]
+    fn quota_tables_sum_to_one() {
+        for (a, b) in TWO_MODEL_QUOTAS {
+            assert!((a + b - 1.0).abs() < 1e-9);
+        }
+        assert!((FOUR_MODEL_QUOTAS.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!((EIGHT_MODEL_QUOTAS.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn closed_loop_factors_match_table2() {
+        assert_eq!(
+            PaperWorkload::HighLoad.closed_loop_factor(),
+            Some(1.0 / 3.0)
+        );
+        assert_eq!(
+            PaperWorkload::MediumLoad.closed_loop_factor(),
+            Some(2.0 / 3.0)
+        );
+        assert_eq!(PaperWorkload::LowLoad.closed_loop_factor(), Some(1.0));
+        assert_eq!(PaperWorkload::TraceTwitter.closed_loop_factor(), None);
+    }
+
+    #[test]
+    fn pair_workload_builds_two_tenants() {
+        let a = AppModel::build(ModelKind::Vgg11, Phase::Inference);
+        let b = AppModel::build(ModelKind::ResNet50, Phase::Inference);
+        let ws = pair_workload(
+            a,
+            b,
+            (1.0 / 3.0, 2.0 / 3.0),
+            PaperWorkload::LowLoad,
+            10,
+            SimTime::from_millis(1000),
+            7,
+        );
+        assert_eq!(ws.len(), 2);
+        assert_eq!(ws.quotas(), vec![1.0 / 3.0, 2.0 / 3.0]);
+        // Low load: think time equals the model's solo latency.
+        match ws.tenants[0].pattern {
+            ArrivalPattern::ClosedLoop { think, count } => {
+                assert_eq!(count, 10);
+                let solo = ws.tenants[0].model.solo_duration(CALIBRATION_PCIE);
+                assert_eq!(think, solo);
+            }
+            _ => panic!("expected closed loop"),
+        }
+    }
+
+    #[test]
+    fn biased_dense_has_zero_think() {
+        let m = AppModel::build(ModelKind::Bert, Phase::Inference);
+        let p = PaperWorkload::BiasedDense.pattern(
+            m.solo_duration(CALIBRATION_PCIE),
+            50,
+            SimTime::from_millis(1000),
+        );
+        match p {
+            ArrivalPattern::ClosedLoop { think, count } => {
+                assert!(think.is_zero());
+                assert_eq!(count, 50);
+            }
+            _ => panic!("expected closed loop"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one quota per model")]
+    fn multi_workload_validates_lengths() {
+        let models = vec![AppModel::build(ModelKind::Vgg11, Phase::Inference)];
+        multi_workload(
+            models,
+            &[0.5, 0.5],
+            PaperWorkload::LowLoad,
+            1,
+            SimTime::from_millis(100),
+            1,
+        );
+    }
+}

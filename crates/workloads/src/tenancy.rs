@@ -1,0 +1,249 @@
+//! Tenants (application + quota + load) and the workload controller.
+
+use dnn_models::AppModel;
+use gpu_sim::{NoticeHandler, RequestArrival};
+use sim_core::{SimDuration, SimRng, SimTime};
+
+use crate::arrivals::{decode_notice, ArrivalPattern};
+
+/// One tenant: an application deployed with a GPU quota and a load pattern.
+#[derive(Clone, Debug)]
+pub struct TenantSpec {
+    /// The application (model + phase + kernel trace).
+    pub model: AppModel,
+    /// Provisioned GPU quota as a fraction in `(0, 1]`.
+    pub quota: f64,
+    /// How this tenant's requests arrive.
+    pub pattern: ArrivalPattern,
+}
+
+impl TenantSpec {
+    /// Creates a tenant spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quota` is outside `(0, 1]`.
+    pub fn new(model: AppModel, quota: f64, pattern: ArrivalPattern) -> Self {
+        assert!(
+            quota > 0.0 && quota <= 1.0,
+            "quota must be in (0, 1], got {quota}"
+        );
+        TenantSpec {
+            model,
+            quota,
+            pattern,
+        }
+    }
+}
+
+/// A complete multi-tenant workload: one [`TenantSpec`] per application.
+#[derive(Clone, Debug)]
+pub struct WorkloadSet {
+    /// The tenants, indexed by application id.
+    pub tenants: Vec<TenantSpec>,
+    /// Seed for arrival generation.
+    pub seed: u64,
+}
+
+impl WorkloadSet {
+    /// Creates a workload set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if empty or if the quotas sum to more than 1 (+ε).
+    pub fn new(tenants: Vec<TenantSpec>, seed: u64) -> Self {
+        assert!(!tenants.is_empty(), "a workload needs at least one tenant");
+        let total: f64 = tenants.iter().map(|t| t.quota).sum();
+        assert!(
+            total <= 1.0 + 1e-9,
+            "quotas must not oversubscribe the GPU (sum = {total})"
+        );
+        WorkloadSet { tenants, seed }
+    }
+
+    /// Number of tenants.
+    pub fn len(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// True if there are no tenants (never true for constructed sets).
+    pub fn is_empty(&self) -> bool {
+        self.tenants.is_empty()
+    }
+
+    /// The pre-generated (open-loop) arrivals of all tenants, merged.
+    pub fn initial_arrivals(&self) -> Vec<RequestArrival> {
+        let mut rng = SimRng::new(self.seed);
+        let mut out = Vec::new();
+        for (app, t) in self.tenants.iter().enumerate() {
+            let mut app_rng = rng.fork(app as u64);
+            out.extend(t.pattern.initial_arrivals(app, &mut app_rng));
+        }
+        out
+    }
+
+    /// Builds the closed-loop controller: a notice handler that injects
+    /// each closed-loop tenant's next request (after its think time) when
+    /// the scheduler posts the completion notice.
+    ///
+    /// Think times are jittered by ±25% (deterministically, from the
+    /// workload seed): real clients do not fire on a metronome, and the
+    /// jitter keeps co-located tenants from phase-locking into permanent
+    /// full overlap.
+    pub fn notice_handler(&self) -> NoticeHandler {
+        struct AppState {
+            think: SimDuration,
+            budget: usize,
+            issued: usize,
+        }
+        let mut state: Vec<Option<AppState>> = self
+            .tenants
+            .iter()
+            .map(|t| {
+                t.pattern
+                    .closed_loop_params()
+                    .map(|(think, count)| AppState {
+                        think,
+                        budget: count,
+                        // `initial_arrivals` issued request 0 already.
+                        issued: 1.min(count),
+                    })
+            })
+            .collect();
+        let mut rng = SimRng::new(self.seed ^ 0x7114_E411);
+        Box::new(move |notice, now: SimTime| {
+            let (app, _req) = decode_notice(notice);
+            let s = state.get_mut(app)?.as_mut()?;
+            if s.issued >= s.budget {
+                return None;
+            }
+            let req = s.issued;
+            s.issued += 1;
+            let think = s.think.mul_f64(rng.uniform(0.75, 1.25));
+            Some(RequestArrival {
+                app,
+                req,
+                at: now + think,
+            })
+        })
+    }
+
+    /// The per-tenant quotas.
+    pub fn quotas(&self) -> Vec<f64> {
+        self.tenants.iter().map(|t| t.quota).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrivals::encode_notice;
+    use dnn_models::{ModelKind, Phase};
+
+    fn model() -> AppModel {
+        AppModel::build(ModelKind::Vgg11, Phase::Inference)
+    }
+
+    #[test]
+    fn closed_loop_controller_issues_next_request() {
+        let ws = WorkloadSet::new(
+            vec![TenantSpec::new(
+                model(),
+                0.5,
+                ArrivalPattern::ClosedLoop {
+                    think: SimDuration::from_millis(5),
+                    count: 3,
+                },
+            )],
+            1,
+        );
+        let initial = ws.initial_arrivals();
+        assert_eq!(initial.len(), 1);
+
+        let mut handler = ws.notice_handler();
+        // Completion of request 0 at t=10ms -> request 1 lands one
+        // (jittered +/-25%) think time later.
+        let next = handler(encode_notice(0, 0), SimTime::from_millis(10)).unwrap();
+        assert_eq!(next.req, 1);
+        let gap = next.at.duration_since(SimTime::from_millis(10));
+        let lo = SimDuration::from_micros(3_750);
+        let hi = SimDuration::from_micros(6_250);
+        assert!(gap >= lo && gap <= hi, "jittered think {gap}");
+        // Request 2 is the last of the budget of 3.
+        let next = handler(encode_notice(0, 1), SimTime::from_millis(30)).unwrap();
+        assert_eq!(next.req, 2);
+        assert!(handler(encode_notice(0, 2), SimTime::from_millis(50)).is_none());
+    }
+
+    #[test]
+    fn open_loop_tenants_ignore_notices() {
+        let ws = WorkloadSet::new(
+            vec![TenantSpec::new(
+                model(),
+                1.0,
+                ArrivalPattern::Periodic {
+                    period: SimDuration::from_millis(10),
+                    count: 4,
+                    offset: SimDuration::ZERO,
+                },
+            )],
+            1,
+        );
+        assert_eq!(ws.initial_arrivals().len(), 4);
+        let mut handler = ws.notice_handler();
+        assert!(handler(encode_notice(0, 0), SimTime::from_millis(10)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "oversubscribe")]
+    fn oversubscribed_quotas_panic() {
+        let t = |q| {
+            TenantSpec::new(
+                model(),
+                q,
+                ArrivalPattern::Simultaneous {
+                    count: 1,
+                    at: SimTime::ZERO,
+                },
+            )
+        };
+        WorkloadSet::new(vec![t(0.7), t(0.7)], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "quota must be")]
+    fn zero_quota_panics() {
+        TenantSpec::new(
+            model(),
+            0.0,
+            ArrivalPattern::Simultaneous {
+                count: 1,
+                at: SimTime::ZERO,
+            },
+        );
+    }
+
+    #[test]
+    fn arrivals_are_deterministic() {
+        let mk = || {
+            WorkloadSet::new(
+                vec![TenantSpec::new(
+                    model(),
+                    1.0,
+                    ArrivalPattern::Poisson {
+                        mean_interval: SimDuration::from_millis(20),
+                        horizon: SimTime::from_millis(2000),
+                    },
+                )],
+                42,
+            )
+        };
+        let a = mk().initial_arrivals();
+        let b = mk().initial_arrivals();
+        assert_eq!(a.len(), b.len());
+        assert!(a
+            .iter()
+            .zip(&b)
+            .all(|(x, y)| x.at == y.at && x.req == y.req));
+    }
+}

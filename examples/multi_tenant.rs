@@ -1,0 +1,71 @@
+//! Beyond pair-wise sharing (§6.4): eight tenants with uneven quotas on
+//! one GPU, requests arriving simultaneously — the paper's Fig. 15.
+//!
+//! Run with: `cargo run --release --example multi_tenant`
+
+use dnn_models::{AppModel, ModelKind, Phase};
+use gpu_sim::GpuSpec;
+use harness::runner::{run_system, System};
+use sim_core::SimTime;
+use workloads::{multi_workload, PaperWorkload, EIGHT_MODEL_QUOTAS};
+
+fn main() {
+    let spec = GpuSpec::a100();
+    let models: Vec<AppModel> = [
+        ModelKind::Vgg11,
+        ModelKind::ResNet50,
+        ModelKind::ResNet101,
+        ModelKind::Bert,
+        ModelKind::Vgg11,
+        ModelKind::ResNet50,
+        ModelKind::ResNet101,
+        ModelKind::Bert,
+    ]
+    .iter()
+    .map(|&m| AppModel::build(m, Phase::Inference))
+    .collect();
+
+    let ws = multi_workload(
+        models.clone(),
+        &EIGHT_MODEL_QUOTAS,
+        PaperWorkload::BiasedDense,
+        1,
+        SimTime::from_secs(1),
+        41,
+    );
+
+    println!("8 tenants, quotas (5,5,10,10,15,15,20,20)%, simultaneous burst\n");
+    println!("{:<10} {:>10} {:>14}", "system", "avg ms", "deviation ms");
+    let mut bless_result = None;
+    for sys in [
+        System::Temporal,
+        System::Gslice,
+        System::Unbound,
+        System::Bless(bless::BlessParams::default()),
+    ] {
+        let r = run_system(&sys, &ws, &spec, SimTime::from_secs(120), None);
+        println!(
+            "{:<10} {:>10.2} {:>14.2}",
+            sys.name(),
+            r.mean_ms(),
+            r.deviation().as_millis_f64()
+        );
+        if matches!(sys, System::Bless(_)) {
+            bless_result = Some(r);
+        }
+    }
+
+    let r = bless_result.expect("BLESS ran");
+    println!("\nper-tenant latency vs ISO target under BLESS:");
+    for (i, m) in models.iter().enumerate() {
+        let lat = r.log.stats(i).mean.map_or(f64::NAN, |d| d.as_millis_f64());
+        let iso = r.iso_targets[i].as_millis_f64();
+        println!(
+            "  tenant {i} ({:<9} q={:>4.0}%): {:>8.2} ms (target {:>8.2} ms)",
+            m.kind.full_name(),
+            EIGHT_MODEL_QUOTAS[i] * 100.0,
+            lat,
+            iso
+        );
+    }
+}

@@ -1,0 +1,83 @@
+//! Quickstart: profile two DNN services, deploy them on one simulated
+//! A100 with GPU quotas, and serve a small request stream with BLESS.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use bless::{BlessDriver, BlessParams, DeployedApp};
+use dnn_models::{AppModel, ModelKind, Phase};
+use gpu_sim::{Gpu, GpuSpec, HostCosts, Simulation};
+use profiler::{admit, AdmissionPolicy, ProfiledApp};
+use sim_core::SimTime;
+use workloads::{pair_workload, PaperWorkload};
+
+fn main() {
+    // 1. The hardware: a simulated Nvidia A100 (108 SMs, 40 GB).
+    let spec = GpuSpec::a100();
+
+    // 2. Offline profiling (§4.2): run each application once unrestricted
+    //    and once per SM partition to obtain T[n%], t[n%][k], τ[n%][k].
+    println!("profiling applications...");
+    let vgg = ProfiledApp::profile(&AppModel::build(ModelKind::Vgg11, Phase::Inference), &spec);
+    let r50 = ProfiledApp::profile(
+        &AppModel::build(ModelKind::ResNet50, Phase::Inference),
+        &spec,
+    );
+    println!(
+        "  VGG-11:    solo {:>8}, profile cost {:.2} s",
+        vgg.iso_latency[profiler::PARTITIONS - 1],
+        vgg.profile_cost.as_secs_f64()
+    );
+    println!(
+        "  ResNet-50: solo {:>8}, profile cost {:.2} s",
+        r50.iso_latency[profiler::PARTITIONS - 1],
+        r50.profile_cost.as_secs_f64()
+    );
+
+    // 3. Admission (§4.2.2): kernel-granularity compatibility + memory.
+    admit(&[&vgg, &r50], spec.memory_mib, &AdmissionPolicy::default())
+        .expect("the pair co-locates safely");
+
+    // 4. Deploy with quotas: VGG gets 1/3 of the GPU, ResNet-50 gets 2/3.
+    let apps = vec![
+        DeployedApp::new(vgg, 1.0 / 3.0, None),
+        DeployedApp::new(r50, 2.0 / 3.0, None),
+    ];
+    let iso: Vec<String> = apps.iter().map(|a| a.iso_latency().to_string()).collect();
+    println!("ISO targets at quota: VGG {} | R50 {}", iso[0], iso[1]);
+
+    // 5. A low-load closed-loop client stream (the paper's workload C).
+    let ws = pair_workload(
+        AppModel::build(ModelKind::Vgg11, Phase::Inference),
+        AppModel::build(ModelKind::ResNet50, Phase::Inference),
+        (1.0 / 3.0, 2.0 / 3.0),
+        PaperWorkload::LowLoad,
+        20,
+        SimTime::from_secs(10),
+        7,
+    );
+
+    // 6. Serve it with BLESS.
+    let driver = BlessDriver::new(apps, BlessParams::default());
+    let gpu = Gpu::new(spec, HostCosts::paper());
+    let mut sim = Simulation::new(gpu, driver, ws.initial_arrivals())
+        .with_notice_handler(ws.notice_handler());
+    let outcome = sim.run(SimTime::from_secs(60));
+    println!("simulation outcome: {outcome:?}");
+
+    // 7. Results: both tenants beat their isolated-latency targets by
+    //    squeezing the idle bubbles.
+    for (app, name) in [(0, "VGG-11"), (1, "ResNet-50")] {
+        let stats = sim.driver.log.stats(app);
+        println!(
+            "{name}: {} requests, mean {:.2} ms, p99 {:.2} ms (ISO target {})",
+            stats.count,
+            stats.mean_ms(),
+            stats.p99.map_or(f64::NAN, |d| d.as_millis_f64()),
+            sim.driver.apps[app].iso_latency(),
+        );
+    }
+    println!(
+        "squads launched: {} ({} spatially partitioned)",
+        sim.driver.squads_launched, sim.driver.sp_squads
+    );
+}

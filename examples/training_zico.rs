@@ -1,0 +1,53 @@
+//! Training co-location (§6.3, Fig. 18b): two continuous training jobs
+//! sharing a GPU under ZICO's tick-tock coordination vs BLESS's squads.
+//!
+//! Run with: `cargo run --release --example training_zico`
+
+use dnn_models::{ModelKind, Phase};
+use gpu_sim::GpuSpec;
+use harness::cache;
+use harness::runner::{run_system, System};
+use sim_core::SimTime;
+use workloads::{pair_workload, PaperWorkload};
+
+fn main() {
+    let spec = GpuSpec::a100();
+
+    println!("two identical training jobs, iterations back-to-back\n");
+    for kind in [ModelKind::Vgg11, ModelKind::ResNet50, ModelKind::ResNet101] {
+        let ws = pair_workload(
+            cache::model(kind, Phase::Training),
+            cache::model(kind, Phase::Training),
+            (0.5, 0.5),
+            PaperWorkload::BiasedDense, // continuous iterations
+            6,
+            SimTime::from_secs(30),
+            73,
+        );
+        let mut line = format!("{:<10}", kind.full_name());
+        let mut zico_ms = f64::NAN;
+        for sys in System::training_set() {
+            let r = run_system(&sys, &ws, &spec, SimTime::from_secs(600), None);
+            if sys.name() == "ZICO" {
+                zico_ms = r.mean_ms();
+            }
+            line.push_str(&format!(" {}={:.1}ms", sys.name(), r.mean_ms()));
+        }
+        let bless = {
+            let r = run_system(
+                &System::Bless(bless::BlessParams::default()),
+                &ws,
+                &spec,
+                SimTime::from_secs(600),
+                None,
+            );
+            r.mean_ms()
+        };
+        println!(
+            "{line}  (BLESS vs ZICO: {:+.1}%)",
+            (bless / zico_ms - 1.0) * 100.0
+        );
+    }
+    println!("\nZICO's tick-tock iteration barriers leave idle bubbles that");
+    println!("BLESS's spatially-partitioned squads fill (paper Fig. 18b: -8.5%).");
+}

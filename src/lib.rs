@@ -1,0 +1,14 @@
+//! Umbrella crate for the BLESS reproduction workspace.
+//!
+//! Re-exports every member crate so examples and integration tests can
+//! use a single dependency. See the README for the repository map.
+
+pub use baselines;
+pub use bless;
+pub use dnn_models;
+pub use gpu_sim;
+pub use harness;
+pub use metrics;
+pub use profiler;
+pub use sim_core;
+pub use workloads;

@@ -1,0 +1,71 @@
+//! Determinism: identical inputs give bit-identical results — the whole
+//! stack (trace generation, simulation, scheduling) is replayable.
+
+use dnn_models::{ModelKind, Phase};
+use gpu_sim::GpuSpec;
+use harness::cache;
+use harness::runner::{run_system, System};
+use sim_core::SimTime;
+use workloads::{pair_workload, PaperWorkload};
+
+fn run_once(seed: u64, sys: &System) -> Vec<(u64, u64)> {
+    let spec = GpuSpec::a100();
+    let ws = pair_workload(
+        cache::model(ModelKind::NasNet, Phase::Inference),
+        cache::model(ModelKind::Bert, Phase::Inference),
+        (0.4, 0.6),
+        PaperWorkload::MediumLoad,
+        8,
+        SimTime::from_secs(10),
+        seed,
+    );
+    let r = run_system(sys, &ws, &spec, SimTime::from_secs(300), None);
+    let mut out = Vec::new();
+    for app in 0..2 {
+        for rec in r.log.records(app) {
+            out.push((
+                rec.arrival.as_nanos(),
+                rec.completion.map_or(0, |c| c.as_nanos()),
+            ));
+        }
+    }
+    out
+}
+
+#[test]
+fn bless_replays_bit_identically() {
+    let sys = System::Bless(bless::BlessParams::default());
+    assert_eq!(run_once(42, &sys), run_once(42, &sys));
+}
+
+#[test]
+fn baselines_replay_bit_identically() {
+    for sys in [
+        System::Gslice,
+        System::Unbound,
+        System::Temporal,
+        System::ReefPlus,
+    ] {
+        assert_eq!(run_once(7, &sys), run_once(7, &sys), "{}", sys.name());
+    }
+}
+
+#[test]
+fn different_seeds_give_different_traces() {
+    let sys = System::Bless(bless::BlessParams::default());
+    assert_ne!(run_once(1, &sys), run_once(2, &sys));
+}
+
+#[test]
+fn model_generation_is_stable_across_calls() {
+    // The model zoo must be a pure function of (kind, phase).
+    for kind in [ModelKind::Vgg11, ModelKind::NasNet, ModelKind::AlexNet] {
+        let a = dnn_models::AppModel::build(kind, Phase::Training);
+        let b = dnn_models::AppModel::build(kind, Phase::Training);
+        assert_eq!(a.kernels.len(), b.kernels.len());
+        for (x, y) in a.kernels.iter().zip(&b.kernels) {
+            assert_eq!(x.work.to_bits(), y.work.to_bits(), "bit-identical work");
+            assert_eq!(x.max_sms, y.max_sms);
+        }
+    }
+}

