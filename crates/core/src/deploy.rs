@@ -64,6 +64,14 @@ impl DeployedApp {
         self.profile.tau(self.partition, kernel)
     }
 
+    /// Stacked duration `Σ t[partition][k]` for the contiguous kernel
+    /// range `start..end`, in O(1) via the profile's prefix table (the hot
+    /// query of the configuration determiner — squads select kernels as
+    /// in-order contiguous ranges).
+    pub fn stacked_duration(&self, partition: usize, start: usize, end: usize) -> SimDuration {
+        self.profile.duration_range_sum(partition, start, end)
+    }
+
     /// Predicted duration of kernel `k` under an optional SM cap: the
     /// interpolated profiled duration at the cap, or the full-partition
     /// duration when unrestricted. Shared by the squad balancer and the

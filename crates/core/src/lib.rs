@@ -57,8 +57,8 @@ pub mod squad;
 pub use deploy::DeployedApp;
 pub use params::BlessParams;
 pub use predict::{
-    determine_config, predict_interference_free, predict_workload_equivalence, ConfigChoice,
-    ExecConfig,
+    determine_config, determine_config_memo, predict_interference_free,
+    predict_workload_equivalence, ConfigChoice, ConfigMemo, ExecConfig,
 };
 pub use runtime::{BlessDriver, SquadRecord};
 pub use squad::{generate_squad, ActiveRequest, Squad, SquadEntry};

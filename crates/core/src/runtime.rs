@@ -31,7 +31,7 @@ use sim_core::{SimDuration, SimTime};
 
 use crate::deploy::DeployedApp;
 use crate::params::BlessParams;
-use crate::predict::{determine_config, ExecConfig};
+use crate::predict::{determine_config_memo, ConfigMemo, ExecConfig};
 use crate::squad::{generate_squad, scheduling_cost, ActiveRequest, Squad};
 
 // `PendingReq`/`ActiveReq` mirror `baselines::common`'s request-lifecycle
@@ -117,6 +117,8 @@ pub struct BlessDriver {
     pub squads_launched: usize,
     /// Squads that ran with spatial partitioning.
     pub sp_squads: usize,
+    /// Memoized determiner results for recurring squad signatures.
+    memo: ConfigMemo,
 }
 
 struct SquadState {
@@ -155,6 +157,7 @@ impl BlessDriver {
             last_squad_launch: SimTime::ZERO,
             squads_launched: 0,
             sp_squads: 0,
+            memo: ConfigMemo::new(),
             apps,
             params,
         }
@@ -203,7 +206,7 @@ impl BlessDriver {
                 evaluated: 0,
             }
         } else {
-            determine_config(&squad, &self.apps, gpu.spec().num_sms)
+            determine_config_memo(&mut self.memo, &squad, &self.apps, gpu.spec().num_sms)
         };
 
         // Balance the squad: trim trailing kernels from entries whose

@@ -1,7 +1,8 @@
 //! Property tests on the multi-task scheduler's squad generation.
 
 use bless::{
-    determine_config, generate_squad, ActiveRequest, BlessParams, DeployedApp, ExecConfig,
+    determine_config, determine_config_memo, generate_squad, ActiveRequest, BlessParams,
+    ConfigMemo, DeployedApp, ExecConfig,
 };
 use dnn_models::{AppModel, ModelKind, Phase};
 use gpu_sim::GpuSpec;
@@ -94,6 +95,56 @@ proptest! {
             ExecConfig::Nsp => {}
         }
         prop_assert!(choice.evaluated >= 1);
+    }
+
+    /// Memoized determination is indistinguishable from the plain search
+    /// — same config, prediction, and `evaluated` count — and a recurring
+    /// squad signature is answered from the memo.
+    #[test]
+    fn prop_memoized_determiner_matches_plain(
+        counts in proptest::collection::vec(3usize..25, 2..4),
+    ) {
+        let quotas: Vec<f64> = vec![1.0 / counts.len() as f64; counts.len()];
+        let apps = apps_for(&quotas);
+        let active: Vec<ActiveRequest> = counts
+            .iter()
+            .enumerate()
+            .map(|(i, _)| ActiveRequest { app: i, arrival: SimTime::ZERO, next_kernel: 1 })
+            .collect();
+        let squad = generate_squad(SimTime::from_millis(5), &active, &apps, &BlessParams::default());
+        prop_assume!(squad.entries.len() >= 2);
+        let plain = determine_config(&squad, &apps, 108);
+        let mut memo = ConfigMemo::new();
+        for round in 0..2 {
+            let got = determine_config_memo(&mut memo, &squad, &apps, 108);
+            prop_assert_eq!(&got.config, &plain.config, "round {}", round);
+            prop_assert_eq!(got.predicted, plain.predicted);
+            prop_assert_eq!(got.evaluated, plain.evaluated);
+        }
+        prop_assert_eq!(memo.hits, 1);
+        prop_assert_eq!(memo.misses, 1);
+    }
+
+    /// The profile's prefix table agrees with the naive per-kernel sum on
+    /// every partition and every contiguous kernel range — the exactness
+    /// guarantee behind the determiner's O(1) stacked-duration lookups.
+    #[test]
+    fn prop_prefix_range_sums_match_naive_stacking(
+        app_idx in 0usize..3,
+        partition in 0usize..18,
+        start in 0usize..40,
+        len in 0usize..40,
+    ) {
+        let apps = apps_for(&[1.0 / 3.0; 3]);
+        let app = &apps[app_idx];
+        let total = app.profile.kernel_count();
+        let start = start.min(total);
+        let end = (start + len).min(total);
+        let naive: sim_core::SimDuration = (start..end)
+            .map(|k| app.profile.kernel_duration(partition, k))
+            .sum();
+        prop_assert_eq!(app.stacked_duration(partition, start, end), naive);
+        prop_assert_eq!(app.profile.duration_range_sum(partition, start, end), naive);
     }
 
     /// A lagging request (old arrival, little progress) always receives

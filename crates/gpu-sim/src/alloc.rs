@@ -125,9 +125,24 @@ pub fn allocate_sms(
     groups: &[CtxGroup],
     kernels: &[KernelDemand],
 ) -> Vec<f64> {
-    let mut alloc = vec![0.0; kernels.len()];
+    let mut alloc = Vec::new();
+    allocate_sms_into(&mut alloc, pool_capacity, groups, kernels);
+    alloc
+}
+
+/// Like [`allocate_sms`], but writes into a caller-provided buffer so a hot
+/// caller (the engine's reallocation path) can reuse its allocation across
+/// calls instead of heap-allocating on every event.
+pub fn allocate_sms_into(
+    alloc: &mut Vec<f64>,
+    pool_capacity: &[f64],
+    groups: &[CtxGroup],
+    kernels: &[KernelDemand],
+) {
+    alloc.clear();
+    alloc.resize(kernels.len(), 0.0);
     if kernels.is_empty() {
-        return alloc;
+        return;
     }
 
     // Bucket kernels by context group, preserving order for determinism.
@@ -180,7 +195,6 @@ pub fn allocate_sms(
             }
         }
     }
-    alloc
 }
 
 #[cfg(test)]

@@ -26,7 +26,7 @@ use std::collections::VecDeque;
 
 use sim_core::{EventQueue, SimDuration, SimTime};
 
-use crate::alloc::{allocate_sms, CtxGroup, KernelDemand};
+use crate::alloc::{allocate_sms_into, CtxGroup, KernelDemand};
 use crate::kernel::{KernelDesc, KernelKind};
 use crate::spec::{GpuSpec, HostCosts, HwPolicy};
 
@@ -169,6 +169,12 @@ struct Instance {
     /// across reallocations, so the event heap is not churned for
     /// bystander kernels.
     event_epoch: u64,
+    /// Generation of this slot; bumped every time the slot is recycled so
+    /// stale [`KernelHandle`]s are detectable.
+    generation: u32,
+    /// Index of this kernel's most recent timeline segment (for
+    /// coalescing), or `usize::MAX`.
+    last_seg: usize,
     /// Earliest instant the kernel may begin when paying the contended
     /// dispatch gap (unrestricted context with co-resident tenants).
     /// Set once: a kernel never pays the arbitration gap twice.
@@ -251,6 +257,32 @@ pub struct Gpu {
     /// completions feeding closed-loop clients).
     notices: Vec<u64>,
     next_run_seq: u64,
+    /// Completed slots available for reuse (only fed when
+    /// `recycle_slots` is on).
+    free_slots: Vec<usize>,
+    /// Whether reported-complete instances are recycled through the
+    /// free-list (see [`Gpu::set_slot_recycling`]).
+    recycle_slots: bool,
+    /// Scratch buffers reused across `reallocate` calls so the per-event
+    /// hot path performs no heap allocation in steady state.
+    scratch: ReallocScratch,
+}
+
+/// Reusable buffers for [`Gpu::reallocate_scoped`] / `sticky_allocate`.
+#[derive(Default)]
+struct ReallocScratch {
+    compute: Vec<usize>,
+    h2d: Vec<usize>,
+    d2h: Vec<usize>,
+    groups: Vec<CtxGroup>,
+    alloc: Vec<f64>,
+    order: Vec<usize>,
+    pool_used: Vec<f64>,
+    ctx_used: Vec<f64>,
+    ctx_runnable: Vec<bool>,
+    reserved: Vec<f64>,
+    pokes: Vec<SimTime>,
+    demands: Vec<KernelDemand>,
 }
 
 impl Gpu {
@@ -276,7 +308,24 @@ impl Gpu {
             live_instances: 0,
             notices: Vec::new(),
             next_run_seq: 0,
+            free_slots: Vec::new(),
+            recycle_slots: false,
+            scratch: ReallocScratch::default(),
         }
+    }
+
+    /// Enables (or disables) recycling of completed instance slots through
+    /// a free-list, bounding `instances` growth on long traces.
+    ///
+    /// Handles are generation-tagged, so a stale handle to a recycled slot
+    /// reports `Done` / `None` rather than another kernel's data — but
+    /// callers that introspect kernels *after* their completion was
+    /// reported (e.g. the profiler, which queries every handle post-drain)
+    /// must leave recycling off. Long-trace driver loops that only consume
+    /// [`StepOutput::KernelDone`] tags can enable it freely: slot reuse
+    /// never changes scheduling order, so results are bit-identical.
+    pub fn set_slot_recycling(&mut self, on: bool) {
+        self.recycle_slots = on;
     }
 
     /// Creates an A100 with the paper's host costs.
@@ -353,7 +402,8 @@ impl Gpu {
                 self.mig_reserved_sms += sm_count;
                 self.pool_capacity[0] = (self.spec.num_sms - self.mig_reserved_sms) as f64;
                 self.pool_capacity.push(sm_count as f64);
-                self.reallocate();
+                // Pool shape only affects compute allocation.
+                self.reallocate_scoped(true, false);
                 self.pool_capacity.len() - 1
             }
         };
@@ -393,7 +443,8 @@ impl Gpu {
                     ));
                 }
                 c.kind = CtxKind::MpsAffinity { sm_cap };
-                self.reallocate();
+                // Context caps only affect compute allocation.
+                self.reallocate_scoped(true, false);
                 Ok(())
             }
             _ => Err(GpuError::InvalidOperation(
@@ -478,8 +529,7 @@ impl Gpu {
             KernelKind::Compute { .. } => desc.work,
             KernelKind::MemcpyH2D { bytes } | KernelKind::MemcpyD2H { bytes } => bytes as f64,
         };
-        let slot = self.instances.len();
-        self.instances.push(Instance {
+        let inst = Instance {
             desc,
             queue,
             tag,
@@ -489,13 +539,45 @@ impl Gpu {
             alloc_sms: 0.0,
             run_seq: u64::MAX,
             event_epoch: 0,
+            generation: 0,
+            last_seg: usize::MAX,
             dispatch_ready: None,
             started_at: None,
             finished_at: None,
-        });
+        };
+        let slot = match self.free_slots.pop() {
+            Some(s) => {
+                // The slot keeps its (already bumped) generation so stale
+                // handles from the previous occupant stay detectable.
+                let generation = self.instances[s].generation;
+                self.instances[s] = Instance { generation, ..inst };
+                s
+            }
+            None => {
+                debug_assert!(self.instances.len() < u32::MAX as usize);
+                self.instances.push(inst);
+                self.instances.len() - 1
+            }
+        };
         self.live_instances += 1;
         self.events.push(arrive_at, DevEv::Arrive { slot });
-        KernelHandle(slot as u64)
+        Self::handle_for(slot, self.instances[slot].generation)
+    }
+
+    /// Packs a slot index and its generation into a handle. Generation 0
+    /// handles are numerically equal to their slot index, so recycling-off
+    /// behaviour (the default) is unchanged.
+    fn handle_for(slot: usize, generation: u32) -> KernelHandle {
+        KernelHandle(((generation as u64) << 32) | slot as u64)
+    }
+
+    /// Resolves a handle to its instance, or `None` if the slot has since
+    /// been recycled (the handle's kernel necessarily completed).
+    fn resolve(&self, h: KernelHandle) -> Option<&Instance> {
+        let slot = (h.0 & 0xFFFF_FFFF) as usize;
+        let generation = (h.0 >> 32) as u32;
+        let inst = &self.instances[slot];
+        (inst.generation == generation).then_some(inst)
     }
 
     /// Launches a group of kernels as one unit (a CUDA-graph analogue):
@@ -554,24 +636,34 @@ impl Gpu {
     // Introspection
     // ------------------------------------------------------------------
 
-    /// Lifecycle state of an instance.
+    /// Lifecycle state of an instance. A recycled slot's stale handle
+    /// reports `Done` (the only state a slot can be recycled from).
     pub fn kernel_state(&self, h: KernelHandle) -> InstState {
-        self.instances[h.0 as usize].state
+        self.resolve(h).map_or(InstState::Done, |i| i.state)
     }
 
-    /// When the instance finished, if it has.
+    /// When the instance finished, if it has. `None` for stale handles to
+    /// recycled slots (their timestamps were dropped with the slot).
     pub fn kernel_finished_at(&self, h: KernelHandle) -> Option<SimTime> {
-        self.instances[h.0 as usize].finished_at
+        self.resolve(h).and_then(|i| i.finished_at)
     }
 
-    /// When the instance started running, if it has.
+    /// When the instance started running, if it has (`None` for stale
+    /// handles to recycled slots).
     pub fn kernel_started_at(&self, h: KernelHandle) -> Option<SimTime> {
-        self.instances[h.0 as usize].started_at
+        self.resolve(h).and_then(|i| i.started_at)
     }
 
     /// The name of the launched kernel.
     pub fn kernel_name(&self, h: KernelHandle) -> &str {
-        &self.instances[h.0 as usize].desc.name
+        self.resolve(h).map_or("<recycled>", |i| &i.desc.name)
+    }
+
+    /// Capacity currently devoted to instance bookkeeping (slots in use or
+    /// on the free-list); with recycling on this stays bounded by the peak
+    /// number of concurrently live kernels.
+    pub fn instance_slots(&self) -> usize {
+        self.instances.len()
     }
 
     /// Number of instances that have not yet completed.
@@ -641,8 +733,13 @@ impl Gpu {
                 self.instances[slot].state = InstState::Queued;
                 let q = self.instances[slot].queue.0 as usize;
                 self.queues[q].waiting.push_back(slot);
-                self.try_start_head(q);
-                self.reallocate();
+                // If the kernel queued behind a running head, the running
+                // set is unchanged: every rate would recompute to its
+                // current value, so the reallocation is skipped entirely.
+                if let Some(started) = self.try_start_head(q) {
+                    let compute = self.instances[started].desc.kind.is_compute();
+                    self.reallocate_scoped(compute, !compute);
+                }
                 None
             }
             DevEv::Complete { slot, epoch } => {
@@ -661,15 +758,26 @@ impl Gpu {
                 }
                 self.finish(slot);
                 let inst = &self.instances[slot];
-                Some(StepOutput::KernelDone {
-                    handle: KernelHandle(slot as u64),
+                let out = StepOutput::KernelDone {
+                    handle: Self::handle_for(slot, inst.generation),
                     queue: inst.queue,
                     tag: inst.tag,
-                })
+                };
+                if self.recycle_slots {
+                    // The completion is being reported right now; after the
+                    // driver's callback the slot may be reused. Bump the
+                    // generation so the reported handle turns stale.
+                    self.instances[slot].generation =
+                        self.instances[slot].generation.wrapping_add(1);
+                    self.free_slots.push(slot);
+                }
+                Some(out)
             }
             DevEv::HostWake { token } => Some(StepOutput::HostWake { token }),
             DevEv::Poke => {
-                self.reallocate();
+                // Pokes only exist for compute dispatch gaps; DMA rates
+                // cannot have changed.
+                self.reallocate_scoped(true, false);
                 None
             }
         }
@@ -689,26 +797,33 @@ impl Gpu {
         inst.rate = 0.0;
         inst.alloc_sms = 0.0;
         inst.finished_at = Some(self.now);
+        let finished_compute = inst.desc.kind.is_compute();
         self.live_instances -= 1;
         let q = inst.queue.0 as usize;
         debug_assert_eq!(self.queues[q].running, Some(slot));
         self.queues[q].running = None;
-        self.try_start_head(q);
-        self.reallocate();
+        let started = self.try_start_head(q);
+        // Compute allocation depends only on the running compute set, DMA
+        // rates only on the per-direction memcpy counts: recompute just the
+        // side(s) this transition touched.
+        let started_compute = started.map(|s| self.instances[s].desc.kind.is_compute());
+        let compute_dirty = finished_compute || started_compute == Some(true);
+        let dma_dirty = !finished_compute || started_compute == Some(false);
+        self.reallocate_scoped(compute_dirty, dma_dirty);
     }
 
-    fn try_start_head(&mut self, q: usize) {
+    fn try_start_head(&mut self, q: usize) -> Option<usize> {
         if self.queues[q].running.is_some() {
-            return;
+            return None;
         }
-        if let Some(slot) = self.queues[q].waiting.pop_front() {
-            self.queues[q].running = Some(slot);
-            let inst = &mut self.instances[slot];
-            inst.state = InstState::Running;
-            inst.run_seq = self.next_run_seq;
-            self.next_run_seq += 1;
-            inst.started_at = Some(self.now);
-        }
+        let slot = self.queues[q].waiting.pop_front()?;
+        self.queues[q].running = Some(slot);
+        let inst = &mut self.instances[slot];
+        inst.state = InstState::Running;
+        inst.run_seq = self.next_run_seq;
+        self.next_run_seq += 1;
+        inst.started_at = Some(self.now);
+        Some(slot)
     }
 
     /// Integrates all running work from `last_settle` to `t` and clamps
@@ -741,123 +856,168 @@ impl Gpu {
                 let contrib = alloc * dt;
                 self.busy_sm_integral += contrib;
                 self.queues[q].busy_integral += contrib;
+                let generation = self.instances[slot].generation;
+                let last = self.instances[slot].last_seg;
                 if let Some(tl) = &mut self.timeline {
-                    tl.push(TimelineSegment {
-                        handle: KernelHandle(slot as u64),
-                        queue,
-                        tag,
-                        from: self.last_settle,
-                        to: t,
-                        sms: alloc,
-                    });
+                    // Coalesce with this instance's previous segment when
+                    // it abuts this one and the SM allocation is unchanged:
+                    // reallocations that leave a kernel's share untouched
+                    // then cost no timeline growth.
+                    if last < tl.len() && tl[last].to == self.last_settle && tl[last].sms == alloc {
+                        tl[last].to = t;
+                    } else {
+                        self.instances[slot].last_seg = tl.len();
+                        tl.push(TimelineSegment {
+                            handle: Self::handle_for(slot, generation),
+                            queue,
+                            tag,
+                            from: self.last_settle,
+                            to: t,
+                            sms: alloc,
+                        });
+                    }
                 }
             }
         }
         self.last_settle = t;
     }
 
-    /// Recomputes SM allocations, interference, rates, and completion
-    /// predictions for every running instance.
-    fn reallocate(&mut self) {
+    /// Scoped reallocation: recomputes compute-side state (SM shares,
+    /// interference, rates) only when `do_compute`, and DMA-side state
+    /// (per-direction bandwidth shares) only when `do_dma`.
+    ///
+    /// This is exact, not approximate: compute rates depend only on the set
+    /// of running compute kernels (plus contexts/pools), and DMA rates only
+    /// on the per-direction memcpy counts. An event that changes one side
+    /// leaves every rate on the other side bit-identical, so skipping the
+    /// recomputation cannot alter simulation results.
+    ///
+    /// All intermediate vectors come from `self.scratch` so steady-state
+    /// reallocation performs no heap allocation.
+    fn reallocate_scoped(&mut self, do_compute: bool, do_dma: bool) {
         self.settle(self.now);
         self.epoch += 1;
 
         // Gather running compute kernels and running memcpys.
-        let mut compute: Vec<usize> = Vec::new();
-        let mut h2d: Vec<usize> = Vec::new();
-        let mut d2h: Vec<usize> = Vec::new();
+        let mut compute = std::mem::take(&mut self.scratch.compute);
+        let mut h2d = std::mem::take(&mut self.scratch.h2d);
+        let mut d2h = std::mem::take(&mut self.scratch.d2h);
+        compute.clear();
+        h2d.clear();
+        d2h.clear();
         for q in &self.queues {
             if let Some(slot) = q.running {
                 match self.instances[slot].desc.kind {
-                    KernelKind::Compute { .. } => compute.push(slot),
-                    KernelKind::MemcpyH2D { .. } => h2d.push(slot),
-                    KernelKind::MemcpyD2H { .. } => d2h.push(slot),
+                    KernelKind::Compute { .. } => {
+                        if do_compute {
+                            compute.push(slot);
+                        }
+                    }
+                    KernelKind::MemcpyH2D { .. } => {
+                        if do_dma {
+                            h2d.push(slot);
+                        }
+                    }
+                    KernelKind::MemcpyD2H { .. } => {
+                        if do_dma {
+                            d2h.push(slot);
+                        }
+                    }
                 }
             }
         }
 
-        // SM allocation for compute kernels, per the hardware policy.
-        let groups: Vec<CtxGroup> = self
-            .contexts
-            .iter()
-            .map(|c| CtxGroup {
+        if do_compute {
+            // SM allocation for compute kernels, per the hardware policy.
+            let mut groups = std::mem::take(&mut self.scratch.groups);
+            groups.clear();
+            groups.extend(self.contexts.iter().map(|c| CtxGroup {
                 pool: c.pool,
                 sm_cap: match c.kind {
                     CtxKind::Default => f64::INFINITY,
                     CtxKind::MpsAffinity { sm_cap } => sm_cap as f64,
                     CtxKind::MigPartition { sm_count } => sm_count as f64,
                 },
-            })
-            .collect();
-        let alloc = match self.spec.hw_policy {
-            HwPolicy::FairShare => {
-                let demands: Vec<KernelDemand> = compute
-                    .iter()
-                    .map(|&slot| {
+            }));
+            let mut alloc = std::mem::take(&mut self.scratch.alloc);
+            match self.spec.hw_policy {
+                HwPolicy::FairShare => {
+                    let mut demands = std::mem::take(&mut self.scratch.demands);
+                    demands.clear();
+                    demands.extend(compute.iter().map(|&slot| {
                         let inst = &self.instances[slot];
                         KernelDemand {
                             id: slot,
                             ctx_group: self.queues[inst.queue.0 as usize].ctx.0 as usize,
                             kernel_cap: inst.desc.max_sms as f64,
                         }
-                    })
-                    .collect();
-                allocate_sms(&self.pool_capacity, &groups, &demands)
+                    }));
+                    allocate_sms_into(&mut alloc, &self.pool_capacity, &groups, &demands);
+                    self.scratch.demands = demands;
+                }
+                HwPolicy::GreedySticky => self.sticky_allocate(&compute, &groups, &mut alloc),
             }
-            HwPolicy::GreedySticky => self.sticky_allocate(&compute, &groups),
-        };
 
-        // Interference: each kernel is slowed by the memory traffic of its
-        // co-runners, proportionally to the co-runners' active SM share and
-        // partly to the victim's own memory intensity.
-        let total_traffic: f64 = compute
-            .iter()
-            .zip(&alloc)
-            .map(|(&slot, &a)| {
-                self.instances[slot].desc.mem_intensity * (a / self.spec.num_sms as f64)
-            })
-            .sum();
+            // Interference: each kernel is slowed by the memory traffic of
+            // its co-runners, proportionally to the co-runners' active SM
+            // share and partly to the victim's own memory intensity.
+            let total_traffic: f64 = compute
+                .iter()
+                .zip(&alloc)
+                .map(|(&slot, &a)| {
+                    self.instances[slot].desc.mem_intensity * (a / self.spec.num_sms as f64)
+                })
+                .sum();
 
-        for (i, &slot) in compute.iter().enumerate() {
-            let a = alloc[i];
-            let inst = &self.instances[slot];
-            let own = inst.desc.mem_intensity * (a / self.spec.num_sms as f64);
-            let pressure = (total_traffic - own).max(0.0);
-            let sensitivity = self.spec.interference_base
-                + (1.0 - self.spec.interference_base) * inst.desc.mem_intensity;
-            let slowdown = (1.0 + self.spec.interference_alpha * pressure * sensitivity)
-                .min(self.spec.interference_cap);
-            let new_rate = if a > 0.0 { a / slowdown } else { 0.0 };
-            let unchanged = (self.instances[slot].rate - new_rate).abs() < 1e-12
-                && self.instances[slot].rate > 0.0;
-            let inst = &mut self.instances[slot];
-            inst.alloc_sms = a;
-            inst.rate = new_rate;
-            if !unchanged {
-                // Rate changed (or the kernel just started/stalled):
-                // reschedule its completion. Kernels whose rate is
-                // untouched keep their already-scheduled event.
-                self.push_completion(slot);
-            }
-        }
-
-        // DMA engines: equal bandwidth sharing per direction.
-        for dir in [&h2d, &d2h] {
-            if dir.is_empty() {
-                continue;
-            }
-            let per = self.spec.pcie_bytes_per_sec / dir.len() as f64 / 1e9; // bytes per ns
-            for &slot in dir.iter() {
-                let unchanged = (self.instances[slot].rate - per).abs() < 1e-18
+            for (i, &slot) in compute.iter().enumerate() {
+                let a = alloc[i];
+                let inst = &self.instances[slot];
+                let own = inst.desc.mem_intensity * (a / self.spec.num_sms as f64);
+                let pressure = (total_traffic - own).max(0.0);
+                let sensitivity = self.spec.interference_base
+                    + (1.0 - self.spec.interference_base) * inst.desc.mem_intensity;
+                let slowdown = (1.0 + self.spec.interference_alpha * pressure * sensitivity)
+                    .min(self.spec.interference_cap);
+                let new_rate = if a > 0.0 { a / slowdown } else { 0.0 };
+                let unchanged = (self.instances[slot].rate - new_rate).abs() < 1e-12
                     && self.instances[slot].rate > 0.0;
                 let inst = &mut self.instances[slot];
-                inst.alloc_sms = 0.0;
-                inst.rate = per;
+                inst.alloc_sms = a;
+                inst.rate = new_rate;
                 if !unchanged {
+                    // Rate changed (or the kernel just started/stalled):
+                    // reschedule its completion. Kernels whose rate is
+                    // untouched keep their already-scheduled event.
                     self.push_completion(slot);
                 }
             }
+            self.scratch.groups = groups;
+            self.scratch.alloc = alloc;
         }
+
+        if do_dma {
+            // DMA engines: equal bandwidth sharing per direction.
+            for dir in [&h2d, &d2h] {
+                if dir.is_empty() {
+                    continue;
+                }
+                let per = self.spec.pcie_bytes_per_sec / dir.len() as f64 / 1e9; // bytes per ns
+                for &slot in dir.iter() {
+                    let unchanged = (self.instances[slot].rate - per).abs() < 1e-18
+                        && self.instances[slot].rate > 0.0;
+                    let inst = &mut self.instances[slot];
+                    inst.alloc_sms = 0.0;
+                    inst.rate = per;
+                    if !unchanged {
+                        self.push_completion(slot);
+                    }
+                }
+            }
+        }
+
+        self.scratch.compute = compute;
+        self.scratch.h2d = h2d;
+        self.scratch.d2h = d2h;
     }
 
     /// Block-granular greedy allocation (the default hardware model):
@@ -870,16 +1030,23 @@ impl Gpu {
     /// 3. A kernel that has no SMs yet only begins once at least one full
     ///    SM is free — two full-GPU kernels therefore serialize instead of
     ///    fluidly sharing.
-    fn sticky_allocate(&mut self, compute: &[usize], groups: &[CtxGroup]) -> Vec<f64> {
+    fn sticky_allocate(&mut self, compute: &[usize], groups: &[CtxGroup], alloc: &mut Vec<f64>) {
         let n_pools = self.pool_capacity.len();
-        let mut pool_used = vec![0.0f64; n_pools];
-        let mut ctx_used = vec![0.0f64; groups.len()];
+        let mut pool_used = std::mem::take(&mut self.scratch.pool_used);
+        pool_used.clear();
+        pool_used.resize(n_pools, 0.0);
+        let mut ctx_used = std::mem::take(&mut self.scratch.ctx_used);
+        ctx_used.clear();
+        ctx_used.resize(groups.len(), 0.0);
 
         // Dispatch order: earlier-started kernels have priority.
-        let mut order: Vec<usize> = (0..compute.len()).collect();
+        let mut order = std::mem::take(&mut self.scratch.order);
+        order.clear();
+        order.extend(0..compute.len());
         order.sort_by_key(|&i| self.instances[compute[i]].run_seq);
 
-        let mut alloc = vec![0.0f64; compute.len()];
+        alloc.clear();
+        alloc.resize(compute.len(), 0.0);
         // Phase 1: retain current allocations (clamped to caps).
         for &i in &order {
             let slot = compute[i];
@@ -901,24 +1068,27 @@ impl Gpu {
         // them, so its block waves launch there immediately. Unrestricted
         // co-runners reserve nothing structurally — they contend for the
         // whole pool, and dispatch-order alternation decides (Fig. 7a).
-        let mut ctx_has_runnable = vec![false; groups.len()];
+        let mut ctx_has_runnable = std::mem::take(&mut self.scratch.ctx_runnable);
+        ctx_has_runnable.clear();
+        ctx_has_runnable.resize(groups.len(), false);
         for &slot in compute {
             let ctx = self.queues[self.instances[slot].queue.0 as usize].ctx.0 as usize;
             ctx_has_runnable[ctx] = true;
         }
-        let finite_cap_reserved: Vec<f64> = (0..self.pool_capacity.len())
-            .map(|pool| {
-                groups
-                    .iter()
-                    .enumerate()
-                    .filter(|&(c, g)| g.pool == pool && ctx_has_runnable[c] && g.sm_cap.is_finite())
-                    .map(|(_, g)| g.sm_cap)
-                    .sum()
-            })
-            .collect();
+        let mut finite_cap_reserved = std::mem::take(&mut self.scratch.reserved);
+        finite_cap_reserved.clear();
+        finite_cap_reserved.extend((0..self.pool_capacity.len()).map(|pool| {
+            groups
+                .iter()
+                .enumerate()
+                .filter(|&(c, g)| g.pool == pool && ctx_has_runnable[c] && g.sm_cap.is_finite())
+                .map(|(_, g)| g.sm_cap)
+                .sum::<f64>()
+        }));
 
         // Phase 2: grow/start in dispatch order.
-        let mut pokes: Vec<SimTime> = Vec::new();
+        let mut pokes = std::mem::take(&mut self.scratch.pokes);
+        pokes.clear();
         for &i in &order {
             let slot = compute[i];
             let inst = &self.instances[slot];
@@ -977,10 +1147,15 @@ impl Gpu {
             ctx_used[ctx] += grant;
             pool_used[pool] += grant;
         }
-        for at in pokes {
+        for &at in &pokes {
             self.events.push(at, DevEv::Poke);
         }
-        alloc
+        self.scratch.pool_used = pool_used;
+        self.scratch.ctx_used = ctx_used;
+        self.scratch.order = order;
+        self.scratch.ctx_runnable = ctx_has_runnable;
+        self.scratch.reserved = finite_cap_reserved;
+        self.scratch.pokes = pokes;
     }
 
     fn push_completion(&mut self, slot: usize) {
@@ -1559,5 +1734,112 @@ mod tests {
         assert!(format!("{e}").contains("unknown queue"));
         let e = GpuError::InvalidOperation("nope");
         assert!(format!("{e}").contains("nope"));
+    }
+
+    #[test]
+    fn slot_recycling_bounds_instance_storage() {
+        let mut gpu = free_gpu();
+        gpu.set_slot_recycling(true);
+        let ctx = gpu.create_context(CtxKind::Default).unwrap();
+        let q = gpu.create_queue(ctx).unwrap();
+        for i in 0..1000u64 {
+            let h = gpu
+                .launch(
+                    q,
+                    KernelDesc::compute("k", SimDuration::from_micros(1), 108, 0.0),
+                    i,
+                )
+                .unwrap();
+            let done = run_all(&mut gpu);
+            assert_eq!(done.len(), 1);
+            assert_eq!(done[0].1, h, "completion reports the launch handle");
+        }
+        // 1000 sequential kernels reuse a handful of slots instead of
+        // growing the instance table linearly.
+        assert!(
+            gpu.instance_slots() < 10,
+            "expected slot reuse, got {} slots",
+            gpu.instance_slots()
+        );
+    }
+
+    #[test]
+    fn recycled_handles_turn_stale_not_aliased() {
+        let mut gpu = free_gpu();
+        gpu.set_slot_recycling(true);
+        let ctx = gpu.create_context(CtxKind::Default).unwrap();
+        let q = gpu.create_queue(ctx).unwrap();
+        let k = || KernelDesc::compute("k", SimDuration::from_micros(1), 108, 0.0);
+        let first = gpu.launch(q, k(), 0).unwrap();
+        run_all(&mut gpu);
+        let second = gpu.launch(q, k(), 1).unwrap();
+        // The slot is reused but the generation differs: the old handle
+        // must not observe the new occupant.
+        assert_ne!(first, second);
+        assert_eq!(gpu.kernel_state(first), InstState::Done);
+        assert_eq!(gpu.kernel_started_at(first), None);
+        assert_eq!(gpu.kernel_finished_at(first), None);
+        assert_eq!(gpu.kernel_name(first), "<recycled>");
+        run_all(&mut gpu);
+        assert!(gpu.is_device_idle());
+    }
+
+    #[test]
+    fn recycling_off_preserves_handle_queries() {
+        // The profiler path relies on querying every handle after drain().
+        let mut gpu = free_gpu();
+        let ctx = gpu.create_context(CtxKind::Default).unwrap();
+        let q = gpu.create_queue(ctx).unwrap();
+        let k = || KernelDesc::compute("k", SimDuration::from_micros(1), 108, 0.0);
+        let handles: Vec<_> = (0..5).map(|i| gpu.launch(q, k(), i).unwrap()).collect();
+        gpu.drain();
+        for h in handles {
+            assert!(gpu.kernel_finished_at(h).is_some());
+        }
+        assert_eq!(gpu.instance_slots(), 5);
+    }
+
+    #[test]
+    fn timeline_coalesces_unchanged_allocations() {
+        // Two capped kernels on separate contexts: B's arrival settles A
+        // mid-flight, but A's SM share is unchanged, so A's timeline stays
+        // a single segment instead of splitting at the boundary.
+        let mut gpu = free_gpu();
+        gpu.enable_timeline();
+        let ca = gpu
+            .create_context(CtxKind::MpsAffinity { sm_cap: 54 })
+            .unwrap();
+        let cb = gpu
+            .create_context(CtxKind::MpsAffinity { sm_cap: 54 })
+            .unwrap();
+        let qa = gpu.create_queue(ca).unwrap();
+        let qb = gpu.create_queue(cb).unwrap();
+        let a = gpu
+            .launch(
+                qa,
+                KernelDesc::compute("a", SimDuration::from_micros(100), 54, 0.0),
+                0,
+            )
+            .unwrap();
+        gpu.step(); // A arrives and starts.
+        gpu.advance_to(SimTime::from_micros(10));
+        gpu.launch(
+            qb,
+            KernelDesc::compute("b", SimDuration::from_micros(50), 54, 0.0),
+            1,
+        )
+        .unwrap();
+        run_all(&mut gpu);
+        let a_segs: Vec<_> = gpu.timeline().iter().filter(|s| s.handle == a).collect();
+        assert_eq!(
+            a_segs.len(),
+            1,
+            "abutting equal-allocation segments must merge: {a_segs:?}"
+        );
+        assert_eq!(a_segs[0].sms, 54.0);
+        assert_eq!(
+            a_segs[0].to.duration_since(a_segs[0].from),
+            SimDuration::from_micros(100)
+        );
     }
 }

@@ -6,8 +6,49 @@
 //! experiments all               # run everything, in paper order
 //! experiments --csv <dir> <id>  # additionally export each table as CSV
 //! ```
+//!
+//! Multiple experiments run concurrently on worker threads (they are
+//! independent simulations sharing only the profile cache). Rendered
+//! tables are buffered per experiment and printed in the requested order,
+//! so stdout is byte-for-byte identical to a serial run; only stderr
+//! progress lines interleave.
 
-use harness::experiments::{find, registry};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+use harness::experiments::{find, registry, Experiment};
+
+/// Everything one finished experiment wants on stdout/disk, in order.
+struct ExpOutput {
+    /// `(rendered, slug, csv)` per table.
+    tables: Vec<(String, String, String)>,
+    elapsed: std::time::Duration,
+}
+
+fn run_one(exp: &Experiment) -> ExpOutput {
+    let start = std::time::Instant::now();
+    let tables = (exp.run)()
+        .into_iter()
+        .map(|t| (t.render(), t.slug(), t.to_csv()))
+        .collect();
+    ExpOutput {
+        tables,
+        elapsed: start.elapsed(),
+    }
+}
+
+fn emit(id: &str, out: &ExpOutput, csv_dir: Option<&std::path::Path>) {
+    for (rendered, slug, csv) in &out.tables {
+        println!("{rendered}");
+        if let Some(dir) = csv_dir {
+            std::fs::create_dir_all(dir).expect("create csv dir");
+            let path = dir.join(format!("{slug}.csv"));
+            std::fs::write(&path, csv).expect("write csv");
+            eprintln!("[experiments]   wrote {}", path.display());
+        }
+    }
+    eprintln!("[experiments] {id} finished in {:.1?}\n", out.elapsed);
+}
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -35,26 +76,67 @@ fn main() {
         args
     };
 
-    for id in ids {
-        match find(&id) {
-            Some(exp) => {
-                eprintln!("[experiments] running {id}: {}", exp.describes);
-                let start = std::time::Instant::now();
-                for table in (exp.run)() {
-                    println!("{}", table.render());
-                    if let Some(dir) = &csv_dir {
-                        std::fs::create_dir_all(dir).expect("create csv dir");
-                        let path = dir.join(format!("{}.csv", table.slug()));
-                        std::fs::write(&path, table.to_csv()).expect("write csv");
-                        eprintln!("[experiments]   wrote {}", path.display());
-                    }
-                }
-                eprintln!("[experiments] {id} finished in {:.1?}\n", start.elapsed());
-            }
-            None => {
+    let exps: Vec<Experiment> = ids
+        .iter()
+        .map(|id| {
+            find(id).unwrap_or_else(|| {
                 eprintln!("unknown experiment '{id}'; try 'experiments list'");
                 std::process::exit(2);
+            })
+        })
+        .collect();
+
+    let total = std::time::Instant::now();
+    if exps.len() == 1 {
+        // A single experiment gains nothing from workers: run it inline.
+        let exp = &exps[0];
+        eprintln!("[experiments] running {}: {}", exp.id, exp.describes);
+        let out = run_one(exp);
+        emit(exp.id, &out, csv_dir.as_deref());
+        return;
+    }
+
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(exps.len());
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, ExpOutput)>();
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            let exps = &exps;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(exp) = exps.get(i) else { break };
+                eprintln!("[experiments] running {}: {}", exp.id, exp.describes);
+                if tx.send((i, run_one(exp))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+
+        // Print strictly in request order as results arrive.
+        let mut done: Vec<Option<ExpOutput>> = (0..exps.len()).map(|_| None).collect();
+        let mut emitted = 0;
+        for (i, out) in rx {
+            done[i] = Some(out);
+            while emitted < exps.len() {
+                let Some(out) = done[emitted].take() else {
+                    break;
+                };
+                emit(exps[emitted].id, &out, csv_dir.as_deref());
+                emitted += 1;
             }
         }
-    }
+    });
+    eprintln!(
+        "[experiments] total wall-clock: {:.1?} ({} experiments, {} workers)",
+        total.elapsed(),
+        exps.len(),
+        workers
+    );
 }

@@ -4,7 +4,7 @@
 //! so experiments share one cache keyed by `(model, phase, num_sms)`.
 
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 
 use dnn_models::{AppModel, ModelKind, Phase};
 use gpu_sim::GpuSpec;
@@ -22,14 +22,24 @@ fn cache() -> &'static Mutex<HashMap<Key, Arc<ProfiledApp>>> {
 /// (no per-call deep copy of the 19-run duration tables).
 pub fn profile(kind: ModelKind, phase: Phase, spec: &GpuSpec) -> Arc<ProfiledApp> {
     let key = (kind, phase, spec.num_sms);
-    if let Some(p) = cache().lock().expect("cache lock").get(&key) {
+    // The cache is shared by the parallel experiment runner's worker
+    // threads. A panicking experiment (e.g. a failing assertion in one
+    // table) poisons the mutex; the cached profiles are still valid —
+    // entries are inserted fully constructed and never mutated — so
+    // recover the guard instead of cascading the panic into every other
+    // experiment.
+    if let Some(p) = cache()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .get(&key)
+    {
         return Arc::clone(p);
     }
     let app = AppModel::build(kind, phase);
     let profiled = Arc::new(ProfiledApp::profile(&app, spec));
     cache()
         .lock()
-        .expect("cache lock")
+        .unwrap_or_else(PoisonError::into_inner)
         .insert(key, Arc::clone(&profiled));
     profiled
 }

@@ -148,7 +148,11 @@ pub fn run_system(
         return run_iso(ws, spec, horizon, iso_targets);
     }
 
-    let gpu = Gpu::new(spec.clone(), HostCosts::paper());
+    let mut gpu = Gpu::new(spec.clone(), HostCosts::paper());
+    // Long workloads retire millions of kernels; the drivers only consume
+    // completion tags, never dereference handles afterwards, so finished
+    // instance slots can be recycled instead of growing without bound.
+    gpu.set_slot_recycling(true);
     let arrivals = ws.initial_arrivals();
 
     macro_rules! run {
@@ -237,7 +241,8 @@ fn run_iso(
             .collect();
         let apps = deployment(&solo_ws, spec, None);
         let driver = StaticShareDriver::new(apps, ShareMode::QuotaMps);
-        let gpu = Gpu::new(spec.clone(), HostCosts::paper());
+        let mut gpu = Gpu::new(spec.clone(), HostCosts::paper());
+        gpu.set_slot_recycling(true);
         let mut sim =
             Simulation::new(gpu, driver, arrivals).with_notice_handler(solo_ws.notice_handler());
         let o = sim.run(horizon);
@@ -276,7 +281,8 @@ pub fn run_custom<D: HostDriver>(
     spec: &GpuSpec,
     horizon: SimTime,
 ) -> (D, RunOutcome, SimTime) {
-    let gpu = Gpu::new(spec.clone(), HostCosts::paper());
+    let mut gpu = Gpu::new(spec.clone(), HostCosts::paper());
+    gpu.set_slot_recycling(true);
     let mut sim = Simulation::new(gpu, driver, ws.initial_arrivals())
         .with_notice_handler(ws.notice_handler());
     let outcome = sim.run(horizon);

@@ -22,6 +22,13 @@ pub struct ProfiledApp {
     /// `τ[n%][k]`: per-partition cumulative time from request start to the
     /// end of kernel `k`.
     pub cumulative: Vec<Vec<SimDuration>>,
+    /// Per-partition prefix sums of `kernel_durations` in nanoseconds:
+    /// `duration_prefix[p][k] = Σ_{j<k} t[p][j]`, with a leading 0 and one
+    /// trailing entry, so any contiguous stacked-duration range is an O(1)
+    /// subtraction (see [`Self::duration_range_sum`]). Unlike `cumulative`
+    /// (τ), this excludes launch gaps — it is exactly the sum the
+    /// configuration determiner stacks per squad entry.
+    pub duration_prefix: Vec<Vec<u64>>,
     /// `d%`: per-kernel maximum active SM proportion (of the full GPU).
     pub d_frac: Vec<f64>,
     /// Resident device memory the application needs, MiB.
@@ -65,6 +72,20 @@ impl ProfiledApp {
             cumulative.push(cums);
         }
 
+        let duration_prefix = kernel_durations
+            .iter()
+            .map(|durs: &Vec<SimDuration>| {
+                let mut pre = Vec::with_capacity(durs.len() + 1);
+                let mut acc = 0u64;
+                pre.push(acc);
+                for d in durs {
+                    acc += d.as_nanos();
+                    pre.push(acc);
+                }
+                pre
+            })
+            .collect();
+
         let d_frac = app
             .kernels
             .iter()
@@ -83,6 +104,7 @@ impl ProfiledApp {
             iso_latency,
             kernel_durations,
             cumulative,
+            duration_prefix,
             d_frac,
             memory_mib: app.memory_mib,
             profile_cost,
@@ -116,6 +138,15 @@ impl ProfiledApp {
     /// `τ[n%][k]` for a partition index.
     pub fn tau(&self, partition: usize, kernel: usize) -> SimDuration {
         self.cumulative[partition][kernel]
+    }
+
+    /// `Σ t[n%][k]` for kernels `start..end` (half-open), in O(1) via the
+    /// prefix table. Bit-identical to summing [`Self::kernel_duration`]
+    /// over the range: both are u64-nanosecond additions, which are
+    /// associative.
+    pub fn duration_range_sum(&self, partition: usize, start: usize, end: usize) -> SimDuration {
+        let pre = &self.duration_prefix[partition];
+        SimDuration::from_nanos(pre[end] - pre[start])
     }
 
     /// The duration of kernel `k` on an arbitrary SM count, interpolated

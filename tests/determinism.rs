@@ -56,6 +56,54 @@ fn different_seeds_give_different_traces() {
     assert_ne!(run_once(1, &sys), run_once(2, &sys));
 }
 
+/// FNV-1a over the request log's `(arrival, completion)` nanosecond pairs.
+fn digest(records: &[(u64, u64)]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &(a, c) in records {
+        for v in [a, c] {
+            for byte in v.to_le_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        }
+    }
+    h
+}
+
+/// Differential golden snapshot: the digests below were captured from the
+/// simulation core *before* the fast-path work (incremental reallocation,
+/// slot recycling, prefix-sum prediction, determiner memoization), whose
+/// output was verified byte-identical to the checked-in
+/// `experiments_output.txt`. Any optimization that perturbs scheduling —
+/// even by one nanosecond on one request — changes a digest and fails
+/// here, turning "the fast path is exact" from a claim into a regression
+/// test.
+#[test]
+fn request_logs_match_golden_digests() {
+    let golden: &[(System, u64)] = &[
+        (System::Bless(bless::BlessParams::default()), GOLDEN_BLESS),
+        (System::Gslice, GOLDEN_GSLICE),
+        (System::Unbound, GOLDEN_UNBOUND),
+        (System::Temporal, GOLDEN_TEMPORAL),
+        (System::ReefPlus, GOLDEN_REEF),
+    ];
+    for (sys, want) in golden {
+        let got = digest(&run_once(42, sys));
+        assert_eq!(
+            got,
+            *want,
+            "{} diverged from the golden request log (digest {got:#018x})",
+            sys.name()
+        );
+    }
+}
+
+const GOLDEN_BLESS: u64 = 0x4edd27fa642dd232;
+const GOLDEN_GSLICE: u64 = 0x7619303ead11c49c;
+const GOLDEN_UNBOUND: u64 = 0x85678e3f84712317;
+const GOLDEN_TEMPORAL: u64 = 0x9e8c7240e6bc9143;
+const GOLDEN_REEF: u64 = 0x01c8aa234f32301b;
+
 #[test]
 fn model_generation_is_stable_across_calls() {
     // The model zoo must be a pure function of (kind, phase).
