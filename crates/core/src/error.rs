@@ -1,0 +1,79 @@
+//! Typed scheduler errors.
+//!
+//! The scheduling hot paths ([`crate::runtime::BlessDriver`]) surface
+//! anomalies as [`SchedError`] values recorded on the driver instead of
+//! panicking: a production scheduler must outlive a mis-predicted profile
+//! or a dead MPS context (see DESIGN.md "Fault model & graceful
+//! degradation"). Startup/configuration mistakes (deployment does not fit
+//! in memory, invalid parameters) still fail fast — they are operator
+//! errors, not runtime conditions.
+
+use gpu_sim::GpuError;
+
+/// A recoverable scheduling anomaly.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SchedError {
+    /// A device operation failed mid-run (launch, cap resize, …).
+    Gpu(GpuError),
+    /// A kernel completion arrived for an application with no active
+    /// request (e.g. the request was already retired).
+    OrphanCompletion {
+        /// Application the completion was tagged with.
+        app: usize,
+        /// Kernel index the completion was tagged with.
+        kernel: usize,
+    },
+    /// A kernel completion arrived for an application with no entry in
+    /// the in-flight squad.
+    StaleSquadEntry {
+        /// Application the completion was tagged with.
+        app: usize,
+    },
+    /// Squad bookkeeping references a squad that no longer exists.
+    MissingSquad,
+}
+
+impl std::fmt::Display for SchedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SchedError::Gpu(e) => write!(f, "device operation failed: {e}"),
+            SchedError::OrphanCompletion { app, kernel } => {
+                write!(f, "completion for inactive app {app} (kernel {kernel})")
+            }
+            SchedError::StaleSquadEntry { app } => {
+                write!(f, "completion for app {app} absent from the squad")
+            }
+            SchedError::MissingSquad => write!(f, "squad state missing"),
+        }
+    }
+}
+
+impl std::error::Error for SchedError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SchedError::Gpu(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GpuError> for SchedError {
+    fn from(e: GpuError) -> Self {
+        SchedError::Gpu(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_converts() {
+        let e: SchedError = GpuError::InvalidOperation("nope").into();
+        assert!(format!("{e}").contains("nope"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e = SchedError::OrphanCompletion { app: 2, kernel: 7 };
+        assert!(format!("{e}").contains("app 2"));
+        assert!(std::error::Error::source(&e).is_none());
+    }
+}

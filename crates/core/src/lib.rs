@@ -49,13 +49,15 @@
 //! ```
 
 pub mod deploy;
+pub mod error;
 pub mod params;
 pub mod predict;
 pub mod runtime;
 pub mod squad;
 
 pub use deploy::DeployedApp;
-pub use params::BlessParams;
+pub use error::SchedError;
+pub use params::{BlessParams, WatchdogParams};
 pub use predict::{
     determine_config, determine_config_memo, predict_interference_free,
     predict_workload_equivalence, ConfigChoice, ConfigMemo, ExecConfig,

@@ -34,6 +34,37 @@ pub struct BlessParams {
     /// Ablation: disable the execution configuration determiner and always
     /// run squads without spatial restriction (§6.8: +7.6% latency).
     pub disable_determiner: bool,
+    /// Drift watchdog configuration. `None` (the default) disables the
+    /// watchdog entirely — the no-fault fast path stays byte-identical to
+    /// the unhardened scheduler.
+    pub watchdog: Option<WatchdogParams>,
+}
+
+/// Configuration of the squad-duration drift watchdog.
+///
+/// After every squad the watchdog compares each fully-completed entry's
+/// observed duration with the duration the predictor promised. An app
+/// whose ratio exceeds `degrade_threshold` is demoted one step on the
+/// degradation ladder (semi-spatial → strict spatial → pure temporal);
+/// after `promote_after` consecutive clean squads it is promoted one step
+/// back up.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WatchdogParams {
+    /// Observed/predicted squad-entry duration ratio above which the app
+    /// is demoted. Must leave headroom over benign model error (launch
+    /// overheads + memory interference inflate honest squads by ~10-15%).
+    pub degrade_threshold: f64,
+    /// Consecutive clean squads required to promote one step back up.
+    pub promote_after: u32,
+}
+
+impl Default for WatchdogParams {
+    fn default() -> Self {
+        WatchdogParams {
+            degrade_threshold: 1.5,
+            promote_after: 3,
+        }
+    }
 }
 
 impl Default for BlessParams {
@@ -46,6 +77,7 @@ impl Default for BlessParams {
             drain_on_arrival: true,
             disable_multitask: false,
             disable_determiner: false,
+            watchdog: None,
         }
     }
 }
@@ -72,6 +104,14 @@ impl BlessParams {
             self.graph_granularity > 0,
             "graph granularity must be positive"
         );
+        if let Some(wd) = &self.watchdog {
+            assert!(
+                wd.degrade_threshold > 1.0,
+                "degrade threshold must exceed 1.0 (got {})",
+                wd.degrade_threshold
+            );
+            assert!(wd.promote_after > 0, "promote_after must be positive");
+        }
     }
 }
 

@@ -45,8 +45,13 @@ impl ExecConfig {
         match self {
             ExecConfig::Nsp => None,
             ExecConfig::Sp { partitions } => {
+                // Degenerate inputs (entry beyond the partition vector, a
+                // zero-SM device) fall back to "no cap" / 1 SM instead of
+                // panicking: the runtime treats both as unrestricted-ish.
+                let parts = *partitions.get(entry)?;
                 let total: u32 = partitions.iter().sum::<u32>().max(1);
-                let exact = partitions[entry] as f64 * num_sms as f64 / total as f64;
+                let num_sms = num_sms.max(1);
+                let exact = parts as f64 * num_sms as f64 / total as f64;
                 Some((exact.round() as u32).clamp(1, num_sms))
             }
         }
@@ -124,7 +129,9 @@ pub fn predict_workload_equivalence(
                 demand_frac += apps[e.app].profile.d_frac[k];
             }
         }
-        let demand_sms = (demand_frac * num_sms as f64).clamp(1.0, num_sms as f64);
+        // `max(1)` guards the zero-SM degenerate device (clamp panics when
+        // its bounds invert).
+        let demand_sms = (demand_frac * num_sms as f64).clamp(1.0, num_sms.max(1) as f64);
         for e in &squad.entries {
             if let Some(&k) = e.kernels.get(i) {
                 let profile = &apps[e.app].profile;
@@ -229,14 +236,14 @@ pub fn determine_config(squad: &Squad, apps: &[DeployedApp], num_sms: u32) -> Co
         let mut dur = eval_sp(&parts);
         evaluated += 1;
         consider(&parts, dur, &mut best_sp);
-        loop {
-            // Find the bottleneck entry (max stacked duration).
-            let (bottleneck, _) = parts
-                .iter()
-                .enumerate()
-                .map(|(i, &p)| (i, stacked[i][p as usize - 1]))
-                .max_by_key(|&(_, d)| d)
-                .unwrap();
+        // Find the bottleneck entry (max stacked duration) each round; an
+        // empty `parts` (degenerate squad) simply never enters the loop.
+        while let Some((bottleneck, _)) = parts
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (i, stacked[i][p as usize - 1]))
+            .max_by_key(|&(_, d)| d)
+        {
             // Take a slice from the entry whose duration is smallest after
             // losing one (and that has a slice to spare).
             let donor = (0..k)
@@ -364,11 +371,17 @@ fn enumerate_compositions(
 
 /// Divides `total` slices proportionally to the quotas, each entry ≥ 1.
 fn proportional_partitions(quotas: &[f64], total: u32) -> Vec<u32> {
+    if quotas.is_empty() {
+        return Vec::new();
+    }
     let k = quotas.len() as u32;
     let sum: f64 = quotas.iter().sum();
+    // A zero/NaN quota sum (degenerate deployment) degrades to an equal
+    // split rather than dividing by it.
+    let share = |q: f64| if sum > 0.0 { q / sum } else { 1.0 / k as f64 };
     let mut parts: Vec<u32> = quotas
         .iter()
-        .map(|q| (((q / sum) * total as f64).floor() as u32).max(1))
+        .map(|&q| ((share(q) * total as f64).floor() as u32).max(1))
         .collect();
     // Fix up rounding drift.
     loop {
@@ -380,7 +393,7 @@ fn proportional_partitions(quotas: &[f64], total: u32) -> Vec<u32> {
             // Give the remainder to the largest-quota entry.
             let i = (0..quotas.len())
                 .max_by(|&a, &b| quotas[a].total_cmp(&quotas[b]))
-                .unwrap();
+                .unwrap_or(0);
             parts[i] += 1;
         } else {
             let i = (0..quotas.len())
@@ -577,5 +590,43 @@ mod tests {
         assert_eq!(parts.iter().sum::<u32>(), 18);
         assert!(parts[3] > parts[0]);
         assert!(parts.iter().all(|&p| p >= 1));
+    }
+
+    #[test]
+    fn proportional_partitions_survive_degenerate_quotas() {
+        // Zero quota sum degrades to an equal split instead of dividing
+        // by zero (NaN floors to 0 and would violate the >= 1 invariant).
+        let parts = proportional_partitions(&[0.0, 0.0, 0.0], 18);
+        assert_eq!(parts.iter().sum::<u32>(), 18);
+        assert!(parts.iter().all(|&p| p >= 1));
+        assert!(proportional_partitions(&[], 18).is_empty());
+    }
+
+    #[test]
+    fn sm_cap_guards_degenerate_inputs() {
+        let cfg = ExecConfig::Sp {
+            partitions: vec![9, 9],
+        };
+        // Entry index beyond the partition vector: no cap, no panic.
+        assert_eq!(cfg.sm_cap(5, 108), None);
+        // A zero-SM device still yields a positive cap.
+        assert_eq!(cfg.sm_cap(0, 0), Some(1));
+    }
+
+    #[test]
+    fn workload_equivalence_tolerates_zero_sm_device() {
+        let apps = vec![deploy(ModelKind::Vgg11, 0.5)];
+        let squad = squad_of(&apps, 3);
+        // Must not panic on the inverted clamp bounds; exact value is
+        // meaningless on a zero-SM device.
+        let _ = predict_workload_equivalence(&squad, &apps, 0);
+    }
+
+    #[test]
+    fn empty_squad_determines_nsp() {
+        let apps = vec![deploy(ModelKind::Vgg11, 1.0)];
+        let choice = determine_config(&Squad::default(), &apps, 108);
+        assert_eq!(choice.config, ExecConfig::Nsp);
+        assert_eq!(choice.evaluated, 0);
     }
 }

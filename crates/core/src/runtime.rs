@@ -25,11 +25,12 @@
 
 use std::collections::VecDeque;
 
-use gpu_sim::{CtxId, CtxKind, Gpu, HostDriver, KernelDone, QueueId, RequestArrival};
-use metrics::RequestLog;
+use gpu_sim::{CtxId, CtxKind, FailedKernel, Gpu, HostDriver, KernelDone, QueueId, RequestArrival};
+use metrics::{DegradeTransition, RequestLog, RobustnessReport, ShareMode};
 use sim_core::{SimDuration, SimTime};
 
 use crate::deploy::DeployedApp;
+use crate::error::SchedError;
 use crate::params::BlessParams;
 use crate::predict::{determine_config_memo, ConfigMemo, ExecConfig};
 use crate::squad::{generate_squad, scheduling_cost, ActiveRequest, Squad};
@@ -74,6 +75,11 @@ struct EntryRun {
     head_remaining: usize,
     /// Whether the context-switch vacuum for the tail was already charged.
     tail_started: bool,
+    /// Predicted entry duration at the chosen configuration (recorded
+    /// only when the watchdog is enabled; ZERO otherwise).
+    predicted: SimDuration,
+    /// When the entry's last kernel finished (for the drift watchdog).
+    finished_at: Option<SimTime>,
 }
 
 /// One record of a completed squad (for the fine-grained analyses of
@@ -119,6 +125,23 @@ pub struct BlessDriver {
     pub sp_squads: usize,
     /// Memoized determiner results for recurring squad signatures.
     memo: ConfigMemo,
+
+    /// Recoverable anomalies observed while scheduling (capped at
+    /// `MAX_RECORDED_ERRORS`; the count keeps running in
+    /// `robustness.sched_errors`).
+    pub errors: Vec<SchedError>,
+    /// Fault/recovery accounting for the robustness report.
+    pub robustness: RobustnessReport,
+    /// Crashed kernels awaiting re-submission, per app: `(kernel, queue)`.
+    pending_retry: Vec<Vec<(usize, QueueId)>>,
+    /// Re-submitted kernels that have not completed yet, per app.
+    outstanding_retried: Vec<Vec<usize>>,
+    /// Consecutive crash/retry rounds per app (drives the backoff).
+    retry_streak: Vec<u32>,
+    /// Current sharing mode per app on the degradation ladder.
+    degrade: Vec<ShareMode>,
+    /// Consecutive clean squads per app (drives re-promotion).
+    clean_squads: Vec<u32>,
 }
 
 struct SquadState {
@@ -158,9 +181,47 @@ impl BlessDriver {
             squads_launched: 0,
             sp_squads: 0,
             memo: ConfigMemo::new(),
+            errors: Vec::new(),
+            robustness: RobustnessReport::new(),
+            pending_retry: vec![Vec::new(); n],
+            outstanding_retried: vec![Vec::new(); n],
+            retry_streak: vec![0; n],
+            degrade: vec![ShareMode::SemiSpatial; n],
+            clean_squads: vec![0; n],
             apps,
             params,
         }
+    }
+
+    /// Current sharing mode of `app` on the degradation ladder.
+    pub fn share_mode(&self, app: usize) -> ShareMode {
+        self.degrade[app]
+    }
+
+    /// Records a recoverable anomaly without letting the error log grow
+    /// unboundedly under a pathological fault storm.
+    fn record_error(&mut self, e: SchedError) {
+        self.robustness.sched_errors += 1;
+        if self.errors.len() < MAX_RECORDED_ERRORS {
+            self.errors.push(e);
+        }
+    }
+
+    /// Moves `app` one step down (demote) or up (promote) the degradation
+    /// ladder and records the transition.
+    fn shift_mode(&mut self, app: usize, at: SimTime, demote: bool) {
+        let from = self.degrade[app];
+        let to = match (from, demote) {
+            (ShareMode::SemiSpatial, true) => ShareMode::StrictSpatial,
+            (ShareMode::StrictSpatial, true) => ShareMode::Temporal,
+            (ShareMode::Temporal, false) => ShareMode::StrictSpatial,
+            (ShareMode::StrictSpatial, false) => ShareMode::SemiSpatial,
+            _ => return,
+        };
+        self.degrade[app] = to;
+        self.robustness
+            .degradations
+            .push(DegradeTransition { at, app, from, to });
     }
 
     fn active_requests(&self) -> Vec<ActiveRequest> {
@@ -188,9 +249,40 @@ impl BlessDriver {
         gpu.wake_at(gpu.now(), SCHED_WAKE_TOKEN);
     }
 
+    /// The active requests the next squad may draw from, honouring the
+    /// degradation ladder: an app demoted to pure temporal sharing only
+    /// runs solo, and only when it holds the earliest deadline
+    /// (arrival + SLO-or-ISO target) among all active requests.
+    fn schedulable_actives(&self) -> Vec<ActiveRequest> {
+        let active = self.active_requests();
+        if active.is_empty() || !self.degrade.contains(&ShareMode::Temporal) {
+            return active;
+        }
+        let urgent = active
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, r)| r.arrival + self.apps[r.app].target_latency())
+            .map(|(i, _)| i);
+        let Some(urgent) = urgent else { return active };
+        if self.degrade[active[urgent].app] == ShareMode::Temporal {
+            return vec![active[urgent].clone()];
+        }
+        let rest: Vec<ActiveRequest> = active
+            .iter()
+            .filter(|r| self.degrade[r.app] != ShareMode::Temporal)
+            .cloned()
+            .collect();
+        if rest.is_empty() {
+            // Everyone is temporal-degraded: still serve the most urgent.
+            vec![active[urgent].clone()]
+        } else {
+            rest
+        }
+    }
+
     fn schedule_squad(&mut self, gpu: &mut Gpu) {
         debug_assert!(self.squad.is_none());
-        let active = self.active_requests();
+        let active = self.schedulable_actives();
         if active.is_empty() {
             return;
         }
@@ -277,16 +369,46 @@ impl BlessDriver {
 
         for (entry_idx, entry) in squad.entries.iter().enumerate() {
             let app = entry.app;
-            let cap = config.sm_cap(entry_idx, num_sms).map(|c| c.max(1));
+            // A strict-spatial app keeps the SM restriction for its whole
+            // entry; in a shared NSP squad it is forced under a
+            // quota-proportional cap it would otherwise not have.
+            let strict = self.degrade[app] == ShareMode::StrictSpatial && squad.entries.len() >= 2;
+            let mut cap = config.sm_cap(entry_idx, num_sms);
+            if strict && cap.is_none() {
+                let quota_sms = (self.apps[app].quota * num_sms as f64).round() as u32;
+                cap = Some(quota_sms.clamp(1, num_sms));
+            }
+            let cap = cap.map(|c| c.max(1));
             let split_at = match cap {
-                Some(cap_sms) => {
-                    gpu.set_mps_cap(self.ctx_restricted[app], cap_sms)
-                        .expect("resize MPS cap");
-                    sm_caps.push((app, cap_sms));
-                    let c = self.params.split_ratio;
-                    ((entry.kernels.len() as f64 * c).ceil() as usize).min(entry.kernels.len())
-                }
+                Some(cap_sms) => match gpu.set_mps_cap(self.ctx_restricted[app], cap_sms) {
+                    Ok(()) => {
+                        sm_caps.push((app, cap_sms));
+                        if strict {
+                            entry.kernels.len()
+                        } else {
+                            let c = self.params.split_ratio;
+                            ((entry.kernels.len() as f64 * c).ceil() as usize)
+                                .min(entry.kernels.len())
+                        }
+                    }
+                    Err(e) => {
+                        // A dead/unresizable restricted context must not
+                        // abort the squad: run this entry unrestricted.
+                        self.record_error(e.into());
+                        0
+                    }
+                },
                 None => 0,
+            };
+            let predicted = if self.params.watchdog.is_some() {
+                let ns: f64 = entry
+                    .kernels
+                    .iter()
+                    .map(|&k| self.apps[app].predicted_kernel_duration(k, cap).as_nanos() as f64)
+                    .sum();
+                SimDuration::from_nanos(ns as u64)
+            } else {
+                SimDuration::ZERO
             };
             pending_total += entry.kernels.len();
             per_app[app] = Some(EntryRun {
@@ -296,6 +418,8 @@ impl BlessDriver {
                 tail_started: split_at == 0,
                 kernels: entry.kernels.clone(),
                 split_at,
+                predicted,
+                finished_at: None,
             });
         }
 
@@ -327,6 +451,9 @@ impl BlessDriver {
     /// vacuum).
     fn feed_entry(&mut self, gpu: &mut Gpu, app: usize) {
         let window = self.params.launch_window;
+        // A launch failure is collected here and handled after the squad
+        // borrow ends (`record_error` needs `&mut self`).
+        let mut launch_failed: Option<SchedError> = None;
         let Some(squad) = &mut self.squad else { return };
         if squad.draining {
             return;
@@ -364,31 +491,56 @@ impl BlessDriver {
                 .map(|&k| (self.apps[app].profile.kernels[k].clone(), tag_of(app, k)))
                 .collect();
             let launched = group.len();
-            if launched == 1 {
-                let (desc, tag) = group.into_iter().next().expect("one kernel");
-                gpu.launch_delayed(queue, desc, tag, extra).expect("launch");
+            // The unit launches atomically: the only failure mode here is
+            // a dead queue/context, which fails every call on it alike.
+            let result: Result<(), gpu_sim::GpuError> = if launched == 1 {
+                match group.into_iter().next() {
+                    Some((desc, tag)) => gpu.launch_delayed(queue, desc, tag, extra).map(|_| ()),
+                    None => Ok(()),
+                }
             } else if extra.is_zero() {
-                gpu.launch_graph(queue, group).expect("launch graph");
+                gpu.launch_graph(queue, group).map(|_| ())
             } else {
                 // The context-switch vacuum stalls only this queue: apply
                 // it to the unit's first kernel; the rest of the graph
                 // follows in FIFO order behind it.
                 let mut it = group.into_iter();
-                let (desc, tag) = it.next().expect("non-empty group");
-                gpu.launch_delayed(queue, desc, tag, extra).expect("launch");
-                gpu.launch_graph(queue, it.collect()).expect("launch graph");
+                match it.next() {
+                    Some((desc, tag)) => gpu
+                        .launch_delayed(queue, desc, tag, extra)
+                        .map(|_| ())
+                        .and_then(|()| gpu.launch_graph(queue, it.collect()).map(|_| ())),
+                    None => Ok(()),
+                }
+            };
+            if let Err(e) = result {
+                launch_failed = Some(e.into());
+                break;
             }
             entry.next_to_launch += launched;
             entry.inflight += launched;
             squad.inflight_total += launched;
             squad.pending_total -= launched;
         }
+        if let Some(e) = launch_failed {
+            self.record_error(e);
+            // Try feeding again after a short backoff instead of wedging
+            // the squad.
+            gpu.wake_at(
+                gpu.now() + SimDuration::from_nanos(RETRY_BACKOFF_BASE_NS),
+                RETRY_WAKE_BASE + app as u64,
+            );
+        }
     }
 
     /// Marks the active request of `app` complete and activates the next
     /// queued one, if any.
     fn complete_request(&mut self, gpu: &mut Gpu, app: usize, at: SimTime) {
-        let act = self.active[app].take().expect("completing inactive app");
+        let Some(act) = self.active[app].take() else {
+            let kernel = self.apps[app].profile.kernel_count();
+            self.record_error(SchedError::OrphanCompletion { app, kernel });
+            return;
+        };
         self.log.completed(app, act.req, at);
         gpu.post_notice(workload_notice(app, act.req));
         if let Some(next) = self.task_queues[app].pop_front() {
@@ -399,10 +551,93 @@ impl BlessDriver {
             });
         }
     }
+
+    /// Re-submits `app`'s crashed kernels to their original queues (the
+    /// per-queue FIFO order is what keeps completions in kernel order).
+    /// Kernels that fail to launch stay pending and another backoff wake
+    /// is armed.
+    fn flush_retries(&mut self, gpu: &mut Gpu, app: usize) {
+        let pending = std::mem::take(&mut self.pending_retry[app]);
+        for (kernel, queue) in pending {
+            let desc = self.apps[app].profile.kernels[kernel].clone();
+            match gpu.launch(queue, desc, tag_of(app, kernel)) {
+                Ok(_) => {
+                    self.robustness.kernels_retried += 1;
+                    self.outstanding_retried[app].push(kernel);
+                }
+                Err(e) => {
+                    self.record_error(e.into());
+                    self.pending_retry[app].push((kernel, queue));
+                }
+            }
+        }
+        if !self.pending_retry[app].is_empty() {
+            let exp = self.retry_streak[app].min(RETRY_BACKOFF_CAP);
+            self.retry_streak[app] = self.retry_streak[app].saturating_add(1);
+            gpu.wake_at(
+                gpu.now() + SimDuration::from_nanos(RETRY_BACKOFF_BASE_NS << exp),
+                RETRY_WAKE_BASE + app as u64,
+            );
+        }
+        // Also unstick the feed path in case a transient launch failure
+        // stalled it earlier.
+        self.feed_entry(gpu, app);
+    }
+
+    /// Compares each fully-run entry's observed duration against the
+    /// predictor's promise and walks apps along the degradation ladder.
+    fn watchdog_eval(&mut self, finished: &SquadState, ended_at: SimTime) {
+        let Some(wd) = self.params.watchdog else {
+            return;
+        };
+        for app in 0..self.apps.len() {
+            let Some(e) = finished.per_app[app].as_ref() else {
+                continue;
+            };
+            // Drained/partial entries and zero-prediction entries carry no
+            // signal about profile drift.
+            let fully_ran = e.inflight == 0 && e.next_to_launch == e.kernels.len();
+            if !fully_ran || e.predicted.is_zero() {
+                continue;
+            }
+            let observed = e
+                .finished_at
+                .unwrap_or(ended_at)
+                .duration_since(finished.launched_at);
+            let ratio = observed.as_nanos() as f64 / e.predicted.as_nanos() as f64;
+            if ratio > wd.degrade_threshold {
+                self.clean_squads[app] = 0;
+                self.shift_mode(app, ended_at, true);
+            } else {
+                self.clean_squads[app] += 1;
+                if self.clean_squads[app] >= wd.promote_after
+                    && self.degrade[app] != ShareMode::SemiSpatial
+                {
+                    self.clean_squads[app] = 0;
+                    self.shift_mode(app, ended_at, false);
+                }
+            }
+        }
+    }
 }
 
 /// Wake token used for deferred squad scheduling.
 const SCHED_WAKE_TOKEN: u64 = u64::MAX;
+
+/// Base of the per-app retry wake tokens: token = base + app. Tags encode
+/// the app in 20 bits, so the range `[base, u64::MAX)` cannot collide with
+/// [`SCHED_WAKE_TOKEN`] or be exhausted by valid app indices.
+const RETRY_WAKE_BASE: u64 = u64::MAX - (1 << 20);
+
+/// First retry backoff after a context crash (50 µs); doubles each
+/// consecutive crash round up to `2^RETRY_BACKOFF_CAP` times this.
+const RETRY_BACKOFF_BASE_NS: u64 = 50_000;
+
+/// Cap on the backoff exponent (50 µs · 2⁶ = 3.2 ms).
+const RETRY_BACKOFF_CAP: u32 = 6;
+
+/// At most this many [`SchedError`] values are kept on the driver.
+const MAX_RECORDED_ERRORS: usize = 1024;
 
 /// Entries predicted to overshoot the squad's shortest entry by more than
 /// this factor are trimmed back (their tail kernels return to the pool).
@@ -410,19 +645,30 @@ const TRIM_TOLERANCE: f64 = 1.10;
 
 impl HostDriver for BlessDriver {
     fn on_start(&mut self, gpu: &mut Gpu) {
+        // Deployment setup failures are operator errors, not runtime
+        // conditions: fail fast with a message instead of degrading.
+        fn must<T>(r: Result<T, gpu_sim::GpuError>, what: &str) -> T {
+            match r {
+                Ok(v) => v,
+                Err(e) => panic!("BLESS deployment setup failed ({what}): {e}"),
+            }
+        }
         for app in &self.apps {
-            gpu.alloc_memory(app.profile.memory_mib)
-                .expect("deployment must fit in device memory");
-            let free_ctx = gpu.create_context(CtxKind::Default).expect("ctx");
-            let res_ctx = gpu
-                .create_context(CtxKind::MpsAffinity {
+            must(
+                gpu.alloc_memory(app.profile.memory_mib),
+                "deployment must fit in device memory",
+            );
+            let free_ctx = must(gpu.create_context(CtxKind::Default), "default context");
+            let res_ctx = must(
+                gpu.create_context(CtxKind::MpsAffinity {
                     sm_cap: gpu.spec().num_sms,
-                })
-                .expect("ctx");
+                }),
+                "MPS context",
+            );
             self.queue_free
-                .push(gpu.create_queue(free_ctx).expect("queue"));
+                .push(must(gpu.create_queue(free_ctx), "queue"));
             self.queue_restricted
-                .push(gpu.create_queue(res_ctx).expect("queue"));
+                .push(must(gpu.create_queue(res_ctx), "queue"));
             self.ctx_restricted.push(res_ctx);
         }
     }
@@ -465,11 +711,31 @@ impl HostDriver for BlessDriver {
             if self.squad.is_none() {
                 self.schedule_squad(gpu);
             }
+            return;
+        }
+        if token >= RETRY_WAKE_BASE {
+            let app = (token - RETRY_WAKE_BASE) as usize;
+            if app < self.apps.len() {
+                self.flush_retries(gpu, app);
+            }
         }
     }
 
     fn on_kernel_done(&mut self, gpu: &mut Gpu, done: KernelDone) {
         let (app, kernel) = untag(done.tag);
+        if app >= self.apps.len() {
+            self.record_error(SchedError::OrphanCompletion { app, kernel });
+            return;
+        }
+
+        // Retry accounting: a completed re-submission of a crashed kernel.
+        if let Some(pos) = self.outstanding_retried[app]
+            .iter()
+            .position(|&k| k == kernel)
+        {
+            self.outstanding_retried[app].swap_remove(pos);
+            self.robustness.retries_completed += 1;
+        }
 
         // Advance the request pointer; complete the request on its last
         // kernel.
@@ -480,25 +746,37 @@ impl HostDriver for BlessDriver {
             if act.next_kernel == total {
                 self.complete_request(gpu, app, done.at);
             }
+        } else {
+            self.record_error(SchedError::OrphanCompletion { app, kernel });
         }
 
         // Squad bookkeeping.
         let Some(squad) = &mut self.squad else { return };
-        let entry = squad.per_app[app]
-            .as_mut()
-            .expect("kernel from active squad");
-        entry.inflight -= 1;
+        let Some(entry) = squad.per_app[app].as_mut() else {
+            self.record_error(SchedError::StaleSquadEntry { app });
+            return;
+        };
+        entry.inflight = entry.inflight.saturating_sub(1);
         if entry.head_remaining > 0 {
             entry.head_remaining -= 1;
         }
-        squad.inflight_total -= 1;
+        if entry.inflight == 0
+            && entry.next_to_launch == entry.kernels.len()
+            && entry.finished_at.is_none()
+        {
+            entry.finished_at = Some(done.at);
+        }
+        squad.inflight_total = squad.inflight_total.saturating_sub(1);
         let squad_done = squad.inflight_total == 0 && (squad.draining || squad.pending_total == 0);
         if !squad_done {
             self.feed_entry(gpu, app);
             return;
         }
         {
-            let finished = self.squad.take().expect("squad exists");
+            let Some(finished) = self.squad.take() else {
+                self.record_error(SchedError::MissingSquad);
+                return;
+            };
             if self.record_squads {
                 self.squad_log.push(SquadRecord {
                     launched_at: finished.launched_at,
@@ -510,14 +788,68 @@ impl HostDriver for BlessDriver {
                         .filter_map(|(a, e)| e.as_ref().map(|e| (a, e.kernels.len())))
                         .collect(),
                     spatial: finished.spatial,
-                    sm_caps: finished.sm_caps,
+                    sm_caps: finished.sm_caps.clone(),
                 });
+            }
+            self.watchdog_eval(&finished, done.at);
+            // A crash-free squad boundary resets the backoff streak of
+            // apps with nothing left to retry.
+            for a in 0..self.apps.len() {
+                if self.outstanding_retried[a].is_empty() && self.pending_retry[a].is_empty() {
+                    self.retry_streak[a] = 0;
+                }
             }
             // Squad switch: synchronize (20 µs) and schedule the next one
             // (deferred so same-instant arrivals are observed first).
             gpu.charge_host(gpu.costs().squad_sync);
             self.request_schedule(gpu);
         }
+    }
+
+    fn on_crash(&mut self, gpu: &mut Gpu, app: u32, failed: &[FailedKernel]) {
+        let app = app as usize;
+        self.robustness.crashes += 1;
+        if app >= self.apps.len() {
+            return;
+        }
+        // Queue every casualty for re-submission. A kernel we had already
+        // re-submitted may be among them (crashed again): it moves from
+        // outstanding back to pending.
+        for f in failed {
+            let (fapp, kernel) = untag(f.tag);
+            if fapp != app {
+                self.record_error(SchedError::StaleSquadEntry { app: fapp });
+                continue;
+            }
+            if let Some(pos) = self.outstanding_retried[app]
+                .iter()
+                .position(|&k| k == kernel)
+            {
+                // A retry that crashed again: void its launch so the
+                // failed/retried/completed counts stay in terms of unique
+                // kernels (the engine's `FaultCounters` count raw
+                // casualties instead).
+                self.outstanding_retried[app].swap_remove(pos);
+                self.robustness.kernels_retried = self.robustness.kernels_retried.saturating_sub(1);
+            } else {
+                self.robustness.kernels_failed += 1;
+            }
+            self.pending_retry[app].push((kernel, f.queue));
+        }
+        if self.pending_retry[app].is_empty() {
+            return;
+        }
+        // Re-submit in kernel order so per-queue FIFO completion order is
+        // preserved for the request pointer.
+        self.pending_retry[app].sort_by_key(|&(k, _)| k);
+        // Capped exponential backoff: crash storms must not busy-loop the
+        // host with relaunches.
+        let exp = self.retry_streak[app].min(RETRY_BACKOFF_CAP);
+        self.retry_streak[app] = self.retry_streak[app].saturating_add(1);
+        gpu.wake_at(
+            gpu.now() + SimDuration::from_nanos(RETRY_BACKOFF_BASE_NS << exp),
+            RETRY_WAKE_BASE + app as u64,
+        );
     }
 }
 
@@ -695,6 +1027,140 @@ mod tests {
             let total: usize = r.per_app_kernels.iter().map(|&(_, n)| n).sum();
             assert!(total <= BlessParams::default().max_kernels_per_squad);
         }
+    }
+
+    #[test]
+    fn crashed_kernels_are_retried_and_no_request_is_lost() {
+        use sim_core::{FaultPlan, FaultSpec};
+        // Repeated context crashes mid-run: every casualty must be
+        // re-submitted and every request must still complete.
+        let arrivals: Vec<RequestArrival> = (0..4)
+            .flat_map(|i| {
+                (0..2).map(move |app| RequestArrival {
+                    app,
+                    req: i,
+                    at: SimTime::from_millis(4 * i as u64),
+                })
+            })
+            .collect();
+        let apps = vec![
+            deploy(ModelKind::NasNet, 0.5),
+            deploy(ModelKind::ResNet50, 0.5),
+        ];
+        let driver = BlessDriver::new(apps, BlessParams::default());
+        let mut gpu = Gpu::new(GpuSpec::a100(), HostCosts::paper());
+        let plan = FaultPlan::build(
+            7,
+            &FaultSpec {
+                num_apps: 2,
+                crash_count: 3,
+                crash_window: (SimTime::from_millis(1), SimTime::from_millis(14)),
+                ..FaultSpec::default()
+            },
+        );
+        gpu.set_fault_plan(plan);
+        let mut sim = Simulation::new(gpu, driver, arrivals);
+        assert_eq!(sim.run(SimTime::from_secs(20)), RunOutcome::Completed);
+        let counters = sim.gpu.fault_counters();
+        assert_eq!(counters.crashes, 3);
+        let rb = &sim.driver.robustness;
+        assert_eq!(rb.crashes, 3);
+        if counters.kernels_failed > 0 {
+            assert!(rb.kernels_failed > 0, "driver saw the casualties");
+            assert!(
+                rb.all_retries_completed(),
+                "failed {} retried {} completed {}",
+                rb.kernels_failed,
+                rb.kernels_retried,
+                rb.retries_completed
+            );
+        }
+        // No lost request: all eight completions are logged.
+        for app in 0..2 {
+            let recs = sim.driver.log.records(app);
+            assert_eq!(recs.len(), 4);
+            assert!(recs.iter().all(|r| r.completion.is_some()));
+        }
+    }
+
+    #[test]
+    fn watchdog_degrades_drifting_app_and_promotes_after_clean_squads() {
+        use sim_core::{FaultPlan, FaultSpec};
+        // App 1's profile drifts far beyond the watchdog threshold: the
+        // watchdog must demote it at least one ladder step. The run must
+        // still complete every request.
+        let arrivals: Vec<RequestArrival> = (0..6)
+            .flat_map(|i| {
+                (0..2).map(move |app| RequestArrival {
+                    app,
+                    req: i,
+                    at: SimTime::from_millis(5 * i as u64),
+                })
+            })
+            .collect();
+        let apps = vec![deploy(ModelKind::NasNet, 0.5), deploy(ModelKind::Bert, 0.5)];
+        let params = BlessParams {
+            watchdog: Some(crate::params::WatchdogParams {
+                degrade_threshold: 1.4,
+                promote_after: 3,
+            }),
+            ..BlessParams::default()
+        };
+        let driver = BlessDriver::new(apps, params);
+        let mut gpu = Gpu::new(GpuSpec::a100(), HostCosts::paper());
+        let plan = FaultPlan::build(
+            11,
+            &FaultSpec {
+                num_apps: 2,
+                drift_prob: 1.0,
+                drift_range: (2.0, 2.5),
+                ..FaultSpec::default()
+            },
+        );
+        gpu.set_fault_plan(plan);
+        let mut sim = Simulation::new(gpu, driver, arrivals);
+        assert_eq!(sim.run(SimTime::from_secs(30)), RunOutcome::Completed);
+        let rb = &sim.driver.robustness;
+        assert!(
+            rb.demotions() > 0,
+            "2x drift on every kernel must trip the watchdog"
+        );
+        for app in 0..2 {
+            assert_eq!(sim.driver.log.records(app).len(), 6);
+        }
+    }
+
+    #[test]
+    fn watchdog_stays_quiet_without_faults() {
+        // With the watchdog armed but no faults injected, benign squads
+        // must not trip it (threshold leaves headroom over model error).
+        let arrivals = vec![
+            RequestArrival {
+                app: 0,
+                req: 0,
+                at: SimTime::ZERO,
+            },
+            RequestArrival {
+                app: 1,
+                req: 0,
+                at: SimTime::ZERO,
+            },
+        ];
+        let apps = vec![
+            deploy(ModelKind::NasNet, 0.5),
+            deploy(ModelKind::ResNet50, 0.5),
+        ];
+        let params = BlessParams {
+            watchdog: Some(crate::params::WatchdogParams::default()),
+            ..BlessParams::default()
+        };
+        let driver = BlessDriver::new(apps, params);
+        let gpu = Gpu::new(GpuSpec::a100(), HostCosts::paper());
+        let mut sim = Simulation::new(gpu, driver, arrivals);
+        assert_eq!(sim.run(SimTime::from_secs(10)), RunOutcome::Completed);
+        assert_eq!(sim.driver.robustness.demotions(), 0);
+        assert_eq!(sim.driver.robustness.sched_errors, 0);
+        assert_eq!(sim.driver.share_mode(0), metrics::ShareMode::SemiSpatial);
     }
 
     #[test]

@@ -112,9 +112,14 @@ pub fn generate_squad(
     }
     let mut cands: Vec<Cand> = active
         .iter()
-        .map(|r| {
+        .filter_map(|r| {
             let d = &apps[r.app];
             let total = d.profile.kernel_count();
+            // Degenerate deployments (empty kernel trace) and requests
+            // past their last kernel have nothing to schedule.
+            if total == 0 || r.next_kernel >= total {
+                return None;
+            }
             let stretch = d.schedule_stretch();
             let tau_end = d.quota_tau(total - 1).as_nanos() as f64;
             let tau_done = if r.next_kernel == 0 {
@@ -122,15 +127,14 @@ pub fn generate_squad(
             } else {
                 d.quota_tau(r.next_kernel - 1).as_nanos() as f64
             };
-            Cand {
+            Some(Cand {
                 app: r.app,
                 next: r.next_kernel,
                 total,
                 deadline_ns: r.arrival.as_nanos() as f64 + d.target_latency().as_nanos() as f64,
                 remaining_quota_ns: (tau_end - tau_done) * stretch,
-            }
+            })
         })
-        .filter(|c| c.next < c.total)
         .collect();
 
     // Safety factor on the quota-pace estimate: leaves headroom for
@@ -179,7 +183,9 @@ pub fn generate_squad(
                             .total_cmp(&cands[b].deadline_ns)
                             .then(cands[a].app.cmp(&cands[b].app))
                     })
-                    .expect("live is non-empty")
+                    // `live` is non-empty (checked above); the fallback
+                    // only placates the no-panic lint.
+                    .unwrap_or(live[0])
             })
         };
 
@@ -401,5 +407,32 @@ mod tests {
         let squad = generate_squad(SimTime::ZERO, &[], &apps, &BlessParams::default());
         assert!(squad.is_empty());
         assert_eq!(squad.len(), 0);
+    }
+
+    #[test]
+    fn exhausted_request_is_skipped_not_panicked() {
+        // A request whose kernels are all scheduled (next == total) must
+        // be filtered out, not underflow the quota-schedule lookup.
+        let apps = vec![
+            deploy(ModelKind::Vgg11, 0.5),
+            deploy(ModelKind::ResNet50, 0.5),
+        ];
+        let total = apps[0].profile.kernel_count();
+        let squad = generate_squad(
+            SimTime::ZERO,
+            &[active(0, total), active(1, 0)],
+            &apps,
+            &BlessParams::default(),
+        );
+        assert_eq!(squad.apps(), vec![1], "only the live request schedules");
+
+        // All requests exhausted -> empty squad, no panic.
+        let squad = generate_squad(
+            SimTime::ZERO,
+            &[active(0, total)],
+            &apps,
+            &BlessParams::default(),
+        );
+        assert!(squad.is_empty());
     }
 }

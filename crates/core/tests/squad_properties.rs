@@ -1,5 +1,7 @@
 //! Property tests on the multi-task scheduler's squad generation.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code
+
 use bless::{
     determine_config, determine_config_memo, generate_squad, ActiveRequest, BlessParams,
     ConfigMemo, DeployedApp, ExecConfig,

@@ -60,7 +60,7 @@ pub fn weighted_waterfill(capacity: f64, demands: &[Demand]) -> Vec<f64> {
     order.sort_by(|&a, &b| {
         let ra = demands[a].cap / demands[a].weight;
         let rb = demands[b].cap / demands[b].weight;
-        ra.partial_cmp(&rb).expect("finite ratios")
+        ra.partial_cmp(&rb).unwrap_or(std::cmp::Ordering::Equal)
     });
 
     let mut alloc = vec![0.0; n];

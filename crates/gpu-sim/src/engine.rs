@@ -24,7 +24,7 @@
 
 use std::collections::VecDeque;
 
-use sim_core::{EventQueue, SimDuration, SimTime};
+use sim_core::{EventQueue, FaultPlan, SimDuration, SimTime};
 
 use crate::alloc::{allocate_sms_into, CtxGroup, KernelDemand};
 use crate::kernel::{KernelDesc, KernelKind};
@@ -125,6 +125,9 @@ pub enum InstState {
     Running,
     /// Finished.
     Done,
+    /// Killed by an injected context crash before completing; the host must
+    /// re-submit it (reported through [`Gpu::take_failed`]).
+    Failed,
 }
 
 #[derive(Clone, Debug)]
@@ -212,6 +215,10 @@ enum DevEv {
     HostWake { token: u64 },
     /// Internal re-allocation poke (dispatch-gap expiry).
     Poke,
+    /// Injected context crash: every live kernel of `app` fails.
+    Crash { app: u32 },
+    /// Injected DMA-bandwidth change (stall onset or recovery).
+    DmaRate { factor: f64, onset: bool },
 }
 
 /// Externally visible outcome of one engine step.
@@ -231,6 +238,52 @@ pub enum StepOutput {
         /// The token passed to [`Gpu::wake_at`].
         token: u64,
     },
+    /// An injected MPS context crash fired: every in-flight, queued, and
+    /// running kernel of `app` failed. The casualties are retrievable with
+    /// [`Gpu::take_failed`]; the driver is expected to re-submit them.
+    ContextCrash {
+        /// The victim application (low bits of the kernel tag).
+        app: u32,
+    },
+}
+
+/// One kernel killed by an injected context crash, as reported to the
+/// driver for re-submission.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FailedKernel {
+    /// Handle of the killed instance (now in [`InstState::Failed`]).
+    pub handle: KernelHandle,
+    /// The queue it was launched into (re-submit to the same queue to
+    /// preserve per-queue FIFO ordering).
+    pub queue: QueueId,
+    /// Driver-assigned tag identifying the kernel.
+    pub tag: u64,
+}
+
+/// Running totals of injected faults, for robustness reports.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Context crashes fired.
+    pub crashes: u64,
+    /// Kernels killed by those crashes.
+    pub kernels_failed: u64,
+    /// Kernel launches that drew a straggler multiplier.
+    pub stragglers: u64,
+    /// DMA stall windows that began.
+    pub dma_stalls: u64,
+}
+
+/// Live fault-injection state (present only when a non-trivial
+/// [`FaultPlan`] is installed, so the no-fault path stays bit-identical).
+struct FaultState {
+    plan: FaultPlan,
+    /// Current copy-bandwidth divisor (1.0 = full speed).
+    dma_slow: f64,
+    /// Number of stall windows currently open (overlaps nest).
+    stall_depth: u32,
+    /// Crash casualties awaiting pickup by the driver.
+    failed: Vec<FailedKernel>,
+    counters: FaultCounters,
 }
 
 /// The simulated GPU plus its host timeline.
@@ -263,6 +316,9 @@ pub struct Gpu {
     /// Whether reported-complete instances are recycled through the
     /// free-list (see [`Gpu::set_slot_recycling`]).
     recycle_slots: bool,
+    /// Fault-injection state; `None` unless a non-trivial plan is
+    /// installed (see [`Gpu::set_fault_plan`]).
+    fault: Option<FaultState>,
     /// Scratch buffers reused across `reallocate` calls so the per-event
     /// hot path performs no heap allocation in steady state.
     scratch: ReallocScratch,
@@ -310,8 +366,65 @@ impl Gpu {
             next_run_seq: 0,
             free_slots: Vec::new(),
             recycle_slots: false,
+            fault: None,
             scratch: ReallocScratch::default(),
         }
+    }
+
+    /// Installs a deterministic fault plan.
+    ///
+    /// Crash and DMA-stall schedules become pending device events; drift
+    /// and straggler multipliers apply to subsequent compute launches
+    /// (victims are identified by the application index in the low bits of
+    /// the kernel tag, per [`crate::sim::encode_tag`]). Installing a plan
+    /// for which [`FaultPlan::is_none`] holds stores nothing at all, so
+    /// that path is bit-identical to never calling this method.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        if plan.is_none() {
+            self.fault = None;
+            return;
+        }
+        for c in plan.crashes() {
+            self.events
+                .push(c.at.max(self.now), DevEv::Crash { app: c.app });
+        }
+        for s in plan.dma_stalls() {
+            self.events.push(
+                s.at.max(self.now),
+                DevEv::DmaRate {
+                    factor: s.factor,
+                    onset: true,
+                },
+            );
+            self.events.push(
+                s.until.max(self.now),
+                DevEv::DmaRate {
+                    factor: s.factor,
+                    onset: false,
+                },
+            );
+        }
+        self.fault = Some(FaultState {
+            plan,
+            dma_slow: 1.0,
+            stall_depth: 0,
+            failed: Vec::new(),
+            counters: FaultCounters::default(),
+        });
+    }
+
+    /// Drains the kernels killed by context crashes since the last call
+    /// (typically invoked right after [`StepOutput::ContextCrash`]).
+    pub fn take_failed(&mut self) -> Vec<FailedKernel> {
+        self.fault
+            .as_mut()
+            .map(|f| std::mem::take(&mut f.failed))
+            .unwrap_or_default()
+    }
+
+    /// Totals of faults injected so far (all zero without a plan).
+    pub fn fault_counters(&self) -> FaultCounters {
+        self.fault.as_ref().map(|f| f.counters).unwrap_or_default()
     }
 
     /// Enables (or disables) recycling of completed instance slots through
@@ -525,10 +638,23 @@ impl Gpu {
         tag: u64,
         arrive_at: SimTime,
     ) -> KernelHandle {
-        let remaining = match desc.kind {
+        let mut remaining = match desc.kind {
             KernelKind::Compute { .. } => desc.work,
             KernelKind::MemcpyH2D { bytes } | KernelKind::MemcpyD2H { bytes } => bytes as f64,
         };
+        // Injected stragglers / profile drift inflate the *actual* work of
+        // compute launches while the driver keeps predicting from the
+        // unmodified profile — exactly the mismatch the watchdog must catch.
+        if let (Some(f), KernelKind::Compute { .. }) = (&mut self.fault, desc.kind) {
+            let app = crate::sim::decode_tag(tag).0 as u32;
+            let mult = f.plan.work_multiplier(app);
+            if mult != 1.0 {
+                remaining *= mult;
+                if mult > f.plan.drift_factor(app) {
+                    f.counters.stragglers += 1;
+                }
+            }
+        }
         let inst = Instance {
             desc,
             queue,
@@ -576,7 +702,7 @@ impl Gpu {
     fn resolve(&self, h: KernelHandle) -> Option<&Instance> {
         let slot = (h.0 & 0xFFFF_FFFF) as usize;
         let generation = (h.0 >> 32) as u32;
-        let inst = &self.instances[slot];
+        let inst = self.instances.get(slot)?;
         (inst.generation == generation).then_some(inst)
     }
 
@@ -730,6 +856,11 @@ impl Gpu {
         self.now = t;
         match ev {
             DevEv::Arrive { slot } => {
+                if self.instances[slot].state != InstState::InFlight {
+                    // The launch was killed in flight by a context crash:
+                    // the kernel never reaches its device queue.
+                    return None;
+                }
                 self.instances[slot].state = InstState::Queued;
                 let q = self.instances[slot].queue.0 as usize;
                 self.queues[q].waiting.push_back(slot);
@@ -780,7 +911,89 @@ impl Gpu {
                 self.reallocate_scoped(true, false);
                 None
             }
+            DevEv::Crash { app } => {
+                self.inject_crash(app);
+                Some(StepOutput::ContextCrash { app })
+            }
+            DevEv::DmaRate { factor, onset } => {
+                if let Some(f) = &mut self.fault {
+                    if onset {
+                        f.stall_depth += 1;
+                        // Overlapping stalls hold the strongest divisor
+                        // until the last window closes.
+                        f.dma_slow = f.dma_slow.max(factor);
+                        f.counters.dma_stalls += 1;
+                    } else {
+                        f.stall_depth = f.stall_depth.saturating_sub(1);
+                        if f.stall_depth == 0 {
+                            f.dma_slow = 1.0;
+                        }
+                    }
+                }
+                self.reallocate_scoped(false, true);
+                None
+            }
         }
+    }
+
+    /// Kills every not-yet-done kernel of `app`: in-flight launches never
+    /// arrive, queued kernels leave their queues, running kernels stop
+    /// making progress. Casualties move to [`InstState::Failed`] and are
+    /// reported through [`Gpu::take_failed`]. Failed slots are never
+    /// recycled, so their handles and any stale `Arrive` events stay valid.
+    fn inject_crash(&mut self, app: u32) {
+        let mut touched_queues = Vec::new();
+        for slot in 0..self.instances.len() {
+            let inst = &self.instances[slot];
+            if matches!(inst.state, InstState::Done | InstState::Failed) {
+                continue;
+            }
+            if crate::sim::decode_tag(inst.tag).0 as u32 != app {
+                continue;
+            }
+            let state = inst.state;
+            let q = inst.queue.0 as usize;
+            let inst = &mut self.instances[slot];
+            inst.state = InstState::Failed;
+            inst.rate = 0.0;
+            inst.alloc_sms = 0.0;
+            inst.finished_at = None;
+            let generation = inst.generation;
+            match state {
+                InstState::InFlight => {
+                    // The pending Arrive event finds the slot Failed and
+                    // is dropped there.
+                }
+                InstState::Queued => {
+                    self.queues[q].waiting.retain(|&s| s != slot);
+                }
+                InstState::Running => {
+                    if self.queues[q].running == Some(slot) {
+                        self.queues[q].running = None;
+                        touched_queues.push(q);
+                    }
+                }
+                InstState::Done | InstState::Failed => unreachable!(),
+            }
+            self.live_instances -= 1;
+            let failed = FailedKernel {
+                handle: Self::handle_for(slot, generation),
+                queue: QueueId(q as u32),
+                tag: self.instances[slot].tag,
+            };
+            if let Some(f) = &mut self.fault {
+                f.failed.push(failed);
+                f.counters.kernels_failed += 1;
+            }
+        }
+        if let Some(f) = &mut self.fault {
+            f.counters.crashes += 1;
+        }
+        for q in touched_queues {
+            self.try_start_head(q);
+        }
+        // Survivors inherit the freed SMs / bandwidth immediately.
+        self.reallocate_scoped(true, true);
     }
 
     /// Runs the device forward until no events remain, discarding outputs.
@@ -1001,7 +1214,10 @@ impl Gpu {
                 if dir.is_empty() {
                     continue;
                 }
-                let per = self.spec.pcie_bytes_per_sec / dir.len() as f64 / 1e9; // bytes per ns
+                // An active injected DMA stall divides bandwidth; without
+                // fault state the divisor is exactly 1.0 (bit-identical).
+                let slow = self.fault.as_ref().map_or(1.0, |f| f.dma_slow);
+                let per = self.spec.pcie_bytes_per_sec / dir.len() as f64 / 1e9 / slow; // bytes per ns
                 for &slot in dir.iter() {
                     let unchanged = (self.instances[slot].rate - per).abs() < 1e-18
                         && self.instances[slot].rate > 0.0;
@@ -1841,5 +2057,211 @@ mod tests {
             a_segs[0].to.duration_since(a_segs[0].from),
             SimDuration::from_micros(100)
         );
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection
+    // ------------------------------------------------------------------
+
+    use crate::sim::encode_tag;
+    use sim_core::{FaultPlan, FaultSpec};
+
+    #[test]
+    fn none_plan_stores_no_fault_state() {
+        let mut gpu = free_gpu();
+        gpu.set_fault_plan(FaultPlan::none());
+        let ctx = gpu.create_context(CtxKind::Default).unwrap();
+        let q = gpu.create_queue(ctx).unwrap();
+        let h = gpu
+            .launch(
+                q,
+                KernelDesc::compute("k", SimDuration::from_micros(100), 108, 0.2),
+                encode_tag(0, 0),
+            )
+            .unwrap();
+        run_all(&mut gpu);
+        assert_eq!(gpu.kernel_finished_at(h), Some(SimTime::from_micros(100)));
+        assert_eq!(gpu.fault_counters(), FaultCounters::default());
+        assert!(gpu.take_failed().is_empty());
+    }
+
+    #[test]
+    fn straggler_multiplies_kernel_duration() {
+        let mut gpu = free_gpu();
+        let spec = FaultSpec {
+            num_apps: 1,
+            straggler_prob: 1.0,
+            straggler_factor: 2.0,
+            ..FaultSpec::default()
+        };
+        gpu.set_fault_plan(FaultPlan::build(42, &spec));
+        let ctx = gpu.create_context(CtxKind::Default).unwrap();
+        let q = gpu.create_queue(ctx).unwrap();
+        let h = gpu
+            .launch(
+                q,
+                KernelDesc::compute("k", SimDuration::from_micros(100), 108, 0.0),
+                encode_tag(0, 0),
+            )
+            .unwrap();
+        run_all(&mut gpu);
+        assert_eq!(gpu.kernel_finished_at(h), Some(SimTime::from_micros(200)));
+        assert_eq!(gpu.fault_counters().stragglers, 1);
+    }
+
+    #[test]
+    fn drift_inflates_every_launch_of_the_app() {
+        let mut gpu = free_gpu();
+        let spec = FaultSpec {
+            num_apps: 1,
+            drift_prob: 1.0,
+            drift_range: (1.5, 1.5),
+            ..FaultSpec::default()
+        };
+        gpu.set_fault_plan(FaultPlan::build(0, &spec));
+        let ctx = gpu.create_context(CtxKind::Default).unwrap();
+        let q = gpu.create_queue(ctx).unwrap();
+        for k in 0..3u64 {
+            let h = gpu
+                .launch(
+                    q,
+                    KernelDesc::compute("k", SimDuration::from_micros(100), 108, 0.0),
+                    encode_tag(0, k as usize),
+                )
+                .unwrap();
+            run_all(&mut gpu);
+            let took = gpu
+                .kernel_finished_at(h)
+                .unwrap()
+                .duration_since(gpu.kernel_started_at(h).unwrap());
+            assert_eq!(took, SimDuration::from_micros(150));
+        }
+        // Drift alone is systematic mis-prediction, not a straggler.
+        assert_eq!(gpu.fault_counters().stragglers, 0);
+    }
+
+    #[test]
+    fn context_crash_kills_victim_and_spares_others() {
+        let mut gpu = free_gpu();
+        let spec = FaultSpec {
+            num_apps: 2,
+            crash_count: 1,
+            crash_window: (SimTime::from_micros(50), SimTime::from_micros(50)),
+            ..FaultSpec::default()
+        };
+        let plan = FaultPlan::build(9, &spec);
+        let victim = plan.crashes()[0].app;
+        let other = 1 - victim;
+        gpu.set_fault_plan(plan);
+        let ctx = gpu.create_context(CtxKind::Default).unwrap();
+        let qv = gpu.create_queue(ctx).unwrap();
+        let qo = gpu.create_queue(ctx).unwrap();
+        // Victim: one running + one queued kernel at crash time.
+        let k = |us| KernelDesc::compute("k", SimDuration::from_micros(us), 54, 0.0);
+        let v1 = gpu
+            .launch(qv, k(100), encode_tag(victim as usize, 0))
+            .unwrap();
+        let v2 = gpu
+            .launch(qv, k(100), encode_tag(victim as usize, 1))
+            .unwrap();
+        let o1 = gpu
+            .launch(qo, k(100), encode_tag(other as usize, 0))
+            .unwrap();
+        let mut crash_seen = None;
+        while !gpu.events.is_empty() {
+            if let Some(StepOutput::ContextCrash { app }) = gpu.step() {
+                crash_seen = Some((app, gpu.now(), gpu.take_failed()));
+            }
+        }
+        let (app, at, failed) = crash_seen.expect("crash must fire");
+        assert_eq!(app, victim);
+        assert_eq!(at, SimTime::from_micros(50));
+        assert_eq!(failed.len(), 2);
+        assert!(failed.iter().all(|f| f.queue == qv));
+        assert_eq!(gpu.kernel_state(v1), InstState::Failed);
+        assert_eq!(gpu.kernel_state(v2), InstState::Failed);
+        assert_eq!(gpu.kernel_state(o1), InstState::Done);
+        assert_eq!(gpu.kernel_finished_at(o1), Some(SimTime::from_micros(100)));
+        let c = gpu.fault_counters();
+        assert_eq!((c.crashes, c.kernels_failed), (1, 2));
+        assert!(gpu.is_device_idle());
+        // Failed kernels can be re-submitted and then complete normally.
+        let retry = gpu
+            .launch(qv, k(100), encode_tag(victim as usize, 0))
+            .unwrap();
+        run_all(&mut gpu);
+        assert_eq!(gpu.kernel_state(retry), InstState::Done);
+    }
+
+    #[test]
+    fn crash_kills_in_flight_launches_before_arrival() {
+        let mut gpu = Gpu::a100(); // 3 us launch overhead keeps it in flight
+        let spec = FaultSpec {
+            num_apps: 1,
+            crash_count: 1,
+            crash_window: (SimTime::from_nanos(1), SimTime::from_nanos(1)),
+            ..FaultSpec::default()
+        };
+        gpu.set_fault_plan(FaultPlan::build(0, &spec));
+        let ctx = gpu.create_context(CtxKind::Default).unwrap();
+        let q = gpu.create_queue(ctx).unwrap();
+        let h = gpu
+            .launch(
+                q,
+                KernelDesc::compute("k", SimDuration::from_micros(10), 108, 0.0),
+                encode_tag(0, 0),
+            )
+            .unwrap();
+        run_all(&mut gpu);
+        // Crash at 1 ns < 3 us arrival: the launch never reaches its queue.
+        assert_eq!(gpu.kernel_state(h), InstState::Failed);
+        assert_eq!(gpu.fault_counters().kernels_failed, 1);
+        assert!(gpu.is_device_idle());
+    }
+
+    #[test]
+    fn dma_stall_divides_copy_bandwidth() {
+        let mut gpu = free_gpu();
+        let spec = FaultSpec {
+            num_apps: 1,
+            dma_stall_count: 1,
+            dma_stall_window: (SimTime::ZERO, SimTime::from_nanos(1)),
+            dma_stall_len: SimDuration::from_millis(10),
+            dma_slow_factor: 4.0,
+            ..FaultSpec::default()
+        };
+        gpu.set_fault_plan(FaultPlan::build(5, &spec));
+        let ctx = gpu.create_context(CtxKind::Default).unwrap();
+        let q = gpu.create_queue(ctx).unwrap();
+        // 25 MB at 25 GB/s = 1 ms alone; divided by 4 -> 4 ms.
+        let h = gpu
+            .launch(q, KernelDesc::memcpy_h2d("c", 25_000_000), encode_tag(0, 0))
+            .unwrap();
+        run_all(&mut gpu);
+        assert_eq!(gpu.kernel_finished_at(h), Some(SimTime::from_millis(4)));
+        assert_eq!(gpu.fault_counters().dma_stalls, 1);
+    }
+
+    #[test]
+    fn dma_bandwidth_recovers_after_stall() {
+        let mut gpu = free_gpu();
+        let spec = FaultSpec {
+            num_apps: 1,
+            dma_stall_count: 1,
+            dma_stall_window: (SimTime::ZERO, SimTime::from_nanos(1)),
+            dma_stall_len: SimDuration::from_micros(500),
+            dma_slow_factor: 2.0,
+            ..FaultSpec::default()
+        };
+        gpu.set_fault_plan(FaultPlan::build(5, &spec));
+        let ctx = gpu.create_context(CtxKind::Default).unwrap();
+        let q = gpu.create_queue(ctx).unwrap();
+        // 1 ms of copy: 500 us at half speed moves 250 us' worth, the
+        // remaining 750 us' worth at full speed -> 1.25 ms total.
+        let h = gpu
+            .launch(q, KernelDesc::memcpy_h2d("c", 25_000_000), encode_tag(0, 0))
+            .unwrap();
+        run_all(&mut gpu);
+        assert_eq!(gpu.kernel_finished_at(h), Some(SimTime::from_micros(1250)));
     }
 }

@@ -42,7 +42,8 @@ pub mod sim;
 pub mod spec;
 
 pub use engine::{
-    CtxId, CtxKind, Gpu, GpuError, InstState, KernelHandle, QueueId, StepOutput, TimelineSegment,
+    CtxId, CtxKind, FailedKernel, FaultCounters, Gpu, GpuError, InstState, KernelHandle, QueueId,
+    StepOutput, TimelineSegment,
 };
 pub use kernel::{KernelDesc, KernelKind};
 pub use sim::{

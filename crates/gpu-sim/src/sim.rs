@@ -14,7 +14,7 @@
 
 use sim_core::{EventQueue, SimTime};
 
-use crate::engine::{Gpu, KernelHandle, QueueId, StepOutput};
+use crate::engine::{FailedKernel, Gpu, KernelHandle, QueueId, StepOutput};
 
 /// A client request arriving at the host scheduler.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -63,6 +63,14 @@ pub trait HostDriver {
     /// A wakeup requested via [`Gpu::wake_at`] fired.
     fn on_wake(&mut self, gpu: &mut Gpu, token: u64) {
         let _ = (gpu, token);
+    }
+
+    /// An injected context crash killed `failed` kernels of `app` (see
+    /// [`Gpu::set_fault_plan`]). Drivers that support fault injection
+    /// re-submit the casualties; the default body drops them, which loses
+    /// the requests — acceptable for baselines that never run under faults.
+    fn on_crash(&mut self, gpu: &mut Gpu, app: u32, failed: &[FailedKernel]) {
+        let _ = (gpu, app, failed);
     }
 }
 
@@ -211,7 +219,9 @@ impl<D: HostDriver> Simulation<D> {
             // Arrivals take precedence at equal timestamps so drivers see
             // the request before reacting to a same-instant completion.
             if next_arr.is_some_and(|a| a <= t) {
-                let (_, req) = self.arrivals.pop().expect("peeked arrival");
+                let Some((_, req)) = self.arrivals.pop() else {
+                    continue; // Unreachable: an arrival was just peeked.
+                };
                 self.pending_count -= 1;
                 self.gpu.advance_to(req.at);
                 self.driver.on_request(&mut self.gpu, req);
@@ -232,6 +242,11 @@ impl<D: HostDriver> Simulation<D> {
                 }
                 Some(StepOutput::HostWake { token }) => {
                     self.driver.on_wake(&mut self.gpu, token);
+                    self.process_notices();
+                }
+                Some(StepOutput::ContextCrash { app }) => {
+                    let failed = self.gpu.take_failed();
+                    self.driver.on_crash(&mut self.gpu, app, &failed);
                     self.process_notices();
                 }
                 None => {} // Stale completion; keep going.

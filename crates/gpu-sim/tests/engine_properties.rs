@@ -1,6 +1,8 @@
 //! Property tests for the engine under the default greedy-sticky policy:
 //! random kernel mixes must conserve work, respect caps, and terminate.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code
+
 use gpu_sim::{CtxKind, Gpu, GpuSpec, HostCosts, HwPolicy, KernelDesc};
 use proptest::prelude::*;
 use sim_core::{SimDuration, SimTime};

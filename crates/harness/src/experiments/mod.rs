@@ -1,6 +1,7 @@
 //! One module per paper artifact; the registry maps experiment ids to
 //! runner functions.
 
+pub mod faults;
 pub mod fig10;
 pub mod fig12;
 pub mod fig13;
@@ -145,6 +146,11 @@ pub fn registry() -> Vec<Experiment> {
             id: "graphs",
             describes: "§6.10 extension: CUDA-graph scheduling granularity sweep",
             run: graphs::run,
+        },
+        Experiment {
+            id: "faults",
+            describes: "robustness: deterministic fault matrix (stragglers, drift, crashes, DMA)",
+            run: faults::run,
         },
     ]
 }

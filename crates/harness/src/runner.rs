@@ -281,13 +281,31 @@ pub fn run_custom<D: HostDriver>(
     spec: &GpuSpec,
     horizon: SimTime,
 ) -> (D, RunOutcome, SimTime) {
+    let (driver, outcome, now, _) =
+        run_custom_faulted(driver, ws, spec, horizon, sim_core::FaultPlan::none());
+    (driver, outcome, now)
+}
+
+/// [`run_custom`] with a deterministic [`sim_core::FaultPlan`] installed on
+/// the device before the run; also returns the engine's fault counters.
+/// `FaultPlan::none()` leaves the device byte-identical to an uninstalled
+/// plan, so `run_custom` routes through here unchanged.
+pub fn run_custom_faulted<D: HostDriver>(
+    driver: D,
+    ws: &WorkloadSet,
+    spec: &GpuSpec,
+    horizon: SimTime,
+    plan: sim_core::FaultPlan,
+) -> (D, RunOutcome, SimTime, gpu_sim::FaultCounters) {
     let mut gpu = Gpu::new(spec.clone(), HostCosts::paper());
     gpu.set_slot_recycling(true);
+    gpu.set_fault_plan(plan);
     let mut sim = Simulation::new(gpu, driver, ws.initial_arrivals())
         .with_notice_handler(ws.notice_handler());
     let outcome = sim.run(horizon);
     let now = sim.gpu.now();
-    (sim.driver, outcome, now)
+    let counters = sim.gpu.fault_counters();
+    (sim.driver, outcome, now, counters)
 }
 
 #[cfg(test)]

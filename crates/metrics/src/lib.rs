@@ -17,8 +17,10 @@
 
 pub mod cdf;
 pub mod report;
+pub mod robustness;
 pub mod stats;
 
 pub use cdf::Cdf;
 pub use report::Table;
+pub use robustness::{DegradeTransition, RobustnessReport, ShareMode};
 pub use stats::{latency_deviation, LatencyStats, RequestLog, RequestRecord};

@@ -1,0 +1,162 @@
+//! Robustness accounting for fault-injection experiments.
+//!
+//! A [`RobustnessReport`] tallies what the scheduler had to absorb during
+//! a faulted run: injected faults (crashes, stragglers, DMA stalls),
+//! recovery work (retried kernels), recoverable scheduler errors, and the
+//! graceful-degradation ladder's transitions (semi-spatial → strict
+//! spatial → pure temporal and back; see DESIGN.md "Fault model &
+//! graceful degradation"). The driver fills the scheduler-side fields;
+//! the harness merges in the engine's fault counters.
+
+use sim_core::SimTime;
+
+/// Sharing mode of one application on the degradation ladder.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ShareMode {
+    /// Normal BLESS operation: semi-spatial sharing with the determiner
+    /// free to pick NSP or semi-SP per squad.
+    SemiSpatial,
+    /// First degradation step: every kernel of the app keeps its SM
+    /// restriction (no unrestricted tail), containing mis-predicted
+    /// kernels inside their partition.
+    StrictSpatial,
+    /// Last resort: the app only runs in solo squads (pure temporal
+    /// sharing), fully isolated from other tenants.
+    Temporal,
+}
+
+impl std::fmt::Display for ShareMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShareMode::SemiSpatial => write!(f, "semi-SP"),
+            ShareMode::StrictSpatial => write!(f, "strict-SP"),
+            ShareMode::Temporal => write!(f, "temporal"),
+        }
+    }
+}
+
+/// One watchdog-driven move on the degradation ladder.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DegradeTransition {
+    /// When the transition happened.
+    pub at: SimTime,
+    /// The application that moved.
+    pub app: usize,
+    /// Mode before the transition.
+    pub from: ShareMode,
+    /// Mode after the transition.
+    pub to: ShareMode,
+}
+
+impl DegradeTransition {
+    /// True if this transition moved *down* the ladder (toward isolation).
+    pub fn is_demotion(&self) -> bool {
+        self.to > self.from
+    }
+}
+
+/// Tally of faults injected and recovery actions taken over one run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RobustnessReport {
+    /// Context crashes fired by the fault plan.
+    pub crashes: u64,
+    /// Kernels killed by those crashes.
+    pub kernels_failed: u64,
+    /// Kernels re-submitted after a crash.
+    pub kernels_retried: u64,
+    /// Re-submitted kernels that went on to complete.
+    pub retries_completed: u64,
+    /// Kernel launches that drew a straggler multiplier.
+    pub stragglers: u64,
+    /// DMA stall windows that began.
+    pub dma_stalls: u64,
+    /// Recoverable scheduler errors recorded (instead of panics).
+    pub sched_errors: u64,
+    /// Watchdog transitions on the degradation ladder, in time order.
+    pub degradations: Vec<DegradeTransition>,
+    /// Requests that finished past their SLO target.
+    pub slo_violations: u64,
+}
+
+impl RobustnessReport {
+    /// An empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of demotions (moves toward isolation).
+    pub fn demotions(&self) -> usize {
+        self.degradations.iter().filter(|t| t.is_demotion()).count()
+    }
+
+    /// Number of promotions (moves back toward semi-spatial sharing).
+    pub fn promotions(&self) -> usize {
+        self.degradations.len() - self.demotions()
+    }
+
+    /// True when every crash casualty was re-submitted and completed —
+    /// the "no lost request" robustness criterion.
+    pub fn all_retries_completed(&self) -> bool {
+        self.kernels_retried == self.kernels_failed
+            && self.retries_completed == self.kernels_retried
+    }
+
+    /// One-line summary for experiment tables.
+    pub fn summary(&self) -> String {
+        format!(
+            "crashes {} (failed {}, retried {}, completed {}), stragglers {}, \
+             dma stalls {}, sched errors {}, demotions {}, promotions {}",
+            self.crashes,
+            self.kernels_failed,
+            self.kernels_retried,
+            self.retries_completed,
+            self.stragglers,
+            self.dma_stalls,
+            self.sched_errors,
+            self.demotions(),
+            self.promotions()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_orders_by_isolation() {
+        assert!(ShareMode::SemiSpatial < ShareMode::StrictSpatial);
+        assert!(ShareMode::StrictSpatial < ShareMode::Temporal);
+    }
+
+    #[test]
+    fn demotions_and_promotions_are_distinguished() {
+        let mut r = RobustnessReport::new();
+        r.degradations.push(DegradeTransition {
+            at: SimTime::from_millis(1),
+            app: 0,
+            from: ShareMode::SemiSpatial,
+            to: ShareMode::StrictSpatial,
+        });
+        r.degradations.push(DegradeTransition {
+            at: SimTime::from_millis(2),
+            app: 0,
+            from: ShareMode::StrictSpatial,
+            to: ShareMode::SemiSpatial,
+        });
+        assert_eq!(r.demotions(), 1);
+        assert_eq!(r.promotions(), 1);
+    }
+
+    #[test]
+    fn all_retries_completed_requires_full_recovery() {
+        let mut r = RobustnessReport::new();
+        assert!(r.all_retries_completed(), "vacuously true with no faults");
+        r.kernels_failed = 3;
+        assert!(!r.all_retries_completed());
+        r.kernels_retried = 3;
+        r.retries_completed = 3;
+        assert!(r.all_retries_completed());
+        assert!(r.summary().contains("retried 3"));
+    }
+}

@@ -1,0 +1,349 @@
+//! Deterministic fault-injection plans.
+//!
+//! The scheduler experiments in this repo assume offline profiles are exact
+//! and device contexts never die. A [`FaultPlan`] lets an experiment relax
+//! those assumptions *deterministically*: the plan is expanded from a
+//! [`FaultSpec`] and a 64-bit seed using [`SimRng`], so the same
+//! `(seed, spec)` pair always yields a byte-identical fault schedule and —
+//! because the simulator itself is deterministic — a byte-identical run.
+//!
+//! Four fault classes are modeled (see DESIGN.md "Fault model"):
+//!
+//! * **Stragglers** — an individual kernel runs `straggler_factor`× its
+//!   profiled duration (decided per launch with `straggler_prob`).
+//! * **Profile drift** — an application's kernels are *systematically*
+//!   mis-predicted: every launch is scaled by a per-app factor drawn once
+//!   at plan-build time.
+//! * **Context crashes** — at a scheduled instant every live kernel of one
+//!   victim application fails and must be re-submitted by the host.
+//! * **DMA stalls** — during a scheduled window the copy engine's bandwidth
+//!   is divided by `dma_slow_factor`.
+//!
+//! [`FaultPlan::none`] is the identity plan: installing it draws nothing
+//! from any RNG and leaves the simulation bit-for-bit unchanged.
+
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+
+/// Declarative description of which faults to inject and how hard.
+///
+/// A spec is pure data; expand it into a concrete schedule with
+/// [`FaultPlan::build`]. The [`Default`] spec injects nothing.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultSpec {
+    /// Number of applications in the workload. Crash victims and drift
+    /// factors are drawn per application index in `0..num_apps`.
+    pub num_apps: u32,
+    /// Probability that any individual kernel launch becomes a straggler.
+    pub straggler_prob: f64,
+    /// Duration multiplier applied to straggler kernels (`> 1.0` slows).
+    pub straggler_factor: f64,
+    /// Probability that each application's profile drifts.
+    pub drift_prob: f64,
+    /// Uniform range the per-app drift factor is drawn from.
+    pub drift_range: (f64, f64),
+    /// Number of context crashes to schedule.
+    pub crash_count: u32,
+    /// Half-open window `[start, end)` crash instants are drawn from.
+    pub crash_window: (SimTime, SimTime),
+    /// Number of DMA stall windows to schedule.
+    pub dma_stall_count: u32,
+    /// Half-open window `[start, end)` stall onsets are drawn from.
+    pub dma_stall_window: (SimTime, SimTime),
+    /// Length of each DMA stall window.
+    pub dma_stall_len: SimDuration,
+    /// Copy-bandwidth divisor while a stall is active (`> 1.0` slows).
+    pub dma_slow_factor: f64,
+}
+
+impl Default for FaultSpec {
+    fn default() -> Self {
+        FaultSpec {
+            num_apps: 0,
+            straggler_prob: 0.0,
+            straggler_factor: 1.0,
+            drift_prob: 0.0,
+            drift_range: (1.0, 1.0),
+            crash_count: 0,
+            crash_window: (SimTime::ZERO, SimTime::ZERO),
+            dma_stall_count: 0,
+            dma_stall_window: (SimTime::ZERO, SimTime::ZERO),
+            dma_stall_len: SimDuration::ZERO,
+            dma_slow_factor: 1.0,
+        }
+    }
+}
+
+/// A scheduled context crash: at `at`, every live kernel of application
+/// `app` fails and must be re-submitted by the host.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CrashEvent {
+    /// Instant the crash fires.
+    pub at: SimTime,
+    /// Victim application index (the low bits of the kernel tag).
+    pub app: u32,
+}
+
+/// A scheduled DMA stall: in `[at, until)` copy bandwidth is divided by
+/// `factor`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DmaStallEvent {
+    /// Stall onset.
+    pub at: SimTime,
+    /// Stall end (bandwidth recovers here).
+    pub until: SimTime,
+    /// Bandwidth divisor while the stall is active.
+    pub factor: f64,
+}
+
+/// A concrete, fully deterministic fault schedule.
+///
+/// Built once per run from `(seed, spec)`; the precomputed crash/stall
+/// schedules plus the carried RNG for online straggler draws make the whole
+/// fault stream a pure function of the seed. Two plans compare equal iff
+/// they would inject exactly the same faults at the same instants.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultPlan {
+    straggler_prob: f64,
+    straggler_factor: f64,
+    /// Per-app duration multiplier from profile drift (1.0 = faithful).
+    drift: Vec<f64>,
+    crashes: Vec<CrashEvent>,
+    dma_stalls: Vec<DmaStallEvent>,
+    /// Online stream for per-launch straggler decisions.
+    rng: SimRng,
+}
+
+impl FaultPlan {
+    /// The identity plan: injects nothing and draws nothing from any RNG.
+    ///
+    /// A simulation with `FaultPlan::none()` installed is bit-for-bit
+    /// identical to one with no plan at all.
+    pub fn none() -> Self {
+        FaultPlan {
+            straggler_prob: 0.0,
+            straggler_factor: 1.0,
+            drift: Vec::new(),
+            crashes: Vec::new(),
+            dma_stalls: Vec::new(),
+            rng: SimRng::new(0),
+        }
+    }
+
+    /// Expands `spec` into a concrete schedule using a generator seeded
+    /// with `seed`. Same `(seed, spec)` ⇒ identical plan, always.
+    pub fn build(seed: u64, spec: &FaultSpec) -> Self {
+        let mut master = SimRng::new(seed);
+
+        // Per-app drift factors, one draw pair per app so adding crash or
+        // stall knobs never perturbs the drift stream.
+        let mut drift_rng = master.fork(0x0D12_F7D1);
+        let drift: Vec<f64> = (0..spec.num_apps)
+            .map(|_| {
+                let hit = drift_rng.chance(spec.drift_prob);
+                let f = drift_rng.uniform(spec.drift_range.0, spec.drift_range.1);
+                if hit {
+                    f
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+
+        // Crash schedule: instants uniform in the window, victims uniform
+        // over the app population. Sorted so consumers can walk it in time
+        // order; ties keep draw order (stable sort).
+        let mut crash_rng = master.fork(0x0C4A_5A1E);
+        let mut crashes: Vec<CrashEvent> = (0..spec.crash_count)
+            .filter(|_| spec.num_apps > 0)
+            .map(|_| {
+                let at = draw_instant(&mut crash_rng, spec.crash_window);
+                let app = crash_rng.next_below(u64::from(spec.num_apps)) as u32;
+                CrashEvent { at, app }
+            })
+            .collect();
+        crashes.sort_by_key(|c| c.at);
+
+        // DMA stall windows, also time-sorted.
+        let mut stall_rng = master.fork(0x0D3A_57A1);
+        let mut dma_stalls: Vec<DmaStallEvent> = (0..spec.dma_stall_count)
+            .map(|_| {
+                let at = draw_instant(&mut stall_rng, spec.dma_stall_window);
+                DmaStallEvent {
+                    at,
+                    until: at + spec.dma_stall_len,
+                    factor: spec.dma_slow_factor.max(1.0),
+                }
+            })
+            .collect();
+        dma_stalls.sort_by_key(|s| s.at);
+
+        FaultPlan {
+            straggler_prob: spec.straggler_prob,
+            straggler_factor: spec.straggler_factor.max(1.0),
+            drift,
+            crashes,
+            dma_stalls,
+            rng: master.fork(0x57A6_61E5),
+        }
+    }
+
+    /// True if this plan injects nothing (the [`FaultPlan::none`] case or a
+    /// spec whose every knob is off).
+    pub fn is_none(&self) -> bool {
+        self.straggler_prob <= 0.0
+            && self.crashes.is_empty()
+            && self.dma_stalls.is_empty()
+            && self.drift.iter().all(|&f| f == 1.0)
+    }
+
+    /// Duration multiplier for the next launch of a kernel belonging to
+    /// `app`: systematic drift times an online straggler draw.
+    ///
+    /// Consumes RNG state only when `straggler_prob > 0`, so drift-only
+    /// plans stay insensitive to launch count.
+    pub fn work_multiplier(&mut self, app: u32) -> f64 {
+        let drift = self.drift.get(app as usize).copied().unwrap_or(1.0);
+        let straggle = if self.straggler_prob > 0.0 && self.rng.chance(self.straggler_prob) {
+            self.straggler_factor
+        } else {
+            1.0
+        };
+        drift * straggle
+    }
+
+    /// The time-sorted context-crash schedule.
+    pub fn crashes(&self) -> &[CrashEvent] {
+        &self.crashes
+    }
+
+    /// The time-sorted DMA-stall schedule.
+    pub fn dma_stalls(&self) -> &[DmaStallEvent] {
+        &self.dma_stalls
+    }
+
+    /// The systematic drift factor for `app` (1.0 if the app is unknown or
+    /// un-drifted). Useful for reports.
+    pub fn drift_factor(&self, app: u32) -> f64 {
+        self.drift.get(app as usize).copied().unwrap_or(1.0)
+    }
+}
+
+/// Uniform instant in the half-open window, degenerating gracefully to the
+/// window start when the window is empty or inverted.
+fn draw_instant(rng: &mut SimRng, window: (SimTime, SimTime)) -> SimTime {
+    let (lo, hi) = (window.0.as_nanos(), window.1.as_nanos());
+    if hi <= lo {
+        return window.0;
+    }
+    SimTime::from_nanos(lo + rng.next_below(hi - lo))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_spec() -> FaultSpec {
+        FaultSpec {
+            num_apps: 4,
+            straggler_prob: 0.1,
+            straggler_factor: 3.0,
+            drift_prob: 0.5,
+            drift_range: (0.7, 1.6),
+            crash_count: 5,
+            crash_window: (SimTime::from_millis(1), SimTime::from_millis(50)),
+            dma_stall_count: 3,
+            dma_stall_window: (SimTime::ZERO, SimTime::from_millis(40)),
+            dma_stall_len: SimDuration::from_millis(2),
+            dma_slow_factor: 8.0,
+        }
+    }
+
+    #[test]
+    fn same_seed_same_plan() {
+        let a = FaultPlan::build(42, &demo_spec());
+        let b = FaultPlan::build(42, &demo_spec());
+        assert_eq!(a, b);
+        // The online straggler stream is identical too.
+        let (mut a, mut b) = (a, b);
+        for app in 0..4 {
+            for _ in 0..256 {
+                assert_eq!(a.work_multiplier(app), b.work_multiplier(app));
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = FaultPlan::build(1, &demo_spec());
+        let b = FaultPlan::build(2, &demo_spec());
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn none_is_none_and_identity() {
+        let mut p = FaultPlan::none();
+        assert!(p.is_none());
+        assert!(p.crashes().is_empty());
+        assert!(p.dma_stalls().is_empty());
+        for app in 0..8 {
+            assert_eq!(p.work_multiplier(app), 1.0);
+        }
+        // An all-off spec expands to a plan that is also "none".
+        assert!(FaultPlan::build(7, &FaultSpec::default()).is_none());
+    }
+
+    #[test]
+    fn schedules_respect_windows_and_order() {
+        let spec = demo_spec();
+        let plan = FaultPlan::build(9, &spec);
+        assert_eq!(plan.crashes().len(), 5);
+        for w in plan.crashes().windows(2) {
+            assert!(w[0].at <= w[1].at, "crash schedule must be time-sorted");
+        }
+        for c in plan.crashes() {
+            assert!(c.at >= spec.crash_window.0 && c.at < spec.crash_window.1);
+            assert!(c.app < spec.num_apps);
+        }
+        for s in plan.dma_stalls() {
+            assert!(s.at >= spec.dma_stall_window.0 && s.at < spec.dma_stall_window.1);
+            assert_eq!(s.until, s.at + spec.dma_stall_len);
+            assert!(s.factor >= 1.0);
+        }
+    }
+
+    #[test]
+    fn drift_only_plan_is_launch_count_insensitive() {
+        let spec = FaultSpec {
+            num_apps: 2,
+            drift_prob: 1.0,
+            drift_range: (1.5, 1.5),
+            ..FaultSpec::default()
+        };
+        let mut a = FaultPlan::build(3, &spec);
+        let mut b = FaultPlan::build(3, &spec);
+        // Draw a different number of multipliers from each; with no
+        // straggler probability the streams must stay aligned.
+        for _ in 0..10 {
+            assert_eq!(a.work_multiplier(0), 1.5);
+        }
+        for _ in 0..3 {
+            assert_eq!(b.work_multiplier(0), 1.5);
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_window_degenerates_to_start() {
+        let spec = FaultSpec {
+            num_apps: 1,
+            crash_count: 2,
+            crash_window: (SimTime::from_millis(5), SimTime::from_millis(5)),
+            ..FaultSpec::default()
+        };
+        let plan = FaultPlan::build(0, &spec);
+        for c in plan.crashes() {
+            assert_eq!(c.at, SimTime::from_millis(5));
+        }
+    }
+}

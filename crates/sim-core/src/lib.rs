@@ -9,6 +9,9 @@
 //! * [`EventQueue`] — a stable (FIFO-on-tie) priority queue of timed events.
 //! * [`rng::SimRng`] — a small, seedable, fully deterministic PRNG so that
 //!   every experiment is bit-for-bit reproducible without external crates.
+//! * [`fault::FaultPlan`] — a deterministic fault schedule (stragglers,
+//!   profile drift, context crashes, DMA stalls) expanded from a seed, so
+//!   robustness experiments replay bit-for-bit like everything else.
 //!
 //! The simulator is single-threaded by design: GPU scheduling experiments
 //! need deterministic replay far more than they need wall-clock speed, and
@@ -16,9 +19,11 @@
 //! paper-scale experiments complete in milliseconds of host time.
 
 pub mod event;
+pub mod fault;
 pub mod rng;
 pub mod time;
 
 pub use event::EventQueue;
+pub use fault::{CrashEvent, DmaStallEvent, FaultPlan, FaultSpec};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};

@@ -6,7 +6,10 @@
 //! via SplitMix64 — the standard, well-tested construction.
 
 /// Deterministic pseudo-random number generator (xoshiro256\*\*).
-#[derive(Clone, Debug)]
+///
+/// Equality compares generator state: two generators are equal iff they
+/// will produce identical streams from here on.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SimRng {
     s: [u64; 4],
 }

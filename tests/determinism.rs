@@ -4,13 +4,12 @@
 use dnn_models::{ModelKind, Phase};
 use gpu_sim::GpuSpec;
 use harness::cache;
-use harness::runner::{run_system, System};
-use sim_core::SimTime;
-use workloads::{pair_workload, PaperWorkload};
+use harness::runner::{run_custom_faulted, run_system, System};
+use sim_core::{FaultPlan, FaultSpec, SimDuration, SimTime};
+use workloads::{pair_workload, PaperWorkload, WorkloadSet};
 
-fn run_once(seed: u64, sys: &System) -> Vec<(u64, u64)> {
-    let spec = GpuSpec::a100();
-    let ws = pair_workload(
+fn workload(seed: u64) -> WorkloadSet {
+    pair_workload(
         cache::model(ModelKind::NasNet, Phase::Inference),
         cache::model(ModelKind::Bert, Phase::Inference),
         (0.4, 0.6),
@@ -18,11 +17,13 @@ fn run_once(seed: u64, sys: &System) -> Vec<(u64, u64)> {
         8,
         SimTime::from_secs(10),
         seed,
-    );
-    let r = run_system(sys, &ws, &spec, SimTime::from_secs(300), None);
+    )
+}
+
+fn log_pairs(log: &metrics::RequestLog) -> Vec<(u64, u64)> {
     let mut out = Vec::new();
-    for app in 0..2 {
-        for rec in r.log.records(app) {
+    for app in 0..log.apps() {
+        for rec in log.records(app) {
             out.push((
                 rec.arrival.as_nanos(),
                 rec.completion.map_or(0, |c| c.as_nanos()),
@@ -30,6 +31,12 @@ fn run_once(seed: u64, sys: &System) -> Vec<(u64, u64)> {
         }
     }
     out
+}
+
+fn run_once(seed: u64, sys: &System) -> Vec<(u64, u64)> {
+    let spec = GpuSpec::a100();
+    let r = run_system(sys, &workload(seed), &spec, SimTime::from_secs(300), None);
+    log_pairs(&r.log)
 }
 
 #[test]
@@ -103,6 +110,71 @@ const GOLDEN_GSLICE: u64 = 0x7619303ead11c49c;
 const GOLDEN_UNBOUND: u64 = 0x85678e3f84712317;
 const GOLDEN_TEMPORAL: u64 = 0x9e8c7240e6bc9143;
 const GOLDEN_REEF: u64 = 0x01c8aa234f32301b;
+
+/// The fault matrix exercised by the fault-determinism tests: every
+/// injector enabled at once.
+fn fault_spec() -> FaultSpec {
+    FaultSpec {
+        num_apps: 2,
+        straggler_prob: 0.05,
+        straggler_factor: 3.0,
+        drift_prob: 1.0,
+        drift_range: (1.2, 1.6),
+        crash_count: 4,
+        crash_window: (SimTime::from_millis(1), SimTime::from_millis(40)),
+        dma_stall_count: 3,
+        dma_stall_window: (SimTime::ZERO, SimTime::from_secs(5)),
+        dma_stall_len: SimDuration::from_millis(200),
+        dma_slow_factor: 4.0,
+    }
+}
+
+fn run_faulted(seed: u64, plan: FaultPlan) -> (Vec<(u64, u64)>, gpu_sim::FaultCounters) {
+    let spec = GpuSpec::a100();
+    let ws = workload(seed);
+    let apps = harness::runner::deployment(&ws, &spec, None);
+    let driver = bless::BlessDriver::new(apps, bless::BlessParams::default());
+    let (driver, outcome, _, counters) =
+        run_custom_faulted(driver, &ws, &spec, SimTime::from_secs(300), plan);
+    assert_eq!(outcome, gpu_sim::RunOutcome::Completed);
+    (log_pairs(&driver.log), counters)
+}
+
+#[test]
+fn identical_fault_plans_replay_bit_identically() {
+    // Same (seed, FaultSpec) -> byte-identical fault schedule...
+    let spec = fault_spec();
+    let a = FaultPlan::build(42, &spec);
+    let b = FaultPlan::build(42, &spec);
+    assert_eq!(a, b, "FaultPlan::build must be a pure function");
+    assert_eq!(a.crashes(), b.crashes());
+    assert_eq!(a.dma_stalls(), b.dma_stalls());
+
+    // ...and a byte-identical faulted request log, fault for fault.
+    let (log1, c1) = run_faulted(42, a);
+    let (log2, c2) = run_faulted(42, b);
+    assert_eq!(log1, log2, "faulted runs must replay bit-identically");
+    assert_eq!(c1, c2, "fault counters must replay bit-identically");
+    assert!(c1.crashes > 0, "the matrix must actually inject crashes");
+
+    // A different fault seed perturbs the schedule.
+    let c = FaultPlan::build(43, &spec);
+    assert_ne!(FaultPlan::build(42, &fault_spec()), c);
+}
+
+#[test]
+fn none_plan_is_byte_identical_to_no_plan() {
+    // Installing `FaultPlan::none()` must leave the engine on the exact
+    // fast path: the request log digests match the golden BLESS digest
+    // captured with no plan installed at all.
+    let (log, counters) = run_faulted(42, FaultPlan::none());
+    assert_eq!(
+        digest(&log),
+        GOLDEN_BLESS,
+        "FaultPlan::none() perturbed the no-fault schedule"
+    );
+    assert_eq!(counters, gpu_sim::FaultCounters::default());
+}
 
 #[test]
 fn model_generation_is_stable_across_calls() {
