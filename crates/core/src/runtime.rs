@@ -27,12 +27,13 @@ use std::collections::VecDeque;
 
 use gpu_sim::{CtxId, CtxKind, FailedKernel, Gpu, HostDriver, KernelDone, QueueId, RequestArrival};
 use metrics::{DegradeTransition, RequestLog, RobustnessReport, ShareMode};
+use sim_core::trace::{TraceEvent, TraceSquadEntry};
 use sim_core::{SimDuration, SimTime};
 
 use crate::deploy::DeployedApp;
 use crate::error::SchedError;
 use crate::params::BlessParams;
-use crate::predict::{determine_config_memo, ConfigMemo, ExecConfig};
+use crate::predict::{determine_config_memo, ConfigChoice, ConfigMemo, ExecConfig};
 use crate::squad::{generate_squad, scheduling_cost, ActiveRequest, Squad};
 
 // `PendingReq`/`ActiveReq` mirror `baselines::common`'s request-lifecycle
@@ -209,7 +210,7 @@ impl BlessDriver {
 
     /// Moves `app` one step down (demote) or up (promote) the degradation
     /// ladder and records the transition.
-    fn shift_mode(&mut self, app: usize, at: SimTime, demote: bool) {
+    fn shift_mode(&mut self, gpu: &mut Gpu, app: usize, at: SimTime, demote: bool) {
         let from = self.degrade[app];
         let to = match (from, demote) {
             (ShareMode::SemiSpatial, true) => ShareMode::StrictSpatial,
@@ -219,6 +220,14 @@ impl BlessDriver {
             _ => return,
         };
         self.degrade[app] = to;
+        if gpu.tracing_enabled() {
+            gpu.trace_emit(TraceEvent::ModeShift {
+                at,
+                app: app as u32,
+                from: mode_code(from),
+                to: mode_code(to),
+            });
+        }
         self.robustness
             .degradations
             .push(DegradeTransition { at, app, from, to });
@@ -319,7 +328,7 @@ impl BlessDriver {
             gpu.charge_host(sched_ready.duration_since(host_free));
         }
 
-        self.launch_squad(gpu, &squad, &choice.config);
+        self.launch_squad(gpu, &squad, &choice);
     }
 
     /// Trims each entry to roughly the predicted duration of the squad's
@@ -360,12 +369,15 @@ impl BlessDriver {
         squad
     }
 
-    fn launch_squad(&mut self, gpu: &mut Gpu, squad: &Squad, config: &ExecConfig) {
+    fn launch_squad(&mut self, gpu: &mut Gpu, squad: &Squad, choice: &ConfigChoice) {
+        let config = &choice.config;
         let num_sms = gpu.spec().num_sms;
         let mut per_app: Vec<Option<EntryRun>> = vec![None; self.apps.len()];
         let mut pending_total = 0usize;
         let spatial = matches!(config, ExecConfig::Sp { .. });
         let mut sm_caps = Vec::new();
+        let squad_id = self.squads_launched as u64;
+        let mut trace_entries: Vec<TraceSquadEntry> = Vec::new();
 
         for (entry_idx, entry) in squad.entries.iter().enumerate() {
             let app = entry.app;
@@ -379,10 +391,12 @@ impl BlessDriver {
                 cap = Some(quota_sms.clamp(1, num_sms));
             }
             let cap = cap.map(|c| c.max(1));
+            let mut applied_cap = 0u32;
             let split_at = match cap {
                 Some(cap_sms) => match gpu.set_mps_cap(self.ctx_restricted[app], cap_sms) {
                     Ok(()) => {
                         sm_caps.push((app, cap_sms));
+                        applied_cap = cap_sms;
                         if strict {
                             entry.kernels.len()
                         } else {
@@ -400,6 +414,22 @@ impl BlessDriver {
                 },
                 None => 0,
             };
+            if gpu.tracing_enabled() {
+                trace_entries.push(TraceSquadEntry {
+                    app: app as u32,
+                    first_kernel: entry.kernels.first().copied().unwrap_or(0) as u32,
+                    count: entry.kernels.len() as u32,
+                    split_at: split_at as u32,
+                    sm_cap: applied_cap,
+                    mode: if applied_cap == 0 {
+                        2
+                    } else if strict {
+                        1
+                    } else {
+                        0
+                    },
+                });
+            }
             let predicted = if self.params.watchdog.is_some() {
                 let ns: f64 = entry
                     .kernels
@@ -437,6 +467,23 @@ impl BlessDriver {
             spatial,
             sm_caps,
         });
+
+        if gpu.tracing_enabled() {
+            gpu.trace_emit(TraceEvent::ConfigChosen {
+                at: gpu.now(),
+                squad: squad_id,
+                spatial,
+                predicted_ns: choice.predicted.as_nanos(),
+                evaluated: choice.evaluated as u32,
+            });
+            gpu.trace_emit(TraceEvent::SquadFormed {
+                at: gpu.now(),
+                id: squad_id,
+                spatial,
+                split_ratio: self.params.split_ratio,
+                entries: trace_entries,
+            });
+        }
 
         // Prime the launch windows.
         let apps: Vec<usize> = squad.entries.iter().map(|e| e.app).collect();
@@ -542,6 +589,13 @@ impl BlessDriver {
             return;
         };
         self.log.completed(app, act.req, at);
+        if gpu.tracing_enabled() {
+            gpu.trace_emit(TraceEvent::RequestDone {
+                at,
+                app: app as u32,
+                req: act.req as u64,
+            });
+        }
         gpu.post_notice(workload_notice(app, act.req));
         if let Some(next) = self.task_queues[app].pop_front() {
             self.active[app] = Some(ActiveReq {
@@ -564,6 +618,13 @@ impl BlessDriver {
                 Ok(_) => {
                     self.robustness.kernels_retried += 1;
                     self.outstanding_retried[app].push(kernel);
+                    if gpu.tracing_enabled() {
+                        gpu.trace_emit(TraceEvent::RetrySubmitted {
+                            at: gpu.now(),
+                            app: app as u32,
+                            kernel: kernel as u32,
+                        });
+                    }
                 }
                 Err(e) => {
                     self.record_error(e.into());
@@ -586,7 +647,7 @@ impl BlessDriver {
 
     /// Compares each fully-run entry's observed duration against the
     /// predictor's promise and walks apps along the degradation ladder.
-    fn watchdog_eval(&mut self, finished: &SquadState, ended_at: SimTime) {
+    fn watchdog_eval(&mut self, gpu: &mut Gpu, finished: &SquadState, ended_at: SimTime) {
         let Some(wd) = self.params.watchdog else {
             return;
         };
@@ -607,14 +668,14 @@ impl BlessDriver {
             let ratio = observed.as_nanos() as f64 / e.predicted.as_nanos() as f64;
             if ratio > wd.degrade_threshold {
                 self.clean_squads[app] = 0;
-                self.shift_mode(app, ended_at, true);
+                self.shift_mode(gpu, app, ended_at, true);
             } else {
                 self.clean_squads[app] += 1;
                 if self.clean_squads[app] >= wd.promote_after
                     && self.degrade[app] != ShareMode::SemiSpatial
                 {
                     self.clean_squads[app] = 0;
-                    self.shift_mode(app, ended_at, false);
+                    self.shift_mode(gpu, app, ended_at, false);
                 }
             }
         }
@@ -638,6 +699,15 @@ const RETRY_BACKOFF_CAP: u32 = 6;
 
 /// At most this many [`SchedError`] values are kept on the driver.
 const MAX_RECORDED_ERRORS: usize = 1024;
+
+/// Trace-stream encoding of the degradation ladder (see DESIGN.md §5e).
+fn mode_code(m: ShareMode) -> u8 {
+    match m {
+        ShareMode::SemiSpatial => 0,
+        ShareMode::StrictSpatial => 1,
+        ShareMode::Temporal => 2,
+    }
+}
 
 /// Entries predicted to overshoot the squad's shortest entry by more than
 /// this factor are trimmed back (their tail kernels return to the pool).
@@ -791,7 +861,17 @@ impl HostDriver for BlessDriver {
                     sm_caps: finished.sm_caps.clone(),
                 });
             }
-            self.watchdog_eval(&finished, done.at);
+            if gpu.tracing_enabled() {
+                let id = (self.squads_launched as u64).saturating_sub(1);
+                gpu.trace_emit(TraceEvent::SquadRetired { at: done.at, id });
+                for &(app, _) in &finished.sm_caps {
+                    gpu.trace_emit(TraceEvent::PartitionReleased {
+                        at: done.at,
+                        ctx: self.ctx_restricted[app].0,
+                    });
+                }
+            }
+            self.watchdog_eval(gpu, &finished, done.at);
             // A crash-free squad boundary resets the backoff streak of
             // apps with nothing left to retry.
             for a in 0..self.apps.len() {

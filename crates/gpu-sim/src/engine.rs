@@ -24,6 +24,7 @@
 
 use std::collections::VecDeque;
 
+use sim_core::trace::{TraceEvent, TraceSink};
 use sim_core::{EventQueue, FaultPlan, SimDuration, SimTime};
 
 use crate::alloc::{allocate_sms_into, CtxGroup, KernelDemand};
@@ -184,6 +185,9 @@ struct Instance {
     dispatch_ready: Option<SimTime>,
     started_at: Option<SimTime>,
     finished_at: Option<SimTime>,
+    /// Unique launch sequence number for the trace stream; 0 when the
+    /// launch happened with tracing disabled.
+    trace_seq: u64,
 }
 
 /// One recorded execution segment of a kernel (for fine-grained timelines,
@@ -319,6 +323,12 @@ pub struct Gpu {
     /// Fault-injection state; `None` unless a non-trivial plan is
     /// installed (see [`Gpu::set_fault_plan`]).
     fault: Option<FaultState>,
+    /// Structured trace sink; `None` (the default) keeps every emission
+    /// point down to one branch (see [`Gpu::set_trace_sink`]).
+    trace: Option<Box<dyn TraceSink>>,
+    /// Next launch sequence number for trace events (starts at 1; 0 marks
+    /// untraced launches).
+    next_trace_seq: u64,
     /// Scratch buffers reused across `reallocate` calls so the per-event
     /// hot path performs no heap allocation in steady state.
     scratch: ReallocScratch,
@@ -367,7 +377,47 @@ impl Gpu {
             free_slots: Vec::new(),
             recycle_slots: false,
             fault: None,
+            trace: None,
+            next_trace_seq: 1,
             scratch: ReallocScratch::default(),
+        }
+    }
+
+    /// Installs a structured trace sink; every subsequent scheduler event
+    /// (kernel launch/start/complete, SM allocation changes, cap changes,
+    /// injected faults) is recorded through it in virtual time.
+    ///
+    /// Tracing is purely observational: it never changes scheduling
+    /// decisions, event order, or timing, so traced runs are bit-identical
+    /// to untraced ones. With no sink installed (the default) each
+    /// emission point costs a single branch.
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.trace = Some(sink);
+    }
+
+    /// Removes and returns the installed trace sink (flushing it), if any.
+    pub fn take_trace_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        let mut sink = self.trace.take();
+        if let Some(s) = sink.as_mut() {
+            s.flush();
+        }
+        sink
+    }
+
+    /// True when a trace sink is installed.
+    #[inline]
+    pub fn tracing_enabled(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// Records `ev` on the installed sink; no-op when tracing is off.
+    /// Drivers emit their scheduler-level events (squads, mode shifts,
+    /// retries) through this. Guard event construction with
+    /// [`Gpu::tracing_enabled`] to keep the disabled path allocation-free.
+    #[inline]
+    pub fn trace_emit(&mut self, ev: TraceEvent) {
+        if let Some(sink) = self.trace.as_mut() {
+            sink.record(&ev);
         }
     }
 
@@ -522,6 +572,15 @@ impl Gpu {
         };
         let id = CtxId(self.contexts.len() as u32);
         self.contexts.push(Context { kind, pool });
+        if self.trace.is_some() {
+            if let CtxKind::MpsAffinity { sm_cap } = kind {
+                self.trace_emit(TraceEvent::PartitionSet {
+                    at: self.now,
+                    ctx: id.0,
+                    sm_cap,
+                });
+            }
+        }
         Ok(id)
     }
 
@@ -556,6 +615,13 @@ impl Gpu {
                     ));
                 }
                 c.kind = CtxKind::MpsAffinity { sm_cap };
+                if self.trace.is_some() {
+                    self.trace_emit(TraceEvent::PartitionSet {
+                        at: self.now,
+                        ctx: ctx.0,
+                        sm_cap,
+                    });
+                }
                 // Context caps only affect compute allocation.
                 self.reallocate_scoped(true, false);
                 Ok(())
@@ -655,6 +721,27 @@ impl Gpu {
                 }
             }
         }
+        let trace_seq = if self.trace.is_some() {
+            let seq = self.next_trace_seq;
+            self.next_trace_seq += 1;
+            let (app, kernel) = crate::sim::decode_tag(tag);
+            let ctx = self.queues[queue.0 as usize].ctx;
+            let restricted = matches!(
+                self.contexts[ctx.0 as usize].kind,
+                CtxKind::MpsAffinity { .. }
+            );
+            self.trace_emit(TraceEvent::KernelLaunch {
+                at: self.now,
+                seq,
+                app: app as u32,
+                kernel: kernel as u32,
+                queue: queue.0,
+                restricted,
+            });
+            seq
+        } else {
+            0
+        };
         let inst = Instance {
             desc,
             queue,
@@ -670,6 +757,7 @@ impl Gpu {
             dispatch_ready: None,
             started_at: None,
             finished_at: None,
+            trace_seq,
         };
         let slot = match self.free_slots.pop() {
             Some(s) => {
@@ -916,6 +1004,13 @@ impl Gpu {
                 Some(StepOutput::ContextCrash { app })
             }
             DevEv::DmaRate { factor, onset } => {
+                if self.trace.is_some() {
+                    self.trace_emit(TraceEvent::DmaStall {
+                        at: self.now,
+                        factor,
+                        onset,
+                    });
+                }
                 if let Some(f) = &mut self.fault {
                     if onset {
                         f.stall_depth += 1;
@@ -943,6 +1038,7 @@ impl Gpu {
     /// recycled, so their handles and any stale `Arrive` events stay valid.
     fn inject_crash(&mut self, app: u32) {
         let mut touched_queues = Vec::new();
+        let mut casualties = 0u32;
         for slot in 0..self.instances.len() {
             let inst = &self.instances[slot];
             if matches!(inst.state, InstState::Done | InstState::Failed) {
@@ -985,9 +1081,27 @@ impl Gpu {
                 f.failed.push(failed);
                 f.counters.kernels_failed += 1;
             }
+            casualties += 1;
+            if self.trace.is_some() {
+                let seq = self.instances[slot].trace_seq;
+                if seq != 0 {
+                    self.trace_emit(TraceEvent::KernelFailed {
+                        at: self.now,
+                        seq,
+                        queue: q as u32,
+                    });
+                }
+            }
         }
         if let Some(f) = &mut self.fault {
             f.counters.crashes += 1;
+        }
+        if self.trace.is_some() {
+            self.trace_emit(TraceEvent::CrashInjected {
+                at: self.now,
+                app,
+                casualties,
+            });
         }
         for q in touched_queues {
             self.try_start_head(q);
@@ -1011,8 +1125,16 @@ impl Gpu {
         inst.alloc_sms = 0.0;
         inst.finished_at = Some(self.now);
         let finished_compute = inst.desc.kind.is_compute();
-        self.live_instances -= 1;
         let q = inst.queue.0 as usize;
+        let seq = inst.trace_seq;
+        if self.trace.is_some() && seq != 0 {
+            self.trace_emit(TraceEvent::KernelComplete {
+                at: self.now,
+                seq,
+                queue: q as u32,
+            });
+        }
+        self.live_instances -= 1;
         debug_assert_eq!(self.queues[q].running, Some(slot));
         self.queues[q].running = None;
         let started = self.try_start_head(q);
@@ -1036,6 +1158,16 @@ impl Gpu {
         inst.run_seq = self.next_run_seq;
         self.next_run_seq += 1;
         inst.started_at = Some(self.now);
+        if self.trace.is_some() {
+            let seq = self.instances[slot].trace_seq;
+            if seq != 0 {
+                self.trace_emit(TraceEvent::KernelStart {
+                    at: self.now,
+                    seq,
+                    queue: q as u32,
+                });
+            }
+        }
         Some(slot)
     }
 
@@ -1195,6 +1327,7 @@ impl Gpu {
                 let unchanged = (self.instances[slot].rate - new_rate).abs() < 1e-12
                     && self.instances[slot].rate > 0.0;
                 let inst = &mut self.instances[slot];
+                let alloc_changed = inst.alloc_sms != a;
                 inst.alloc_sms = a;
                 inst.rate = new_rate;
                 if !unchanged {
@@ -1202,6 +1335,16 @@ impl Gpu {
                     // reschedule its completion. Kernels whose rate is
                     // untouched keep their already-scheduled event.
                     self.push_completion(slot);
+                }
+                if alloc_changed && self.trace.is_some() {
+                    let seq = self.instances[slot].trace_seq;
+                    if seq != 0 {
+                        self.trace_emit(TraceEvent::SmAlloc {
+                            at: self.now,
+                            seq,
+                            sms: a,
+                        });
+                    }
                 }
             }
             self.scratch.groups = groups;

@@ -51,3 +51,7 @@ pub use sim::{
     Simulation,
 };
 pub use spec::{GpuSpec, HostCosts, HwPolicy};
+
+// Trace-stream types, re-exported so drivers and harnesses can attach
+// sinks without naming `sim_core` directly.
+pub use sim_core::trace::{BufferSink, JsonlSink, RingSink, TraceEvent, TraceSink};

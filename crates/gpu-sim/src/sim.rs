@@ -224,6 +224,14 @@ impl<D: HostDriver> Simulation<D> {
                 };
                 self.pending_count -= 1;
                 self.gpu.advance_to(req.at);
+                if self.gpu.tracing_enabled() {
+                    self.gpu
+                        .trace_emit(sim_core::trace::TraceEvent::RequestArrival {
+                            at: req.at,
+                            app: req.app as u32,
+                            req: req.req as u64,
+                        });
+                }
                 self.driver.on_request(&mut self.gpu, req);
                 self.process_notices();
                 continue;

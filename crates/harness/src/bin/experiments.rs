@@ -5,6 +5,9 @@
 //! experiments <id> [...]        # run one or more experiments
 //! experiments all               # run everything, in paper order
 //! experiments --csv <dir> <id>  # additionally export each table as CSV
+//! experiments --trace <dir> <id> # record every run: Perfetto JSON into
+//!                                # <dir> + invariant validation (panics
+//!                                # on any violation)
 //! ```
 //!
 //! Multiple experiments run concurrently on worker threads (they are
@@ -27,6 +30,9 @@ struct ExpOutput {
 
 fn run_one(exp: &Experiment) -> ExpOutput {
     let start = std::time::Instant::now();
+    // Trace files produced by this experiment's runs carry its id; the
+    // label is thread-local so concurrent experiments don't mislabel.
+    harness::tracectl::set_label(exp.id);
     let tables = (exp.run)()
         .into_iter()
         .map(|t| (t.render(), t.slug(), t.to_csv()))
@@ -60,6 +66,22 @@ fn main() {
         }
         csv_dir = Some(std::path::PathBuf::from(args.remove(pos + 1)));
         args.remove(pos);
+    }
+    if let Some(pos) = args.iter().position(|a| a == "--trace") {
+        if pos + 1 >= args.len() {
+            eprintln!("--trace requires a directory argument");
+            std::process::exit(2);
+        }
+        let dir = std::path::PathBuf::from(args.remove(pos + 1));
+        args.remove(pos);
+        if let Err(e) = harness::tracectl::enable(&dir) {
+            eprintln!("--trace: cannot use {}: {e}", dir.display());
+            std::process::exit(2);
+        }
+        eprintln!(
+            "[experiments] tracing on: Perfetto JSON into {} (open in ui.perfetto.dev)",
+            dir.display()
+        );
     }
     if args.is_empty() || args[0] == "list" || args[0] == "--help" {
         println!("usage: experiments <id>... | all | list\n");

@@ -8,7 +8,11 @@
 pub mod cache;
 pub mod experiments;
 pub mod gantt;
+pub mod perfetto;
 pub mod runner;
 pub mod squadlab;
+pub mod tracectl;
 
-pub use runner::{deployment, run_custom, run_system, RunResult, System};
+pub use runner::{
+    deployment, run_custom, run_system, run_system_traced, run_validated, RunResult, System,
+};

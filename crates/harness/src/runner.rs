@@ -3,12 +3,14 @@
 use baselines::{ReefPlusDriver, ShareMode, StaticShareDriver, TemporalDriver, ZicoDriver};
 use bless::{BlessDriver, BlessParams, DeployedApp};
 use dnn_models::gen::CALIBRATION_PCIE;
-use gpu_sim::{Gpu, GpuSpec, HostCosts, HostDriver, RunOutcome, Simulation};
-use metrics::RequestLog;
+use gpu_sim::{
+    BufferSink, Gpu, GpuSpec, HostCosts, HostDriver, RunOutcome, Simulation, TraceEvent,
+};
+use metrics::{RequestLog, TraceValidator, ValidatorConfig};
 use sim_core::{SimDuration, SimTime};
 use workloads::{TenantSpec, WorkloadSet};
 
-use crate::cache;
+use crate::{cache, tracectl};
 
 /// The systems under comparison (§6.1).
 #[derive(Clone, Debug)]
@@ -134,6 +136,10 @@ pub fn deployment(
 }
 
 /// Runs `system` on `ws` and collects the result.
+///
+/// When global trace capture is on (`experiments --trace`), the run is
+/// also recorded, exported to Perfetto JSON, and machine-checked against
+/// the scheduler invariants (panicking on a violation).
 pub fn run_system(
     system: &System,
     ws: &WorkloadSet,
@@ -141,11 +147,74 @@ pub fn run_system(
     horizon: SimTime,
     slos: Option<&[SimDuration]>,
 ) -> RunResult {
+    let capture = tracectl::enabled();
+    let (result, events) = run_system_capture(system, ws, spec, horizon, slos, capture);
+    if !events.is_empty() {
+        tracectl::export_and_validate(
+            system.name(),
+            spec.num_sms,
+            Some(&result.iso_targets),
+            &events,
+        );
+    }
+    result
+}
+
+/// [`run_system`] with forced trace capture: returns the run result and
+/// the full event stream, regardless of the global `--trace` switch.
+/// ([`System::Iso`] runs per-tenant solo simulations and returns an empty
+/// stream.)
+pub fn run_system_traced(
+    system: &System,
+    ws: &WorkloadSet,
+    spec: &GpuSpec,
+    horizon: SimTime,
+    slos: Option<&[SimDuration]>,
+) -> (RunResult, Vec<TraceEvent>) {
+    run_system_capture(system, ws, spec, horizon, slos, true)
+}
+
+/// Runs `system` with trace capture and replays the stream through the
+/// [`TraceValidator`], panicking on any invariant violation. This is the
+/// entry point the integration suites use so every run is machine-checked.
+pub fn run_validated(
+    system: &System,
+    ws: &WorkloadSet,
+    spec: &GpuSpec,
+    horizon: SimTime,
+    slos: Option<&[SimDuration]>,
+) -> RunResult {
+    let (result, events) = run_system_capture(system, ws, spec, horizon, slos, true);
+    if !events.is_empty() {
+        let config = ValidatorConfig {
+            num_sms: spec.num_sms,
+            iso_targets: Some(
+                result
+                    .iso_targets
+                    .iter()
+                    .map(|d| d.as_nanos() as f64)
+                    .collect(),
+            ),
+            fairness_spread: None,
+        };
+        TraceValidator::new(config).validate(&events).assert_clean();
+    }
+    result
+}
+
+fn run_system_capture(
+    system: &System,
+    ws: &WorkloadSet,
+    spec: &GpuSpec,
+    horizon: SimTime,
+    slos: Option<&[SimDuration]>,
+    capture: bool,
+) -> (RunResult, Vec<TraceEvent>) {
     let apps = deployment(ws, spec, slos);
     let iso_targets: Vec<SimDuration> = apps.iter().map(|a| a.iso_latency()).collect();
 
     if matches!(system, System::Iso) {
-        return run_iso(ws, spec, horizon, iso_targets);
+        return (run_iso(ws, spec, horizon, iso_targets), Vec::new());
     }
 
     let mut gpu = Gpu::new(spec.clone(), HostCosts::paper());
@@ -153,6 +222,13 @@ pub fn run_system(
     // completion tags, never dereference handles afterwards, so finished
     // instance slots can be recycled instead of growing without bound.
     gpu.set_slot_recycling(true);
+    let sink = if capture {
+        let s = BufferSink::new();
+        gpu.set_trace_sink(Box::new(s.clone()));
+        Some(s)
+    } else {
+        None
+    };
     let arrivals = ws.initial_arrivals();
 
     macro_rules! run {
@@ -174,7 +250,7 @@ pub fn run_system(
         }};
     }
 
-    match system {
+    let result = match system {
         System::Bless(params) => {
             run!(BlessDriver::new(apps, params.clone()), |d: BlessDriver| d
                 .log)
@@ -204,7 +280,9 @@ pub fn run_system(
             run!(ZicoDriver::new(apps, stagger), |d: ZicoDriver| d.log)
         }
         System::Iso => unreachable!("handled above"),
-    }
+    };
+    let events = sink.map(|s| s.take()).unwrap_or_default();
+    (result, events)
 }
 
 /// Runs each tenant alone on its quota's MPS partition (the ISO target
@@ -300,11 +378,25 @@ pub fn run_custom_faulted<D: HostDriver>(
     let mut gpu = Gpu::new(spec.clone(), HostCosts::paper());
     gpu.set_slot_recycling(true);
     gpu.set_fault_plan(plan);
+    // Under `--trace`, custom runs (fault drills, squad labs) are captured
+    // and checked against the structural invariants; fairness is skipped
+    // since fault injection legitimately skews progress.
+    let sink = if tracectl::enabled() {
+        let s = BufferSink::new();
+        gpu.set_trace_sink(Box::new(s.clone()));
+        Some(s)
+    } else {
+        None
+    };
     let mut sim = Simulation::new(gpu, driver, ws.initial_arrivals())
         .with_notice_handler(ws.notice_handler());
     let outcome = sim.run(horizon);
     let now = sim.gpu.now();
     let counters = sim.gpu.fault_counters();
+    if let Some(s) = sink {
+        let events = s.take();
+        tracectl::export_and_validate("custom", spec.num_sms, None, &events);
+    }
     (sim.driver, outcome, now, counters)
 }
 

@@ -19,8 +19,12 @@ pub mod cdf;
 pub mod report;
 pub mod robustness;
 pub mod stats;
+pub mod tracestats;
+pub mod validate;
 
 pub use cdf::Cdf;
 pub use report::Table;
 pub use robustness::{DegradeTransition, RobustnessReport, ShareMode};
 pub use stats::{latency_deviation, LatencyStats, RequestLog, RequestRecord};
+pub use tracestats::{TenantCounters, TraceCounters};
+pub use validate::{TraceReport, TraceValidator, ValidatorConfig, Violation};

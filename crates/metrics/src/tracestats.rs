@@ -1,0 +1,273 @@
+//! Derived counters computed from a scheduler trace.
+//!
+//! [`TraceCounters::from_events`] sweeps a [`TraceEvent`] stream once and
+//! derives the observability metrics that are awkward to keep in the
+//! scheduler itself:
+//!
+//! * **bubble time** — virtual time during which work was outstanding
+//!   (launched, not finished) but the device compute allocation was
+//!   (near-)zero: scheduling bubbles, sync gaps, context-switch vacuums;
+//! * **overlap fraction** — the share of busy time during which two or
+//!   more tenants held SMs concurrently (the spatial-sharing win);
+//! * **per-tenant launch/completion/failure counts and SM-busy time**;
+//! * **prediction error** — mean relative error of the config
+//!   determiner's predicted squad duration vs the observed one.
+
+use std::collections::HashMap;
+
+use sim_core::trace::TraceEvent;
+use sim_core::SimTime;
+
+/// A running kernel's compute share is "live" above this many SMs.
+const LIVE_SMS: f64 = 0.5;
+
+/// Per-tenant counters derived from a trace.
+#[derive(Clone, Debug, Default)]
+pub struct TenantCounters {
+    /// Kernels launched (including retries).
+    pub launched: u64,
+    /// Kernels completed.
+    pub completed: u64,
+    /// Kernels killed by injected crashes.
+    pub failed: u64,
+    /// Virtual time the tenant held a live SM allocation, in ns.
+    pub busy_ns: u64,
+}
+
+/// Whole-trace derived counters.
+#[derive(Clone, Debug, Default)]
+pub struct TraceCounters {
+    /// Virtual time with outstanding work, in ns (first launch to last
+    /// completion, minus idle gaps with nothing outstanding).
+    pub busy_ns: u64,
+    /// Busy time with a near-zero device allocation, in ns.
+    pub bubble_ns: u64,
+    /// Busy time during which ≥ 2 tenants held live allocations, in ns.
+    pub overlap_ns: u64,
+    /// Squads formed.
+    pub squads: u64,
+    /// Mean relative error of predicted vs observed squad duration, over
+    /// squads the determiner actually predicted (`None` when there were
+    /// none).
+    pub prediction_error: Option<f64>,
+    /// Per-tenant counters, indexed by tenant id.
+    pub tenants: Vec<TenantCounters>,
+}
+
+impl TraceCounters {
+    /// Fraction of busy time spent in bubbles (0 when never busy).
+    pub fn bubble_fraction(&self) -> f64 {
+        if self.busy_ns == 0 {
+            0.0
+        } else {
+            self.bubble_ns as f64 / self.busy_ns as f64
+        }
+    }
+
+    /// Fraction of busy time with ≥ 2 tenants co-resident on the SMs.
+    pub fn overlap_fraction(&self) -> f64 {
+        if self.busy_ns == 0 {
+            0.0
+        } else {
+            self.overlap_ns as f64 / self.busy_ns as f64
+        }
+    }
+
+    /// Sweeps `events` (already in virtual-time order) and derives the
+    /// counters.
+    pub fn from_events(events: &[TraceEvent]) -> Self {
+        let mut c = TraceCounters::default();
+        // seq -> (app, sms) for kernels between start and completion.
+        let mut alloc: HashMap<u64, (u32, f64)> = HashMap::new();
+        let mut seq_app: HashMap<u64, u32> = HashMap::new();
+        let mut outstanding: i64 = 0;
+        let mut prev_at = SimTime::ZERO;
+        // squad id -> (formed_at, predicted_ns)
+        let mut squad_formed: HashMap<u64, SimTime> = HashMap::new();
+        let mut squad_pred: HashMap<u64, u64> = HashMap::new();
+        let mut err_sum = 0.0;
+        let mut err_n = 0u64;
+
+        let tenant = |c: &mut TraceCounters, app: u32| -> usize {
+            let i = app as usize;
+            if c.tenants.len() <= i {
+                c.tenants.resize(i + 1, TenantCounters::default());
+            }
+            i
+        };
+
+        for ev in events {
+            let at = ev.at();
+            // Account the interval [prev_at, at) against the state that
+            // held during it.
+            let dt = at.duration_since(prev_at).as_nanos();
+            if dt > 0 && outstanding > 0 {
+                c.busy_ns += dt;
+                let mut live_apps: Vec<u32> = Vec::new();
+                let mut total = 0.0;
+                for &(app, sms) in alloc.values() {
+                    total += sms;
+                    if sms > LIVE_SMS && !live_apps.contains(&app) {
+                        live_apps.push(app);
+                    }
+                }
+                if total < LIVE_SMS {
+                    c.bubble_ns += dt;
+                }
+                if live_apps.len() >= 2 {
+                    c.overlap_ns += dt;
+                }
+                for app in live_apps {
+                    let i = tenant(&mut c, app);
+                    c.tenants[i].busy_ns += dt;
+                }
+            }
+            prev_at = prev_at.max(at);
+
+            match ev {
+                TraceEvent::KernelLaunch { seq, app, .. } => {
+                    seq_app.insert(*seq, *app);
+                    outstanding += 1;
+                    let i = tenant(&mut c, *app);
+                    c.tenants[i].launched += 1;
+                }
+                TraceEvent::SmAlloc { seq, sms, .. } => {
+                    let app = seq_app.get(seq).copied().unwrap_or(u32::MAX);
+                    alloc.insert(*seq, (app, *sms));
+                }
+                TraceEvent::KernelComplete { seq, .. } => {
+                    alloc.remove(seq);
+                    outstanding -= 1;
+                    if let Some(app) = seq_app.get(seq) {
+                        let i = tenant(&mut c, *app);
+                        c.tenants[i].completed += 1;
+                    }
+                }
+                TraceEvent::KernelFailed { seq, .. } => {
+                    alloc.remove(seq);
+                    outstanding -= 1;
+                    if let Some(app) = seq_app.get(seq) {
+                        let i = tenant(&mut c, *app);
+                        c.tenants[i].failed += 1;
+                    }
+                }
+                TraceEvent::SquadFormed { id, .. } => {
+                    c.squads += 1;
+                    squad_formed.insert(*id, at);
+                }
+                TraceEvent::ConfigChosen {
+                    squad,
+                    predicted_ns,
+                    ..
+                } if *predicted_ns > 0 => {
+                    squad_pred.insert(*squad, *predicted_ns);
+                }
+                TraceEvent::SquadRetired { id, .. } => {
+                    if let (Some(t0), Some(pred)) = (squad_formed.remove(id), squad_pred.remove(id))
+                    {
+                        let actual = at.duration_since(t0).as_nanos() as f64;
+                        let p = pred as f64;
+                        err_sum += (actual - p).abs() / p;
+                        err_n += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        if err_n > 0 {
+            c.prediction_error = Some(err_sum / err_n as f64);
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    #[test]
+    fn bubble_and_overlap_accounting() {
+        let ev = vec![
+            TraceEvent::KernelLaunch {
+                at: t(0),
+                seq: 1,
+                app: 0,
+                kernel: 0,
+                queue: 0,
+                restricted: false,
+            },
+            TraceEvent::KernelLaunch {
+                at: t(0),
+                seq: 2,
+                app: 1,
+                kernel: 0,
+                queue: 1,
+                restricted: false,
+            },
+            // 0..100: outstanding with zero alloc -> bubble.
+            TraceEvent::SmAlloc {
+                at: t(100),
+                seq: 1,
+                sms: 54.0,
+            },
+            TraceEvent::SmAlloc {
+                at: t(100),
+                seq: 2,
+                sms: 54.0,
+            },
+            // 100..300: two tenants live -> overlap.
+            TraceEvent::KernelComplete {
+                at: t(300),
+                seq: 1,
+                queue: 0,
+            },
+            // 300..400: one tenant live.
+            TraceEvent::KernelComplete {
+                at: t(400),
+                seq: 2,
+                queue: 1,
+            },
+        ];
+        let c = TraceCounters::from_events(&ev);
+        assert_eq!(c.busy_ns, 400);
+        assert_eq!(c.bubble_ns, 100);
+        assert_eq!(c.overlap_ns, 200);
+        assert_eq!(c.tenants.len(), 2);
+        assert_eq!(c.tenants[0].launched, 1);
+        assert_eq!(c.tenants[0].completed, 1);
+        assert_eq!(c.tenants[0].busy_ns, 200);
+        assert_eq!(c.tenants[1].busy_ns, 300);
+        assert!((c.overlap_fraction() - 0.5).abs() < 1e-12);
+        assert!((c.bubble_fraction() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prediction_error_pairs_chosen_with_retired() {
+        let ev = vec![
+            TraceEvent::ConfigChosen {
+                at: t(0),
+                squad: 0,
+                spatial: true,
+                predicted_ns: 100,
+                evaluated: 9,
+            },
+            TraceEvent::SquadFormed {
+                at: t(0),
+                id: 0,
+                spatial: true,
+                split_ratio: 0.5,
+                entries: vec![],
+            },
+            TraceEvent::SquadRetired { at: t(150), id: 0 },
+        ];
+        let c = TraceCounters::from_events(&ev);
+        assert_eq!(c.squads, 1);
+        let err = c.prediction_error.unwrap_or(f64::NAN);
+        assert!((err - 0.5).abs() < 1e-12, "err = {err}");
+    }
+}

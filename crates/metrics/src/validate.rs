@@ -1,0 +1,653 @@
+//! Trace-driven machine-checking of scheduler invariants.
+//!
+//! [`TraceValidator`] replays a recorded [`TraceEvent`] stream and checks
+//! the invariants the BLESS design promises (DESIGN.md §5e):
+//!
+//! 1. **Time monotonicity** — events are recorded in non-decreasing
+//!    virtual time.
+//! 2. **No SM oversubscription** — at the end of every instant, the sum of
+//!    all live SM allocations is at most the device's SM count.
+//!    (Within one instant the stream may transiently overshoot while the
+//!    engine reassigns shares event-by-event; only the settled state at
+//!    the end of each timestamp group is binding.)
+//! 3. **Per-queue FIFO** — kernels on one device queue start in launch
+//!    order and complete in start order, across crashes and retries.
+//! 4. **Squad co-residency** — while a squad is in flight, only member
+//!    tenants start kernels (skipped for traces without squad events,
+//!    i.e. baseline systems).
+//! 5. **Split discipline** — a semi-spatial entry launches exactly its
+//!    first `split_at` kernels to the SM-restricted context and the rear
+//!    kernels unrestricted; a strict-spatial entry stays restricted
+//!    throughout (§4.5).
+//! 6. **Relative-progress fairness** — the spread between the best and
+//!    worst tenant's normalized progress (mean latency over its isolated
+//!    target) stays bounded. Only checked when isolated targets are
+//!    supplied and the trace contains request completions.
+//!
+//! The validator is pure: it never mutates the trace and has no
+//! dependency on the scheduler, so any stream — live, golden, or
+//! replayed from JSONL — can be checked.
+
+use std::collections::{HashMap, VecDeque};
+
+use sim_core::trace::{TraceEvent, TraceSquadEntry};
+use sim_core::SimTime;
+
+/// Slack allowed on the oversubscription sum, absorbing f64 waterfilling
+/// rounding.
+const SM_EPSILON: f64 = 1e-6;
+
+/// Default bound on the fairness spread (max/min normalized progress)
+/// when [`ValidatorConfig::fairness_spread`] is unset.
+pub const DEFAULT_FAIRNESS_SPREAD: f64 = 12.0;
+
+/// Configuration for a [`TraceValidator`] run.
+#[derive(Clone, Debug)]
+pub struct ValidatorConfig {
+    /// Device SM count (the oversubscription bound).
+    pub num_sms: u32,
+    /// Per-tenant isolated mean-latency targets in nanoseconds; enables
+    /// the fairness check. `None` skips it (baselines, fault drills).
+    pub iso_targets: Option<Vec<f64>>,
+    /// Maximum allowed max/min spread of normalized progress; defaults to
+    /// [`DEFAULT_FAIRNESS_SPREAD`].
+    pub fairness_spread: Option<f64>,
+}
+
+impl ValidatorConfig {
+    /// Structural-invariants-only config (no fairness check) for a device
+    /// with `num_sms` SMs.
+    pub fn structural(num_sms: u32) -> Self {
+        ValidatorConfig {
+            num_sms,
+            iso_targets: None,
+            fairness_spread: None,
+        }
+    }
+}
+
+/// One invariant violation found in a trace.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// Virtual time at which the violation was observed.
+    pub at: SimTime,
+    /// Short invariant name (e.g. `"oversubscription"`).
+    pub invariant: &'static str,
+    /// Human-readable description with the offending values.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[{} @ {} ns] {}",
+            self.invariant,
+            self.at.as_nanos(),
+            self.detail
+        )
+    }
+}
+
+/// Result of validating one trace.
+#[derive(Clone, Debug)]
+pub struct TraceReport {
+    /// Number of events replayed.
+    pub events: usize,
+    /// All violations found, in trace order.
+    pub violations: Vec<Violation>,
+    /// Observed max/min normalized-progress spread, when the fairness
+    /// check ran.
+    pub fairness_spread: Option<f64>,
+    /// Whether the co-residency/split checks were exercised (the trace
+    /// contained squad events).
+    pub squad_checks_ran: bool,
+}
+
+impl TraceReport {
+    /// True when no invariant was violated.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Panics with the first violations listed when the trace is not
+    /// clean. Intended for tests and CI gates.
+    pub fn assert_clean(&self) {
+        if self.is_clean() {
+            return;
+        }
+        let shown: Vec<String> = self
+            .violations
+            .iter()
+            .take(8)
+            .map(|v| format!("  {v}"))
+            .collect();
+        panic!(
+            "trace validation failed: {} violation(s) in {} events\n{}{}",
+            self.violations.len(),
+            self.events,
+            shown.join("\n"),
+            if self.violations.len() > shown.len() {
+                format!("\n  ... and {} more", self.violations.len() - shown.len())
+            } else {
+                String::new()
+            }
+        );
+    }
+}
+
+/// Per-queue FIFO bookkeeping.
+#[derive(Default)]
+struct QueueState {
+    /// Launched-but-not-started seqs, in launch order.
+    pending: VecDeque<u64>,
+    /// Started-but-not-completed seqs, in start order.
+    started: VecDeque<u64>,
+}
+
+/// The in-flight squad window, from `SquadFormed` to `SquadRetired`.
+struct ActiveSquad {
+    id: u64,
+    entries: Vec<TraceSquadEntry>,
+}
+
+/// Replays a trace and machine-checks the scheduler invariants.
+pub struct TraceValidator {
+    config: ValidatorConfig,
+}
+
+impl TraceValidator {
+    /// Creates a validator for the given device/config.
+    pub fn new(config: ValidatorConfig) -> Self {
+        TraceValidator { config }
+    }
+
+    /// Replays `events` and returns the invariant report.
+    pub fn validate(&self, events: &[TraceEvent]) -> TraceReport {
+        let mut violations = Vec::new();
+        let cap = self.config.num_sms as f64 + SM_EPSILON;
+
+        let mut last_at = SimTime::ZERO;
+        // seq -> (app, current SM share); entries live from launch to
+        // completion/failure.
+        let mut alloc: HashMap<u64, (u32, f64)> = HashMap::new();
+        let mut queues: HashMap<u32, QueueState> = HashMap::new();
+        let mut seq_app: HashMap<u64, u32> = HashMap::new();
+        let mut squad: Option<ActiveSquad> = None;
+        let mut saw_squads = false;
+        // Per-app request arrival times and completed latencies for the
+        // fairness check.
+        let mut arrivals: HashMap<(u32, u64), SimTime> = HashMap::new();
+        let mut latencies: HashMap<u32, (f64, u64)> = HashMap::new();
+
+        let mut i = 0usize;
+        while i < events.len() {
+            let at = events[i].at();
+            if at < last_at {
+                violations.push(Violation {
+                    at,
+                    invariant: "monotonic_time",
+                    detail: format!(
+                        "event #{i} at {} ns precedes previous event at {} ns",
+                        at.as_nanos(),
+                        last_at.as_nanos()
+                    ),
+                });
+            }
+            last_at = last_at.max(at);
+
+            match &events[i] {
+                TraceEvent::KernelLaunch {
+                    seq,
+                    app,
+                    kernel,
+                    queue,
+                    restricted,
+                    ..
+                } => {
+                    seq_app.insert(*seq, *app);
+                    queues.entry(*queue).or_default().pending.push_back(*seq);
+                    // Split discipline: check the launch side against the
+                    // in-flight squad's plan.
+                    if let Some(sq) = &squad {
+                        if let Some(e) = sq
+                            .entries
+                            .iter()
+                            .find(|e| e.app == *app && in_entry(e, *kernel))
+                        {
+                            let want_restricted = match e.mode {
+                                1 => true,
+                                0 => *kernel < e.first_kernel + e.split_at,
+                                _ => false,
+                            };
+                            if *restricted != want_restricted {
+                                violations.push(Violation {
+                                    at,
+                                    invariant: "split_discipline",
+                                    detail: format!(
+                                        "squad {} app {} kernel {} launched {} but plan \
+                                         (mode {}, split_at {}) says {}",
+                                        sq.id,
+                                        app,
+                                        kernel,
+                                        side(*restricted),
+                                        e.mode,
+                                        e.split_at,
+                                        side(want_restricted),
+                                    ),
+                                });
+                            }
+                        }
+                    }
+                }
+                TraceEvent::KernelStart { seq, queue, .. } => {
+                    let q = queues.entry(*queue).or_default();
+                    match q.pending.front() {
+                        Some(&head) if head == *seq => {
+                            q.pending.pop_front();
+                            q.started.push_back(*seq);
+                        }
+                        head => violations.push(Violation {
+                            at,
+                            invariant: "queue_fifo",
+                            detail: format!(
+                                "queue {}: seq {} started but queue head is {:?}",
+                                queue, seq, head
+                            ),
+                        }),
+                    }
+                    // Co-residency: starts only from in-flight squad
+                    // members (only meaningful for squad-based traces).
+                    if let Some(sq) = &squad {
+                        if let Some(app) = seq_app.get(seq) {
+                            if !sq.entries.iter().any(|e| e.app == *app) {
+                                violations.push(Violation {
+                                    at,
+                                    invariant: "co_residency",
+                                    detail: format!(
+                                        "seq {} (app {}) started during squad {} \
+                                         whose members are {:?}",
+                                        seq,
+                                        app,
+                                        sq.id,
+                                        sq.entries.iter().map(|e| e.app).collect::<Vec<_>>()
+                                    ),
+                                });
+                            }
+                        }
+                    }
+                    alloc.insert(*seq, (seq_app.get(seq).copied().unwrap_or(u32::MAX), 0.0));
+                }
+                TraceEvent::SmAlloc { seq, sms, .. } => {
+                    let app = seq_app.get(seq).copied().unwrap_or(u32::MAX);
+                    alloc.insert(*seq, (app, *sms));
+                }
+                TraceEvent::KernelComplete { seq, queue, .. } => {
+                    alloc.remove(seq);
+                    let q = queues.entry(*queue).or_default();
+                    match q.started.front() {
+                        Some(&head) if head == *seq => {
+                            q.started.pop_front();
+                        }
+                        head => violations.push(Violation {
+                            at,
+                            invariant: "queue_fifo",
+                            detail: format!(
+                                "queue {}: seq {} completed but oldest started is {:?}",
+                                queue, seq, head
+                            ),
+                        }),
+                    }
+                }
+                TraceEvent::KernelFailed { seq, queue, .. } => {
+                    // A crash kills queued and running kernels alike, in
+                    // no particular order: drop the seq wherever it is.
+                    alloc.remove(seq);
+                    let q = queues.entry(*queue).or_default();
+                    q.pending.retain(|&s| s != *seq);
+                    q.started.retain(|&s| s != *seq);
+                }
+                TraceEvent::SquadFormed { id, entries, .. } => {
+                    saw_squads = true;
+                    if let Some(prev) = &squad {
+                        violations.push(Violation {
+                            at,
+                            invariant: "co_residency",
+                            detail: format!(
+                                "squad {} formed while squad {} still in flight",
+                                id, prev.id
+                            ),
+                        });
+                    }
+                    squad = Some(ActiveSquad {
+                        id: *id,
+                        entries: entries.clone(),
+                    });
+                }
+                TraceEvent::SquadRetired { id, .. } => match squad.take() {
+                    Some(sq) if sq.id == *id => {}
+                    Some(sq) => violations.push(Violation {
+                        at,
+                        invariant: "co_residency",
+                        detail: format!("squad {} retired but squad {} was in flight", id, sq.id),
+                    }),
+                    None => violations.push(Violation {
+                        at,
+                        invariant: "co_residency",
+                        detail: format!("squad {} retired with no squad in flight", id),
+                    }),
+                },
+                TraceEvent::RequestArrival { app, req, .. } => {
+                    arrivals.insert((*app, *req), at);
+                }
+                TraceEvent::RequestDone { app, req, .. } => {
+                    if let Some(t0) = arrivals.remove(&(*app, *req)) {
+                        let e = latencies.entry(*app).or_insert((0.0, 0));
+                        e.0 += at.duration_since(t0).as_nanos() as f64;
+                        e.1 += 1;
+                    }
+                }
+                _ => {}
+            }
+
+            // Oversubscription: binding only at the end of each timestamp
+            // group (the engine reassigns shares event-by-event within an
+            // instant).
+            let group_end = events
+                .get(i + 1)
+                .map(|next| next.at() != at)
+                .unwrap_or(true);
+            if group_end {
+                let total: f64 = alloc.values().map(|&(_, s)| s).sum();
+                if total > cap {
+                    violations.push(Violation {
+                        at,
+                        invariant: "oversubscription",
+                        detail: format!(
+                            "live SM allocations sum to {:.3} > {} SMs",
+                            total, self.config.num_sms
+                        ),
+                    });
+                }
+            }
+            i += 1;
+        }
+
+        // Fairness: normalized progress spread over completed requests.
+        let mut spread = None;
+        if let Some(iso) = &self.config.iso_targets {
+            let mut progress: Vec<f64> = Vec::new();
+            for (&app, &(sum, n)) in &latencies {
+                let target = iso.get(app as usize).copied().unwrap_or(0.0);
+                if n > 0 && target > 0.0 {
+                    progress.push((sum / n as f64) / target);
+                }
+            }
+            if progress.len() >= 2 {
+                let max = progress.iter().cloned().fold(f64::MIN, f64::max);
+                let min = progress.iter().cloned().fold(f64::MAX, f64::min);
+                let s = max / min.max(f64::MIN_POSITIVE);
+                spread = Some(s);
+                let bound = self
+                    .config
+                    .fairness_spread
+                    .unwrap_or(DEFAULT_FAIRNESS_SPREAD);
+                if s > bound {
+                    violations.push(Violation {
+                        at: last_at,
+                        invariant: "fairness",
+                        detail: format!(
+                            "normalized-progress spread {:.2} exceeds bound {:.2}",
+                            s, bound
+                        ),
+                    });
+                }
+            }
+        }
+
+        TraceReport {
+            events: events.len(),
+            violations,
+            fairness_spread: spread,
+            squad_checks_ran: saw_squads,
+        }
+    }
+}
+
+/// True when `kernel` falls inside `e`'s contiguous kernel range.
+fn in_entry(e: &TraceSquadEntry, kernel: u32) -> bool {
+    kernel >= e.first_kernel && kernel < e.first_kernel + e.count
+}
+
+fn side(restricted: bool) -> &'static str {
+    if restricted {
+        "restricted"
+    } else {
+        "unrestricted"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    fn launch(
+        at: u64,
+        seq: u64,
+        app: u32,
+        kernel: u32,
+        queue: u32,
+        restricted: bool,
+    ) -> TraceEvent {
+        TraceEvent::KernelLaunch {
+            at: t(at),
+            seq,
+            app,
+            kernel,
+            queue,
+            restricted,
+        }
+    }
+
+    fn start(at: u64, seq: u64, queue: u32) -> TraceEvent {
+        TraceEvent::KernelStart {
+            at: t(at),
+            seq,
+            queue,
+        }
+    }
+
+    fn sm(at: u64, seq: u64, sms: f64) -> TraceEvent {
+        TraceEvent::SmAlloc {
+            at: t(at),
+            seq,
+            sms,
+        }
+    }
+
+    fn done(at: u64, seq: u64, queue: u32) -> TraceEvent {
+        TraceEvent::KernelComplete {
+            at: t(at),
+            seq,
+            queue,
+        }
+    }
+
+    fn validator(num_sms: u32) -> TraceValidator {
+        TraceValidator::new(ValidatorConfig::structural(num_sms))
+    }
+
+    #[test]
+    fn clean_fifo_trace_passes() {
+        let ev = vec![
+            launch(0, 1, 0, 0, 0, false),
+            launch(0, 2, 0, 1, 0, false),
+            start(10, 1, 0),
+            sm(10, 1, 80.0),
+            done(20, 1, 0),
+            start(20, 2, 0),
+            sm(20, 2, 108.0),
+            done(30, 2, 0),
+        ];
+        validator(108).validate(&ev).assert_clean();
+    }
+
+    #[test]
+    fn out_of_order_start_is_flagged() {
+        let ev = vec![
+            launch(0, 1, 0, 0, 0, false),
+            launch(0, 2, 0, 1, 0, false),
+            start(10, 2, 0),
+        ];
+        let r = validator(108).validate(&ev);
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.violations[0].invariant, "queue_fifo");
+    }
+
+    #[test]
+    fn settled_oversubscription_is_flagged_but_transient_is_not() {
+        // Within one instant the sum transiently hits 150; by the end of
+        // the instant it settles at 108 — not a violation.
+        let transient = vec![
+            launch(0, 1, 0, 0, 0, false),
+            launch(0, 2, 1, 0, 1, false),
+            start(10, 1, 0),
+            start(10, 2, 1),
+            sm(10, 1, 100.0),
+            sm(10, 2, 50.0),
+            sm(10, 1, 58.0),
+        ];
+        validator(108).validate(&transient).assert_clean();
+
+        let settled = vec![
+            launch(0, 1, 0, 0, 0, false),
+            launch(0, 2, 1, 0, 1, false),
+            start(10, 1, 0),
+            start(10, 2, 1),
+            sm(10, 1, 100.0),
+            sm(10, 2, 50.0),
+        ];
+        let r = validator(108).validate(&settled);
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.violations[0].invariant, "oversubscription");
+    }
+
+    #[test]
+    fn split_discipline_checks_both_sides() {
+        let squad = TraceEvent::SquadFormed {
+            at: t(0),
+            id: 0,
+            spatial: false,
+            split_ratio: 0.5,
+            entries: vec![TraceSquadEntry {
+                app: 0,
+                first_kernel: 0,
+                count: 4,
+                split_at: 2,
+                sm_cap: 54,
+                mode: 0,
+            }],
+        };
+        // Kernel 2 is a rear kernel but launches restricted: violation.
+        let ev = vec![squad.clone(), launch(5, 1, 0, 2, 0, true)];
+        let r = validator(108).validate(&ev);
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.violations[0].invariant, "split_discipline");
+
+        // Correct sides: head restricted, rear unrestricted.
+        let ev = vec![
+            squad,
+            launch(5, 1, 0, 0, 0, true),
+            launch(5, 2, 0, 2, 1, false),
+        ];
+        validator(108).validate(&ev).assert_clean();
+    }
+
+    #[test]
+    fn co_residency_flags_non_member_start() {
+        let ev = vec![
+            TraceEvent::SquadFormed {
+                at: t(0),
+                id: 0,
+                spatial: false,
+                split_ratio: 0.5,
+                entries: vec![TraceSquadEntry {
+                    app: 0,
+                    first_kernel: 0,
+                    count: 1,
+                    split_at: 0,
+                    sm_cap: 0,
+                    mode: 2,
+                }],
+            },
+            launch(0, 1, 1, 0, 7, false),
+            start(5, 1, 7),
+        ];
+        let r = validator(108).validate(&ev);
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.violations[0].invariant, "co_residency");
+    }
+
+    #[test]
+    fn fairness_spread_is_bounded() {
+        let ev = vec![
+            TraceEvent::RequestArrival {
+                at: t(0),
+                app: 0,
+                req: 0,
+            },
+            TraceEvent::RequestArrival {
+                at: t(0),
+                app: 1,
+                req: 0,
+            },
+            TraceEvent::RequestDone {
+                at: t(100),
+                app: 0,
+                req: 0,
+            },
+            TraceEvent::RequestDone {
+                at: t(5000),
+                app: 1,
+                req: 0,
+            },
+        ];
+        let cfg = ValidatorConfig {
+            num_sms: 108,
+            iso_targets: Some(vec![100.0, 100.0]),
+            fairness_spread: Some(10.0),
+        };
+        let r = TraceValidator::new(cfg.clone()).validate(&ev);
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.violations[0].invariant, "fairness");
+        assert!(r.fairness_spread.unwrap_or(0.0) > 10.0);
+
+        let loose = ValidatorConfig {
+            fairness_spread: Some(100.0),
+            ..cfg
+        };
+        TraceValidator::new(loose).validate(&ev).assert_clean();
+    }
+
+    #[test]
+    fn retried_kernel_keeps_fifo_clean() {
+        // seq 1 fails while queued; seq 2 (the retry) launches behind an
+        // already-running seq and the queue stays FIFO.
+        let ev = vec![
+            launch(0, 1, 0, 0, 0, false),
+            TraceEvent::KernelFailed {
+                at: t(5),
+                seq: 1,
+                queue: 0,
+            },
+            launch(10, 2, 0, 0, 0, false),
+            start(12, 2, 0),
+            done(20, 2, 0),
+        ];
+        validator(108).validate(&ev).assert_clean();
+    }
+}

@@ -1,0 +1,167 @@
+//! Property tests for the metrics crate's distribution code: empirical
+//! CDFs ([`metrics::Cdf`]) and summary statistics ([`metrics::LatencyStats`]).
+
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code
+
+use metrics::{latency_deviation, Cdf, LatencyStats};
+use proptest::prelude::*;
+use sim_core::SimDuration;
+
+fn durations(raw: &[u64]) -> Vec<SimDuration> {
+    raw.iter().map(|&x| SimDuration::from_micros(x)).collect()
+}
+
+/// A deterministic Fisher–Yates permutation driven by a SplitMix64 seed,
+/// so permutation-invariance cases replay exactly.
+fn permute<T: Clone>(items: &[T], mut seed: u64) -> Vec<T> {
+    let mut out = items.to_vec();
+    let mut next = || {
+        seed = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = seed;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    for i in (1..out.len()).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        out.swap(i, j);
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Quantiles are monotone in `q`: a higher quantile never yields a
+    /// smaller value.
+    #[test]
+    fn prop_quantile_monotone_in_q(
+        samples in proptest::collection::vec(0u64..1_000_000, 1..300),
+        qa in 0.0f64..1.0,
+        qb in 0.0f64..1.0,
+    ) {
+        let cdf = Cdf::new(durations(&samples));
+        let (lo, hi) = if qa <= qb { (qa, qb) } else { (qb, qa) };
+        prop_assert!(cdf.quantile(lo) <= cdf.quantile(hi),
+            "quantile({lo}) > quantile({hi})");
+    }
+
+    /// Every quantile is one of the samples, bracketed by min and max.
+    #[test]
+    fn prop_quantile_within_sample_range(
+        samples in proptest::collection::vec(0u64..1_000_000, 1..300),
+        q in 0.0f64..1.0,
+    ) {
+        let durs = durations(&samples);
+        let cdf = Cdf::new(durs.clone());
+        let v = cdf.quantile(q);
+        let min = *durs.iter().min().unwrap();
+        let max = *durs.iter().max().unwrap();
+        prop_assert!(v >= min && v <= max);
+        prop_assert!(durs.contains(&v), "quantile must be an observed sample");
+    }
+
+    /// `fraction_below` stays in [0, 1] and is monotone in its argument.
+    #[test]
+    fn prop_fraction_below_is_a_cdf(
+        samples in proptest::collection::vec(0u64..100_000, 1..300),
+        xa in 0u64..120_000,
+        xb in 0u64..120_000,
+    ) {
+        let cdf = Cdf::new(durations(&samples));
+        let (lo, hi) = if xa <= xb { (xa, xb) } else { (xb, xa) };
+        let fa = cdf.fraction_below(SimDuration::from_micros(lo));
+        let fb = cdf.fraction_below(SimDuration::from_micros(hi));
+        prop_assert!((0.0..=1.0).contains(&fa), "fraction {fa} out of [0,1]");
+        prop_assert!((0.0..=1.0).contains(&fb), "fraction {fb} out of [0,1]");
+        prop_assert!(fa <= fb, "CDF must be monotone: F({lo})={fa} > F({hi})={fb}");
+    }
+
+    /// At least a `q`-fraction of samples sits at or below `quantile(q)`
+    /// (the defining property of a nearest-rank quantile).
+    #[test]
+    fn prop_fraction_below_quantile_covers_q(
+        samples in proptest::collection::vec(0u64..1_000_000, 1..300),
+        q in 0.0f64..1.0,
+    ) {
+        let cdf = Cdf::new(durations(&samples));
+        let frac = cdf.fraction_below(cdf.quantile(q));
+        prop_assert!(frac >= q - 1e-9, "F(Q({q})) = {frac} < {q}");
+    }
+
+    /// Summary statistics are order-free: any permutation of the samples
+    /// produces identical mean/p50/p95/p99/min/max.
+    #[test]
+    fn prop_stats_invariant_under_permutation(
+        samples in proptest::collection::vec(0u64..1_000_000, 1..300),
+        seed in proptest::prelude::any::<bool>(),
+        salt in 0u64..1_000_000,
+    ) {
+        let durs = durations(&samples);
+        let shuffled = permute(&durs, salt.wrapping_mul(2).wrapping_add(seed as u64));
+        let a = LatencyStats::from_latencies(&durs);
+        let b = LatencyStats::from_latencies(&shuffled);
+        prop_assert_eq!(a.count, b.count);
+        prop_assert_eq!(a.mean, b.mean);
+        prop_assert_eq!(a.p50, b.p50);
+        prop_assert_eq!(a.p95, b.p95);
+        prop_assert_eq!(a.p99, b.p99);
+        prop_assert_eq!(a.min, b.min);
+        prop_assert_eq!(a.max, b.max);
+    }
+
+    /// The summary is internally consistent:
+    /// min ≤ p50 ≤ p95 ≤ p99 ≤ max and min ≤ mean ≤ max.
+    #[test]
+    fn prop_stats_are_internally_consistent(
+        samples in proptest::collection::vec(0u64..1_000_000, 1..300),
+    ) {
+        let s = LatencyStats::from_latencies(&durations(&samples));
+        let (min, p50, p95, p99, max, mean) = (
+            s.min.unwrap(), s.p50.unwrap(), s.p95.unwrap(),
+            s.p99.unwrap(), s.max.unwrap(), s.mean.unwrap(),
+        );
+        prop_assert!(min <= p50 && p50 <= p95 && p95 <= p99 && p99 <= max);
+        prop_assert!(min <= mean && mean <= max);
+        prop_assert_eq!(s.count, samples.len());
+    }
+
+    /// `LatencyStats` percentiles agree with `Cdf::quantile` on the same
+    /// samples (two implementations of nearest-rank must not drift).
+    #[test]
+    fn prop_stats_agree_with_cdf(
+        samples in proptest::collection::vec(0u64..1_000_000, 1..300),
+    ) {
+        let durs = durations(&samples);
+        let s = LatencyStats::from_latencies(&durs);
+        let cdf = Cdf::new(durs);
+        prop_assert_eq!(s.p50.unwrap(), cdf.quantile(0.50));
+        prop_assert_eq!(s.p95.unwrap(), cdf.quantile(0.95));
+        prop_assert_eq!(s.p99.unwrap(), cdf.quantile(0.99));
+        prop_assert_eq!(s.max.unwrap(), cdf.quantile(1.0));
+    }
+
+    /// Latency deviation is non-negative, zero when every achieved
+    /// latency is within target, and monotone in the achieved latencies.
+    #[test]
+    fn prop_latency_deviation_properties(
+        pairs in proptest::collection::vec((0u64..1_000_000, 0u64..1_000_000), 1..20),
+        bump in 0u64..1_000,
+    ) {
+        let achieved: Vec<SimDuration> =
+            pairs.iter().map(|&(a, _)| SimDuration::from_micros(a)).collect();
+        let targets: Vec<SimDuration> =
+            pairs.iter().map(|&(_, t)| SimDuration::from_micros(t)).collect();
+        let d = latency_deviation(&achieved, &targets);
+        prop_assert!(d >= SimDuration::ZERO);
+
+        // Within-target achieved latencies deviate by zero.
+        let d0 = latency_deviation(&targets, &targets);
+        prop_assert_eq!(d0, SimDuration::ZERO);
+
+        // Inflating any achieved latency never decreases the deviation.
+        let mut worse = achieved.clone();
+        worse[0] += SimDuration::from_micros(bump);
+        prop_assert!(latency_deviation(&worse, &targets) >= d);
+    }
+}

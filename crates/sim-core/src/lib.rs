@@ -12,6 +12,10 @@
 //! * [`fault::FaultPlan`] — a deterministic fault schedule (stragglers,
 //!   profile drift, context crashes, DMA stalls) expanded from a seed, so
 //!   robustness experiments replay bit-for-bit like everything else.
+//! * [`trace::TraceEvent`] / [`trace::TraceSink`] — a zero-cost-when-
+//!   disabled structured trace stream of scheduler events in virtual time
+//!   (see DESIGN.md §5e), consumed by the trace validator, the derived
+//!   counters, and the Perfetto exporter in the upper layers.
 //!
 //! The simulator is single-threaded by design: GPU scheduling experiments
 //! need deterministic replay far more than they need wall-clock speed, and
@@ -22,8 +26,10 @@ pub mod event;
 pub mod fault;
 pub mod rng;
 pub mod time;
+pub mod trace;
 
 pub use event::EventQueue;
 pub use fault::{CrashEvent, DmaStallEvent, FaultPlan, FaultSpec};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};
+pub use trace::{BufferSink, JsonlSink, RingSink, TraceEvent, TraceSink, TraceSquadEntry};

@@ -4,7 +4,7 @@
 use dnn_models::{ModelKind, Phase};
 use gpu_sim::GpuSpec;
 use harness::cache;
-use harness::runner::{run_custom_faulted, run_system, System};
+use harness::runner::{run_custom_faulted, run_validated, System};
 use sim_core::{FaultPlan, FaultSpec, SimDuration, SimTime};
 use workloads::{pair_workload, PaperWorkload, WorkloadSet};
 
@@ -35,7 +35,10 @@ fn log_pairs(log: &metrics::RequestLog) -> Vec<(u64, u64)> {
 
 fn run_once(seed: u64, sys: &System) -> Vec<(u64, u64)> {
     let spec = GpuSpec::a100();
-    let r = run_system(sys, &workload(seed), &spec, SimTime::from_secs(300), None);
+    // `run_validated` captures a trace and machine-checks the scheduler
+    // invariants on every run; tracing is observational, so the golden
+    // digests below are identical with or without it.
+    let r = run_validated(sys, &workload(seed), &spec, SimTime::from_secs(300), None);
     log_pairs(&r.log)
 }
 

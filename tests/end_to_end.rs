@@ -3,7 +3,8 @@
 
 use bless::{BlessDriver, BlessParams, DeployedApp};
 use dnn_models::{AppModel, ModelKind, Phase};
-use gpu_sim::{Gpu, GpuSpec, HostCosts, RunOutcome, Simulation};
+use gpu_sim::{BufferSink, Gpu, GpuSpec, HostCosts, RunOutcome, Simulation};
+use metrics::{TraceValidator, ValidatorConfig};
 use profiler::{admit, AdmissionPolicy, ProfiledApp};
 use sim_core::SimTime;
 use std::sync::Arc;
@@ -13,6 +14,22 @@ fn profiled(kind: ModelKind) -> Arc<ProfiledApp> {
     // Shared process-wide cache: avoids re-running the 19 profiling
     // passes in every test.
     harness::cache::profile(kind, Phase::Inference, &GpuSpec::a100())
+}
+
+/// Installs a trace sink on `gpu` so the run can be machine-checked
+/// against the scheduler invariants afterwards (DESIGN.md §5e).
+fn record(gpu: &mut Gpu) -> BufferSink {
+    let sink = BufferSink::new();
+    gpu.set_trace_sink(Box::new(sink.clone()));
+    sink
+}
+
+/// Replays the recorded trace through the validator; any structural
+/// invariant violation fails the test.
+fn check(sink: &BufferSink, num_sms: u32) {
+    TraceValidator::new(ValidatorConfig::structural(num_sms))
+        .validate(&sink.take())
+        .assert_clean();
 }
 
 #[test]
@@ -36,13 +53,16 @@ fn full_pipeline_serves_all_requests() {
         5,
     );
     let driver = BlessDriver::new(apps, BlessParams::default());
-    let gpu = Gpu::new(spec, HostCosts::paper());
+    let mut gpu = Gpu::new(spec, HostCosts::paper());
+    let num_sms = gpu.spec().num_sms;
+    let sink = record(&mut gpu);
     let mut sim = Simulation::new(gpu, driver, ws.initial_arrivals())
         .with_notice_handler(ws.notice_handler());
     let outcome = sim.run(SimTime::from_secs(120));
 
     assert_eq!(outcome, RunOutcome::Completed);
     assert!(sim.gpu.is_device_idle(), "no kernels left behind");
+    check(&sink, num_sms);
     for app in 0..2 {
         assert_eq!(
             sim.driver.log.completed_count(app),
@@ -77,10 +97,13 @@ fn quota_guarantee_holds_under_sustained_overlap() {
         17,
     );
     let driver = BlessDriver::new(apps, BlessParams::default());
-    let gpu = Gpu::new(spec, HostCosts::paper());
+    let mut gpu = Gpu::new(spec, HostCosts::paper());
+    let num_sms = gpu.spec().num_sms;
+    let sink = record(&mut gpu);
     let mut sim = Simulation::new(gpu, driver, ws.initial_arrivals())
         .with_notice_handler(ws.notice_handler());
     assert_eq!(sim.run(SimTime::from_secs(300)), RunOutcome::Completed);
+    check(&sink, num_sms);
     for app in 0..2 {
         let mean = sim.driver.log.stats(app).mean.unwrap().as_nanos() as f64;
         let iso = sim.driver.apps[app].iso_latency().as_nanos() as f64;
@@ -101,10 +124,13 @@ fn solo_tenant_uses_whole_gpu_regardless_of_quota() {
     let apps = vec![DeployedApp::new(profiled(ModelKind::Bert), 0.1, None)];
     let ws = pair_bert_solo();
     let driver = BlessDriver::new(apps, BlessParams::default());
-    let gpu = Gpu::new(spec, HostCosts::paper());
+    let mut gpu = Gpu::new(spec, HostCosts::paper());
+    let num_sms = gpu.spec().num_sms;
+    let sink = record(&mut gpu);
     let mut sim = Simulation::new(gpu, driver, ws.initial_arrivals())
         .with_notice_handler(ws.notice_handler());
     assert_eq!(sim.run(SimTime::from_secs(60)), RunOutcome::Completed);
+    check(&sink, num_sms);
     let mean = sim.driver.log.stats(0).mean.unwrap().as_millis_f64();
     // BERT solo is ~12.8 ms; its 10%-quota ISO would be ~90 ms.
     assert!(mean < 15.0, "solo BERT at 10% quota: {mean:.2} ms");
@@ -153,10 +179,13 @@ fn slo_mode_prioritizes_the_tight_tenant() {
         29,
     );
     let driver = BlessDriver::new(apps, BlessParams::default());
-    let gpu = Gpu::new(spec, HostCosts::paper());
+    let mut gpu = Gpu::new(spec, HostCosts::paper());
+    let num_sms = gpu.spec().num_sms;
+    let sink = record(&mut gpu);
     let mut sim = Simulation::new(gpu, driver, ws.initial_arrivals())
         .with_notice_handler(ws.notice_handler());
     assert_eq!(sim.run(SimTime::from_secs(300)), RunOutcome::Completed);
+    check(&sink, num_sms);
     let tight = sim.driver.log.stats(0).mean.unwrap();
     let targets = [
         sim.driver.apps[0].target_latency(),

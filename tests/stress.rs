@@ -3,8 +3,9 @@
 
 use bless::{BlessDriver, BlessParams, DeployedApp};
 use dnn_models::{AppModel, ModelKind, Phase};
-use gpu_sim::{CtxKind, Gpu, GpuSpec, HostCosts, KernelDesc, RunOutcome, Simulation};
-use harness::runner::{run_system, System};
+use gpu_sim::{BufferSink, CtxKind, Gpu, GpuSpec, HostCosts, KernelDesc, RunOutcome, Simulation};
+use harness::runner::{run_validated, System};
+use metrics::{TraceValidator, ValidatorConfig};
 use sim_core::{SimDuration, SimTime};
 use workloads::{multi_workload, PaperWorkload, EIGHT_MODEL_QUOTAS};
 
@@ -30,7 +31,7 @@ fn eight_tenants_sustained_load() {
         SimTime::from_secs(10),
         77,
     );
-    let r = run_system(
+    let r = run_validated(
         &System::Bless(BlessParams::default()),
         &ws,
         &spec,
@@ -55,7 +56,10 @@ fn tiny_squads_still_complete() {
         profiler::ProfiledApp::profile(&AppModel::build(ModelKind::Vgg11, Phase::Inference), &spec);
     let apps = vec![DeployedApp::new(profile, 1.0, None)];
     let driver = BlessDriver::new(apps, params);
-    let gpu = Gpu::new(spec, HostCosts::paper());
+    let mut gpu = Gpu::new(spec, HostCosts::paper());
+    let num_sms = gpu.spec().num_sms;
+    let sink = BufferSink::new();
+    gpu.set_trace_sink(Box::new(sink.clone()));
     let arrivals = vec![gpu_sim::RequestArrival {
         app: 0,
         req: 0,
@@ -63,6 +67,9 @@ fn tiny_squads_still_complete() {
     }];
     let mut sim = Simulation::new(gpu, driver, arrivals);
     assert_eq!(sim.run(SimTime::from_secs(10)), RunOutcome::Completed);
+    TraceValidator::new(ValidatorConfig::structural(num_sms))
+        .validate(&sink.take())
+        .assert_clean();
     assert_eq!(sim.driver.log.completed_count(0), 1);
     // One-kernel squads: squads == kernels.
     assert_eq!(
@@ -88,7 +95,7 @@ fn split_ratio_extremes_work() {
             SimTime::from_secs(10),
             13,
         );
-        let r = run_system(
+        let r = run_validated(
             &System::Bless(params),
             &ws,
             &spec,

@@ -4,7 +4,7 @@
 use dnn_models::{ModelKind, Phase};
 use gpu_sim::{GpuSpec, RunOutcome};
 use harness::cache;
-use harness::runner::{run_system, System};
+use harness::runner::{run_validated, System};
 use sim_core::SimTime;
 use workloads::{pair_workload, PaperWorkload};
 
@@ -26,7 +26,7 @@ fn every_system_conserves_requests() {
     let mut systems = vec![System::Iso, System::Zico];
     systems.extend(System::inference_set());
     for sys in systems {
-        let r = run_system(&sys, &workload(1), &spec, SimTime::from_secs(300), None);
+        let r = run_validated(&sys, &workload(1), &spec, SimTime::from_secs(300), None);
         assert_eq!(r.outcome, RunOutcome::Completed, "{}", sys.name());
         for app in 0..2 {
             assert_eq!(r.log.completed_count(app), 12, "{} app {app}", sys.name());
@@ -46,7 +46,7 @@ fn figure_4b_ordering() {
     // chain (absolute positions shift with the simulator's calibration).
     let spec = GpuSpec::a100();
     let horizon = SimTime::from_secs(300);
-    let get = |sys: &System| run_system(sys, &workload(2), &spec, horizon, None).mean_ms();
+    let get = |sys: &System| run_validated(sys, &workload(2), &spec, horizon, None).mean_ms();
 
     let bless = get(&System::Bless(bless::BlessParams::default()));
     let gslice = get(&System::Gslice);
@@ -79,7 +79,7 @@ fn deviation_ordering_under_uneven_quotas() {
     let spec = GpuSpec::a100();
     let horizon = SimTime::from_secs(300);
     let dev = |sys: &System| {
-        run_system(sys, &workload(3), &spec, horizon, None)
+        run_validated(sys, &workload(3), &spec, horizon, None)
             .deviation()
             .as_millis_f64()
     };
@@ -94,7 +94,7 @@ fn deviation_ordering_under_uneven_quotas() {
 #[test]
 fn iso_matches_profiled_targets() {
     let spec = GpuSpec::a100();
-    let r = run_system(
+    let r = run_validated(
         &System::Iso,
         &workload(4),
         &spec,
@@ -118,7 +118,7 @@ fn bless_vs_gslice_is_seed_robust() {
     let horizon = SimTime::from_secs(300);
     let mut wins = 0;
     for seed in 10..15 {
-        let b = run_system(
+        let b = run_validated(
             &System::Bless(bless::BlessParams::default()),
             &workload(seed),
             &spec,
@@ -126,7 +126,7 @@ fn bless_vs_gslice_is_seed_robust() {
             None,
         )
         .mean_ms();
-        let g = run_system(&System::Gslice, &workload(seed), &spec, horizon, None).mean_ms();
+        let g = run_validated(&System::Gslice, &workload(seed), &spec, horizon, None).mean_ms();
         if b < g {
             wins += 1;
         }
@@ -140,14 +140,14 @@ fn graph_mode_preserves_results() {
     // workload correctly with comparable latency.
     let spec = GpuSpec::a100();
     let horizon = SimTime::from_secs(300);
-    let kernel_mode = run_system(
+    let kernel_mode = run_validated(
         &System::Bless(bless::BlessParams::default()),
         &workload(6),
         &spec,
         horizon,
         None,
     );
-    let graph_mode = run_system(
+    let graph_mode = run_validated(
         &System::Bless(bless::BlessParams {
             graph_granularity: 8,
             ..bless::BlessParams::default()
