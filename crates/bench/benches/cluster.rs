@@ -4,7 +4,7 @@ use bless::BlessParams;
 use criterion::{criterion_group, criterion_main, Criterion};
 use dnn_models::{AppModel, ModelKind, Phase};
 use gpu_sim::GpuSpec;
-use profiler::ProfiledApp;
+use profiler::{ProfiledApp, SharedProfile};
 use sim_core::{SimDuration, SimTime};
 use workloads::{ArrivalPattern, TenantSpec, WorkloadSet};
 
@@ -16,9 +16,9 @@ fn bench(c: &mut Criterion) {
         ModelKind::ResNet101,
         ModelKind::Bert,
     ];
-    let profiles: Vec<ProfiledApp> = kinds
+    let profiles: Vec<SharedProfile> = kinds
         .iter()
-        .map(|&k| ProfiledApp::profile(&AppModel::build(k, Phase::Inference), &spec))
+        .map(|&k| ProfiledApp::profile_shared(&AppModel::build(k, Phase::Inference), &spec))
         .collect();
     let tenants: Vec<TenantSpec> = kinds
         .iter()

@@ -1,0 +1,257 @@
+//! Cluster-scale benchmark baseline: fleet-simulation throughput
+//! (parallel vs. sequential) and the determiner's branch-and-bound
+//! savings, written to `BENCH_cluster.json` at the repo root.
+//!
+//! Run with `cargo bench --bench cluster_scale`; set `BENCH_QUICK=1` for
+//! the CI smoke variant (small fleets, few samples). The checked-in JSON
+//! is a reference snapshot — absolute numbers are machine-dependent
+//! (notably `workers`: the parallel speedup scales with host cores and
+//! degrades to ~1x on a single-core container), while the determiner's
+//! `evaluated`/`pruned` counts are deterministic on any machine.
+
+use std::cell::RefCell;
+use std::time::Duration;
+
+use bless::{determine_config, determine_config_exhaustive, BlessParams, DeployedApp};
+use cluster::{run_cluster_opts, ClusterOptions};
+use criterion::{criterion_group, criterion_main, Criterion};
+use dnn_models::{ModelKind, Phase};
+use gpu_sim::GpuSpec;
+use harness::cache;
+use harness::squadlab::slice_squad;
+use profiler::SharedProfile;
+use sim_core::{SimDuration, SimTime};
+use workloads::{ArrivalPattern, TenantSpec, WorkloadSet};
+
+const KINDS: [ModelKind; 4] = [
+    ModelKind::Vgg11,
+    ModelKind::ResNet50,
+    ModelKind::ResNet101,
+    ModelKind::Bert,
+];
+
+fn quick() -> bool {
+    std::env::var_os("BENCH_QUICK").is_some()
+}
+
+/// Two tenants per GPU at quota 0.5 each, so FFD fills exactly `fleet`
+/// devices. Profiles are interned once per model kind and shared by every
+/// tenant of that kind across the whole fleet.
+fn fleet_workload(fleet: usize, spec: &GpuSpec) -> (WorkloadSet, Vec<SharedProfile>) {
+    let tenants: Vec<TenantSpec> = (0..2 * fleet)
+        .map(|i| {
+            TenantSpec::new(
+                cache::model(KINDS[i % KINDS.len()], Phase::Inference),
+                0.5,
+                ArrivalPattern::ClosedLoop {
+                    think: SimDuration::from_millis(10),
+                    count: 3,
+                },
+            )
+        })
+        .collect();
+    let profiles: Vec<SharedProfile> = (0..2 * fleet)
+        .map(|i| cache::profile(KINDS[i % KINDS.len()], Phase::Inference, spec))
+        .collect();
+    // Fleet-level quotas sum past 1.0 by design; the placement controller
+    // splits them across GPUs, so bypass WorkloadSet's single-GPU check.
+    (WorkloadSet { tenants, seed: 7 }, profiles)
+}
+
+/// Wraps a routine so every call logs its own wall-clock duration —
+/// criterion's shim prints summaries but does not hand samples back.
+fn timed<R>(samples: &RefCell<Vec<Duration>>, f: impl FnOnce() -> R) -> R {
+    let start = std::time::Instant::now();
+    let r = f();
+    samples.borrow_mut().push(start.elapsed());
+    r
+}
+
+fn min_ms(samples: &RefCell<Vec<Duration>>) -> f64 {
+    samples
+        .borrow()
+        .iter()
+        .min()
+        .map(|d| d.as_secs_f64() * 1e3)
+        .unwrap_or(f64::NAN)
+}
+
+struct FleetRow {
+    gpus: usize,
+    tenants: usize,
+    seq_ms: f64,
+    par_ms: f64,
+}
+
+struct DeterminerRow {
+    apps: usize,
+    kernels_per_app: usize,
+    space: usize,
+    evaluated: usize,
+    pruned: usize,
+    exhaustive_ms: f64,
+    pruned_ms: f64,
+}
+
+fn bench_fleet(c: &mut Criterion, rows: &mut Vec<FleetRow>) {
+    let spec = GpuSpec::a100();
+    let params = BlessParams::default();
+    let horizon = SimTime::from_secs(60);
+    let fleets: &[usize] = if quick() { &[1, 4] } else { &[1, 4, 16, 64] };
+    let samples = if quick() { 2 } else { 5 };
+
+    let mut g = c.benchmark_group("cluster_throughput");
+    g.sample_size(samples);
+    for &fleet in fleets {
+        let (ws, profiles) = fleet_workload(fleet, &spec);
+        let seq = RefCell::new(Vec::new());
+        let par = RefCell::new(Vec::new());
+        g.bench_function(format!("seq_fleet{fleet}"), |b| {
+            b.iter(|| {
+                timed(&seq, || {
+                    run_cluster_opts(
+                        &ws,
+                        profiles.clone(),
+                        fleet,
+                        &spec,
+                        &params,
+                        horizon,
+                        &ClusterOptions {
+                            parallel: false,
+                            ..ClusterOptions::default()
+                        },
+                    )
+                    .unwrap()
+                })
+            })
+        });
+        g.bench_function(format!("par_fleet{fleet}"), |b| {
+            b.iter(|| {
+                timed(&par, || {
+                    run_cluster_opts(
+                        &ws,
+                        profiles.clone(),
+                        fleet,
+                        &spec,
+                        &params,
+                        horizon,
+                        &ClusterOptions::default(),
+                    )
+                    .unwrap()
+                })
+            })
+        });
+        rows.push(FleetRow {
+            gpus: fleet,
+            tenants: 2 * fleet,
+            seq_ms: min_ms(&seq),
+            par_ms: min_ms(&par),
+        });
+    }
+    g.finish();
+}
+
+fn bench_determiner(c: &mut Criterion, rows: &mut Vec<DeterminerRow>) {
+    let spec = GpuSpec::a100();
+    let per_app = 12;
+    let max_apps = if quick() { 3 } else { 5 };
+    let mut g = c.benchmark_group("determiner_search");
+    g.sample_size(if quick() { 10 } else { 50 });
+    for k in 2..=max_apps {
+        let apps: Vec<DeployedApp> = (0..k)
+            .map(|i| {
+                DeployedApp::new(
+                    cache::profile(KINDS[i % KINDS.len()], Phase::Inference, &spec),
+                    1.0 / k as f64,
+                    None,
+                )
+            })
+            .collect();
+        let squad = slice_squad(&apps, &vec![1; k], &vec![per_app; k]);
+        let fast = determine_config(&squad, &apps, spec.num_sms);
+        let slow = determine_config_exhaustive(&squad, &apps, spec.num_sms);
+        assert_eq!(
+            fast.config, slow.config,
+            "pruning must not change the argmin"
+        );
+        let ex_t = RefCell::new(Vec::new());
+        let pr_t = RefCell::new(Vec::new());
+        g.bench_function(format!("exhaustive_{k}apps"), |b| {
+            b.iter(|| {
+                timed(&ex_t, || {
+                    determine_config_exhaustive(&squad, &apps, spec.num_sms)
+                })
+            })
+        });
+        g.bench_function(format!("pruned_{k}apps"), |b| {
+            b.iter(|| timed(&pr_t, || determine_config(&squad, &apps, spec.num_sms)))
+        });
+        rows.push(DeterminerRow {
+            apps: k,
+            kernels_per_app: per_app,
+            space: slow.evaluated,
+            evaluated: fast.evaluated,
+            pruned: fast.pruned,
+            exhaustive_ms: min_ms(&ex_t),
+            pruned_ms: min_ms(&pr_t),
+        });
+    }
+    g.finish();
+}
+
+fn write_json(fleet: &[FleetRow], det: &[DeterminerRow]) {
+    let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"cluster_scale\",\n");
+    out.push_str("  \"regenerate\": \"cargo bench --bench cluster_scale\",\n");
+    out.push_str(&format!("  \"quick\": {},\n", quick()));
+    out.push_str(&format!("  \"workers\": {workers},\n"));
+    out.push_str("  \"fleet\": [\n");
+    for (i, r) in fleet.iter().enumerate() {
+        let speedup = r.seq_ms / r.par_ms;
+        let gps = r.gpus as f64 / (r.par_ms / 1e3);
+        out.push_str(&format!(
+            "    {{\"gpus\": {}, \"tenants\": {}, \"seq_ms\": {:.3}, \"par_ms\": {:.3}, \
+             \"speedup\": {:.2}, \"gpus_per_sec\": {:.1}}}{}\n",
+            r.gpus,
+            r.tenants,
+            r.seq_ms,
+            r.par_ms,
+            speedup,
+            gps,
+            if i + 1 < fleet.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"determiner\": [\n");
+    for (i, r) in det.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"apps\": {}, \"kernels_per_app\": {}, \"space\": {}, \"evaluated\": {}, \
+             \"pruned\": {}, \"exhaustive_ms\": {:.4}, \"pruned_ms\": {:.4}}}{}\n",
+            r.apps,
+            r.kernels_per_app,
+            r.space,
+            r.evaluated,
+            r.pruned,
+            r.exhaustive_ms,
+            r.pruned_ms,
+            if i + 1 < det.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_cluster.json");
+    std::fs::write(path, &out).expect("write BENCH_cluster.json");
+    println!("wrote {path}");
+}
+
+fn bench(c: &mut Criterion) {
+    bench::warm_profiles();
+    let mut fleet_rows = Vec::new();
+    let mut det_rows = Vec::new();
+    bench_fleet(c, &mut fleet_rows);
+    bench_determiner(c, &mut det_rows);
+    write_json(&fleet_rows, &det_rows);
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

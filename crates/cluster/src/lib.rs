@@ -14,9 +14,15 @@
 //! quota capacity, and the §4.2.2 kernel-granularity compatibility rule —
 //! and [`run_cluster`] replicates the BLESS runtime per GPU and serves
 //! each GPU's tenants independently (see [`ClusterRun`]).
+//!
+//! Placed GPUs are mutually independent, so [`run_cluster`] simulates
+//! them on a worker pool; [`run_cluster_seq`] is the sequential twin the
+//! differential determinism test compares against, and
+//! [`run_cluster_opts`] exposes per-GPU trace capture for the
+//! `experiments --trace` pipeline.
 
 pub mod placement;
 pub mod run;
 
 pub use placement::{place, Placement, PlacementError, PlacementRequest};
-pub use run::{run_cluster, ClusterRun, GpuRun};
+pub use run::{run_cluster, run_cluster_opts, run_cluster_seq, ClusterOptions, ClusterRun, GpuRun};

@@ -1,12 +1,16 @@
 //! The central placement controller.
 
-use profiler::{admit, AdmissionError, AdmissionPolicy, ProfiledApp};
+use profiler::{admit, AdmissionError, AdmissionPolicy, ProfiledApp, SharedProfile};
 
 /// One application asking to be placed.
+///
+/// The profile is held through a [`SharedProfile`] handle: the controller,
+/// the per-GPU deployments, and the caller's own copy all reference one
+/// interned kernel table instead of deep-copying it at every layer.
 #[derive(Clone, Debug)]
 pub struct PlacementRequest {
     /// Offline profile (provides memory needs and kernel statistics).
-    pub profile: ProfiledApp,
+    pub profile: SharedProfile,
     /// Requested GPU quota in `(0, 1]`.
     pub quota: f64,
 }
@@ -33,7 +37,7 @@ impl Placement {
 }
 
 /// Why the fleet could not host the request set.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum PlacementError {
     /// A single request cannot fit on any empty GPU.
     Unplaceable {
@@ -49,6 +53,23 @@ pub enum PlacementError {
         /// GPUs available.
         available: usize,
     },
+    /// A request's quota is outside `(0, 1]` (so it cannot be provisioned
+    /// on any single GPU, not even an empty one).
+    InvalidQuota {
+        /// Index of the offending request.
+        request: usize,
+        /// The requested quota.
+        quota: f64,
+    },
+    /// The workload has no tenants — there is nothing to place.
+    EmptyWorkload,
+    /// The profile list does not align with the tenant list.
+    ProfileCountMismatch {
+        /// Number of profiles supplied.
+        profiles: usize,
+        /// Number of tenants in the workload.
+        tenants: usize,
+    },
 }
 
 impl std::fmt::Display for PlacementError {
@@ -59,6 +80,16 @@ impl std::fmt::Display for PlacementError {
             }
             PlacementError::FleetTooSmall { needed, available } => {
                 write!(f, "placement needs {needed} GPUs, fleet has {available}")
+            }
+            PlacementError::InvalidQuota { request, quota } => {
+                write!(
+                    f,
+                    "request {request} asks for quota {quota}, outside (0, 1]"
+                )
+            }
+            PlacementError::EmptyWorkload => write!(f, "workload has no tenants to place"),
+            PlacementError::ProfileCountMismatch { profiles, tenants } => {
+                write!(f, "{profiles} profiles supplied for {tenants} tenants")
             }
         }
     }
@@ -79,6 +110,20 @@ pub fn place(
     memory_mib: u64,
     policy: &AdmissionPolicy,
 ) -> Result<Placement, PlacementError> {
+    if requests.is_empty() {
+        return Err(PlacementError::EmptyWorkload);
+    }
+    // A quota outside (0, 1] can never be provisioned: a lone over-quota
+    // tenant would otherwise sail through packing and blow up deployment.
+    for (ri, req) in requests.iter().enumerate() {
+        if !(req.quota > 0.0 && req.quota <= 1.0) {
+            return Err(PlacementError::InvalidQuota {
+                request: ri,
+                quota: req.quota,
+            });
+        }
+    }
+
     // Sort indices by descending memory need (classic FFD).
     let mut order: Vec<usize> = (0..requests.len()).collect();
     order.sort_by(|&a, &b| {
@@ -107,7 +152,7 @@ pub fn place(
                 continue;
             }
             let mut profiles: Vec<&ProfiledApp> =
-                members.iter().map(|&m| &requests[m].profile).collect();
+                members.iter().map(|&m| &*requests[m].profile).collect();
             profiles.push(&req.profile);
             if admit(&profiles, memory_mib, policy).is_ok() {
                 members.push(ri);
@@ -138,8 +183,8 @@ mod tests {
     use dnn_models::{AppModel, ModelKind, Phase};
     use gpu_sim::GpuSpec;
 
-    fn profiled(kind: ModelKind) -> ProfiledApp {
-        ProfiledApp::profile(&AppModel::build(kind, Phase::Inference), &GpuSpec::a100())
+    fn profiled(kind: ModelKind) -> SharedProfile {
+        ProfiledApp::profile_shared(&AppModel::build(kind, Phase::Inference), &GpuSpec::a100())
     }
 
     fn req(kind: ModelKind, quota: f64) -> PlacementRequest {
@@ -219,5 +264,42 @@ mod tests {
         let reqs = vec![req(ModelKind::NasNet, 0.5), req(ModelKind::Vgg11, 0.5)];
         let p = place(&reqs, 4, 40 * 1024, &strict).unwrap();
         assert_eq!(p.gpus_used, 2);
+    }
+
+    #[test]
+    fn over_quota_request_is_typed() {
+        let reqs = vec![req(ModelKind::Vgg11, 1.5)];
+        let err = place(&reqs, 4, 40 * 1024, &AdmissionPolicy::default()).unwrap_err();
+        assert_eq!(
+            err,
+            PlacementError::InvalidQuota {
+                request: 0,
+                quota: 1.5
+            }
+        );
+        assert!(format!("{err}").contains("outside (0, 1]"));
+    }
+
+    #[test]
+    fn empty_request_set_is_typed() {
+        let err = place(&[], 4, 40 * 1024, &AdmissionPolicy::default()).unwrap_err();
+        assert_eq!(err, PlacementError::EmptyWorkload);
+    }
+
+    #[test]
+    fn fleet_of_one_hosts_what_fits() {
+        // A degenerate one-GPU fleet is a valid cluster, not an error.
+        let reqs = vec![req(ModelKind::Vgg11, 0.5), req(ModelKind::ResNet50, 0.5)];
+        let p = place(&reqs, 1, 40 * 1024, &AdmissionPolicy::default()).unwrap();
+        assert_eq!(p.gpus_used, 1);
+        assert_eq!(p.assignments, vec![0, 0]);
+    }
+
+    #[test]
+    fn placement_requests_share_one_profile_table() {
+        // Interning: cloning a request must not deep-copy the profile.
+        let r = req(ModelKind::Vgg11, 0.5);
+        let r2 = r.clone();
+        assert!(std::sync::Arc::ptr_eq(&r.profile, &r2.profile));
     }
 }

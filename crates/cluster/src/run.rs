@@ -1,9 +1,22 @@
 //! Running a placed multi-GPU deployment: one replicated BLESS runtime
 //! per GPU, each driving its own simulated device.
+//!
+//! GPUs are mutually independent once placed — each gets its own
+//! [`Gpu`], [`BlessDriver`], arrival stream, and (optionally) trace sink —
+//! so the fleet is simulated on a pool of worker threads
+//! ([`run_cluster`]), with results merged in placement order. The merged
+//! [`ClusterRun`] is byte-identical to the sequential twin
+//! ([`run_cluster_seq`]), which exists for the differential determinism
+//! test and for single-core hosts.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, PoisonError};
 
 use bless::{BlessDriver, BlessParams, DeployedApp};
-use gpu_sim::{Gpu, GpuSpec, HostCosts, RequestArrival, RunOutcome, Simulation};
+use gpu_sim::{BufferSink, Gpu, GpuSpec, HostCosts, RequestArrival, RunOutcome, Simulation};
 use metrics::RequestLog;
+use profiler::SharedProfile;
+use sim_core::trace::TraceEvent;
 use sim_core::SimTime;
 use workloads::{TenantSpec, WorkloadSet};
 
@@ -12,6 +25,8 @@ use crate::placement::{place, Placement, PlacementError, PlacementRequest};
 /// Result of one GPU's run within the cluster.
 #[derive(Debug)]
 pub struct GpuRun {
+    /// This GPU's index within the placement.
+    pub gpu: usize,
     /// Request indices (into the cluster's tenant list) served here.
     pub tenants: Vec<usize>,
     /// The GPU-local request log (indexed by local tenant position).
@@ -20,6 +35,10 @@ pub struct GpuRun {
     pub outcome: RunOutcome,
     /// GPU utilization over its makespan.
     pub utilization: f64,
+    /// This GPU's structured trace stream (empty unless
+    /// [`ClusterOptions::capture_trace`] was set). Events are GPU-local:
+    /// app ids index into `tenants`.
+    pub trace: Vec<TraceEvent>,
 }
 
 /// Result of a whole cluster run.
@@ -27,14 +46,14 @@ pub struct GpuRun {
 pub struct ClusterRun {
     /// The placement used.
     pub placement: Placement,
-    /// Per-GPU results.
+    /// Per-GPU results, in placement order.
     pub gpus: Vec<GpuRun>,
 }
 
 impl ClusterRun {
     /// Mean latency (ms) of one cluster-level tenant.
     pub fn tenant_mean_ms(&self, tenant: usize) -> Option<f64> {
-        let gpu = self.placement.assignments[tenant];
+        let gpu = *self.placement.assignments.get(tenant)?;
         let local = self.gpus[gpu].tenants.iter().position(|&t| t == tenant)?;
         self.gpus[gpu]
             .log
@@ -49,25 +68,104 @@ impl ClusterRun {
     }
 }
 
+/// Knobs for [`run_cluster_opts`].
+#[derive(Clone, Debug)]
+pub struct ClusterOptions {
+    /// Simulate GPUs on a worker pool (`false` forces the sequential
+    /// loop). Output is byte-identical either way.
+    pub parallel: bool,
+    /// Record each GPU's structured trace stream into
+    /// [`GpuRun::trace`].
+    pub capture_trace: bool,
+    /// Worker-pool size; `None` honours `std::thread::available_parallelism`.
+    pub workers: Option<usize>,
+}
+
+impl Default for ClusterOptions {
+    fn default() -> Self {
+        ClusterOptions {
+            parallel: true,
+            capture_trace: false,
+            workers: None,
+        }
+    }
+}
+
 /// Places the workload's tenants onto a fleet and serves each GPU with a
-/// replicated BLESS runtime.
+/// replicated BLESS runtime, simulating GPUs in parallel.
 ///
 /// `profiles` must align with `ws.tenants` (one profile per tenant, on the
-/// fleet's GPU spec).
-pub fn run_cluster(
+/// fleet's GPU spec). Pass [`SharedProfile`] handles to avoid deep-copying
+/// kernel tables; plain [`profiler::ProfiledApp`] values are accepted and
+/// interned on entry.
+pub fn run_cluster<P: Into<SharedProfile>>(
     ws: &WorkloadSet,
-    profiles: Vec<profiler::ProfiledApp>,
+    profiles: Vec<P>,
     fleet_size: usize,
     spec: &GpuSpec,
     params: &BlessParams,
     horizon: SimTime,
 ) -> Result<ClusterRun, PlacementError> {
-    assert_eq!(ws.len(), profiles.len(), "one profile per tenant");
+    run_cluster_opts(
+        ws,
+        profiles,
+        fleet_size,
+        spec,
+        params,
+        horizon,
+        &ClusterOptions::default(),
+    )
+}
+
+/// [`run_cluster`] forced onto the sequential single-thread path. Exists
+/// as the differential-determinism twin: the parallel runner must produce
+/// byte-identical output to this.
+pub fn run_cluster_seq<P: Into<SharedProfile>>(
+    ws: &WorkloadSet,
+    profiles: Vec<P>,
+    fleet_size: usize,
+    spec: &GpuSpec,
+    params: &BlessParams,
+    horizon: SimTime,
+) -> Result<ClusterRun, PlacementError> {
+    run_cluster_opts(
+        ws,
+        profiles,
+        fleet_size,
+        spec,
+        params,
+        horizon,
+        &ClusterOptions {
+            parallel: false,
+            ..ClusterOptions::default()
+        },
+    )
+}
+
+/// [`run_cluster`] with explicit [`ClusterOptions`].
+pub fn run_cluster_opts<P: Into<SharedProfile>>(
+    ws: &WorkloadSet,
+    profiles: Vec<P>,
+    fleet_size: usize,
+    spec: &GpuSpec,
+    params: &BlessParams,
+    horizon: SimTime,
+    opts: &ClusterOptions,
+) -> Result<ClusterRun, PlacementError> {
+    if ws.tenants.is_empty() {
+        return Err(PlacementError::EmptyWorkload);
+    }
+    if ws.len() != profiles.len() {
+        return Err(PlacementError::ProfileCountMismatch {
+            profiles: profiles.len(),
+            tenants: ws.len(),
+        });
+    }
     let requests: Vec<PlacementRequest> = profiles
-        .iter()
+        .into_iter()
         .zip(&ws.tenants)
         .map(|(p, t)| PlacementRequest {
-            profile: p.clone(),
+            profile: p.into(),
             quota: t.quota,
         })
         .collect();
@@ -78,47 +176,134 @@ pub fn run_cluster(
         &profiler::AdmissionPolicy::default(),
     )?;
 
-    let mut gpus = Vec::new();
-    for g in 0..placement.gpus_used {
-        let tenants = placement.tenants_of(g);
-        // Build a GPU-local workload with remapped app ids.
-        let local_ws = WorkloadSet::new(
-            tenants
-                .iter()
-                .map(|&t| {
-                    TenantSpec::new(
-                        ws.tenants[t].model.clone(),
-                        ws.tenants[t].quota,
-                        ws.tenants[t].pattern.clone(),
-                    )
-                })
-                .collect(),
-            ws.seed.wrapping_add(g as u64),
-        );
-        let apps: Vec<DeployedApp> = tenants
-            .iter()
-            .map(|&t| DeployedApp::new(requests[t].profile.clone(), ws.tenants[t].quota, None))
-            .collect();
-        let driver = BlessDriver::new(apps, params.clone());
-        let gpu = Gpu::new(spec.clone(), HostCosts::paper());
-        let arrivals: Vec<RequestArrival> = local_ws.initial_arrivals();
-        let mut sim =
-            Simulation::new(gpu, driver, arrivals).with_notice_handler(local_ws.notice_handler());
-        let outcome = sim.run(horizon);
-        let makespan = sim.gpu.now().as_secs_f64();
-        let utilization = if makespan > 0.0 {
-            sim.gpu.busy_sm_seconds() / (spec.num_sms as f64 * makespan)
-        } else {
-            0.0
-        };
-        gpus.push(GpuRun {
-            tenants,
-            log: sim.driver.log,
-            outcome,
-            utilization,
-        });
-    }
+    let workers = if opts.parallel {
+        opts.workers
+            .or_else(|| std::thread::available_parallelism().ok().map(|n| n.get()))
+            .unwrap_or(1)
+            .clamp(1, placement.gpus_used.max(1))
+    } else {
+        1
+    };
+
+    let gpus = if workers <= 1 || placement.gpus_used <= 1 {
+        (0..placement.gpus_used)
+            .map(|g| run_one_gpu(g, &placement, ws, &requests, spec, params, horizon, opts))
+            .collect()
+    } else {
+        run_gpus_parallel(
+            &placement, ws, &requests, spec, params, horizon, opts, workers,
+        )
+    };
+
     Ok(ClusterRun { placement, gpus })
+}
+
+/// Simulates the fleet on `workers` scoped threads pulling GPU indices
+/// from a shared counter, then merges results back into placement order.
+/// Each GPU's simulation is self-contained (its own device, driver,
+/// arrival stream, and sink), so the merge is a pure reordering — the
+/// output is byte-identical to the sequential loop.
+#[allow(clippy::too_many_arguments)]
+fn run_gpus_parallel(
+    placement: &Placement,
+    ws: &WorkloadSet,
+    requests: &[PlacementRequest],
+    spec: &GpuSpec,
+    params: &BlessParams,
+    horizon: SimTime,
+    opts: &ClusterOptions,
+    workers: usize,
+) -> Vec<GpuRun> {
+    let next = AtomicUsize::new(0);
+    let done: Mutex<Vec<GpuRun>> = Mutex::new(Vec::with_capacity(placement.gpus_used));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let g = next.fetch_add(1, Ordering::Relaxed);
+                if g >= placement.gpus_used {
+                    break;
+                }
+                let run = run_one_gpu(g, placement, ws, requests, spec, params, horizon, opts);
+                done.lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .push(run);
+            });
+        }
+    });
+    // A panicking worker propagates out of the scope above, so every GPU
+    // has exactly one result here; placement order restores determinism.
+    let mut gpus = done.into_inner().unwrap_or_else(PoisonError::into_inner);
+    gpus.sort_by_key(|r| r.gpu);
+    debug_assert_eq!(gpus.len(), placement.gpus_used);
+    gpus
+}
+
+/// Simulates one GPU's tenants to completion — the unit of work both the
+/// sequential loop and the worker pool execute.
+#[allow(clippy::too_many_arguments)]
+fn run_one_gpu(
+    g: usize,
+    placement: &Placement,
+    ws: &WorkloadSet,
+    requests: &[PlacementRequest],
+    spec: &GpuSpec,
+    params: &BlessParams,
+    horizon: SimTime,
+    opts: &ClusterOptions,
+) -> GpuRun {
+    let tenants = placement.tenants_of(g);
+    // Build a GPU-local workload with remapped app ids.
+    let local_ws = WorkloadSet::new(
+        tenants
+            .iter()
+            .map(|&t| {
+                TenantSpec::new(
+                    ws.tenants[t].model.clone(),
+                    ws.tenants[t].quota,
+                    ws.tenants[t].pattern.clone(),
+                )
+            })
+            .collect(),
+        ws.seed.wrapping_add(g as u64),
+    );
+    // Deployment shares the interned profiles — no kernel-table copies.
+    let apps: Vec<DeployedApp> = tenants
+        .iter()
+        .map(|&t| {
+            DeployedApp::new(
+                SharedProfile::clone(&requests[t].profile),
+                ws.tenants[t].quota,
+                None,
+            )
+        })
+        .collect();
+    let driver = BlessDriver::new(apps, params.clone());
+    let mut gpu = Gpu::new(spec.clone(), HostCosts::paper());
+    let sink = if opts.capture_trace {
+        let s = BufferSink::new();
+        gpu.set_trace_sink(Box::new(s.clone()));
+        Some(s)
+    } else {
+        None
+    };
+    let arrivals: Vec<RequestArrival> = local_ws.initial_arrivals();
+    let mut sim =
+        Simulation::new(gpu, driver, arrivals).with_notice_handler(local_ws.notice_handler());
+    let outcome = sim.run(horizon);
+    let makespan = sim.gpu.now().as_secs_f64();
+    let utilization = if makespan > 0.0 {
+        sim.gpu.busy_sm_seconds() / (spec.num_sms as f64 * makespan)
+    } else {
+        0.0
+    };
+    GpuRun {
+        gpu: g,
+        tenants,
+        log: sim.driver.log,
+        outcome,
+        utilization,
+        trace: sink.map(|s| s.take()).unwrap_or_default(),
+    }
 }
 
 #[cfg(test)]
@@ -129,8 +314,7 @@ mod tests {
     use sim_core::SimDuration;
     use workloads::ArrivalPattern;
 
-    #[test]
-    fn four_tenants_on_two_gpus_all_complete() {
+    fn four_tenant_fixture() -> (GpuSpec, WorkloadSet, Vec<SharedProfile>) {
         let spec = GpuSpec::a100();
         let kinds = [
             ModelKind::Vgg11,
@@ -151,15 +335,18 @@ mod tests {
                 )
             })
             .collect();
+        let profiles: Vec<SharedProfile> = kinds
+            .iter()
+            .map(|&k| ProfiledApp::profile_shared(&AppModel::build(k, Phase::Inference), &spec))
+            .collect();
         // Quotas sum to 2.0: WorkloadSet normally rejects oversubscription,
         // so build per-GPU sets through the cluster API instead.
-        let profiles: Vec<ProfiledApp> = kinds
-            .iter()
-            .map(|&k| ProfiledApp::profile(&AppModel::build(k, Phase::Inference), &spec))
-            .collect();
-        // Bypass the single-GPU quota check by constructing tenants in two
-        // halves and merging manually.
-        let ws = WorkloadSet { tenants, seed: 5 };
+        (spec, WorkloadSet { tenants, seed: 5 }, profiles)
+    }
+
+    #[test]
+    fn four_tenants_on_two_gpus_all_complete() {
+        let (spec, ws, profiles) = four_tenant_fixture();
         let run = run_cluster(
             &ws,
             profiles,
@@ -178,6 +365,81 @@ mod tests {
     }
 
     #[test]
+    fn parallel_and_sequential_runs_are_identical() {
+        let (spec, ws, profiles) = four_tenant_fixture();
+        let horizon = SimTime::from_secs(60);
+        let params = BlessParams::default();
+        // Force a real worker pool: on a single-core host the default
+        // would degrade to the sequential loop and compare it to itself.
+        let opts = ClusterOptions {
+            workers: Some(3),
+            ..ClusterOptions::default()
+        };
+        let par =
+            run_cluster_opts(&ws, profiles.clone(), 4, &spec, &params, horizon, &opts).unwrap();
+        let seq = run_cluster_seq(&ws, profiles, 4, &spec, &params, horizon).unwrap();
+        assert_eq!(par.placement, seq.placement);
+        assert_eq!(par.gpus.len(), seq.gpus.len());
+        for (p, s) in par.gpus.iter().zip(&seq.gpus) {
+            assert_eq!(p.gpu, s.gpu);
+            assert_eq!(p.tenants, s.tenants);
+            assert_eq!(p.outcome, s.outcome);
+            assert_eq!(p.utilization.to_bits(), s.utilization.to_bits());
+            for app in 0..p.tenants.len() {
+                let pr: Vec<_> = p
+                    .log
+                    .records(app)
+                    .iter()
+                    .map(|r| (r.arrival, r.completion))
+                    .collect();
+                let sr: Vec<_> = s
+                    .log
+                    .records(app)
+                    .iter()
+                    .map(|r| (r.arrival, r.completion))
+                    .collect();
+                assert_eq!(pr, sr, "gpu {} app {app}", p.gpu);
+            }
+        }
+    }
+
+    #[test]
+    fn trace_capture_covers_every_gpu() {
+        let (spec, ws, profiles) = four_tenant_fixture();
+        let run = run_cluster_opts(
+            &ws,
+            profiles,
+            4,
+            &spec,
+            &BlessParams::default(),
+            SimTime::from_secs(60),
+            &ClusterOptions {
+                capture_trace: true,
+                ..ClusterOptions::default()
+            },
+        )
+        .unwrap();
+        for g in &run.gpus {
+            assert!(!g.trace.is_empty(), "gpu {} captured no events", g.gpu);
+        }
+        // Capture is purely observational: the uncaptured run matches.
+        let (spec, ws, profiles) = four_tenant_fixture();
+        let plain = run_cluster(
+            &ws,
+            profiles,
+            4,
+            &spec,
+            &BlessParams::default(),
+            SimTime::from_secs(60),
+        )
+        .unwrap();
+        for (a, b) in run.gpus.iter().zip(&plain.gpus) {
+            assert_eq!(a.outcome, b.outcome);
+            assert_eq!(a.utilization.to_bits(), b.utilization.to_bits());
+        }
+    }
+
+    #[test]
     fn fleet_errors_propagate() {
         let spec = GpuSpec::a100();
         let tenants: Vec<TenantSpec> = (0..2)
@@ -192,9 +454,9 @@ mod tests {
                 )
             })
             .collect();
-        let profiles: Vec<ProfiledApp> = (0..2)
+        let profiles: Vec<SharedProfile> = (0..2)
             .map(|_| {
-                ProfiledApp::profile(
+                ProfiledApp::profile_shared(
                     &AppModel::build(ModelKind::ResNet50, Phase::Inference),
                     &spec,
                 )
@@ -211,5 +473,82 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, PlacementError::FleetTooSmall { .. }));
+    }
+
+    #[test]
+    fn empty_workload_is_a_typed_error() {
+        let spec = GpuSpec::a100();
+        let ws = WorkloadSet {
+            tenants: vec![],
+            seed: 1,
+        };
+        let err = run_cluster::<SharedProfile>(
+            &ws,
+            vec![],
+            4,
+            &spec,
+            &BlessParams::default(),
+            SimTime::from_secs(10),
+        )
+        .unwrap_err();
+        assert_eq!(err, PlacementError::EmptyWorkload);
+    }
+
+    #[test]
+    fn profile_count_mismatch_is_a_typed_error() {
+        let (spec, ws, mut profiles) = four_tenant_fixture();
+        profiles.pop();
+        let err = run_cluster(
+            &ws,
+            profiles,
+            4,
+            &spec,
+            &BlessParams::default(),
+            SimTime::from_secs(10),
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            PlacementError::ProfileCountMismatch {
+                profiles: 3,
+                tenants: 4
+            }
+        );
+    }
+
+    #[test]
+    fn oom_tenant_is_a_typed_error() {
+        // BERT cannot fit a 512 MiB device: placement rejects it with the
+        // admission reason instead of panicking mid-deployment.
+        let spec = GpuSpec {
+            memory_mib: 512,
+            ..GpuSpec::a100()
+        };
+        let model = AppModel::build(ModelKind::Bert, Phase::Inference);
+        let ws = WorkloadSet {
+            tenants: vec![TenantSpec::new(
+                model.clone(),
+                0.5,
+                ArrivalPattern::Simultaneous {
+                    count: 1,
+                    at: SimTime::ZERO,
+                },
+            )],
+            seed: 1,
+        };
+        let profiles = vec![ProfiledApp::profile_shared(&model, &spec)];
+        let err = run_cluster(
+            &ws,
+            profiles,
+            4,
+            &spec,
+            &BlessParams::default(),
+            SimTime::from_secs(10),
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            PlacementError::Unplaceable { request: 0, .. }
+        ));
     }
 }

@@ -3,12 +3,12 @@
 use cluster::{place, PlacementRequest};
 use dnn_models::{AppModel, ModelKind, Phase};
 use gpu_sim::GpuSpec;
-use profiler::{AdmissionPolicy, ProfiledApp};
+use profiler::{AdmissionPolicy, ProfiledApp, SharedProfile};
 use proptest::prelude::*;
 use std::sync::OnceLock;
 
-fn profiles() -> &'static Vec<ProfiledApp> {
-    static CACHE: OnceLock<Vec<ProfiledApp>> = OnceLock::new();
+fn profiles() -> &'static Vec<SharedProfile> {
+    static CACHE: OnceLock<Vec<SharedProfile>> = OnceLock::new();
     CACHE.get_or_init(|| {
         let spec = GpuSpec::a100();
         [
@@ -18,7 +18,7 @@ fn profiles() -> &'static Vec<ProfiledApp> {
             ModelKind::Bert,
         ]
         .iter()
-        .map(|&k| ProfiledApp::profile(&AppModel::build(k, Phase::Inference), &spec))
+        .map(|&k| ProfiledApp::profile_shared(&AppModel::build(k, Phase::Inference), &spec))
         .collect()
     })
 }

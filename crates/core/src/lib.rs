@@ -59,8 +59,8 @@ pub use deploy::DeployedApp;
 pub use error::SchedError;
 pub use params::{BlessParams, WatchdogParams};
 pub use predict::{
-    determine_config, determine_config_memo, predict_interference_free,
-    predict_workload_equivalence, ConfigChoice, ConfigMemo, ExecConfig,
+    determine_config, determine_config_exhaustive, determine_config_memo,
+    predict_interference_free, predict_workload_equivalence, ConfigChoice, ConfigMemo, ExecConfig,
 };
 pub use runtime::{BlessDriver, SquadRecord};
 pub use squad::{generate_squad, ActiveRequest, Squad, SquadEntry};

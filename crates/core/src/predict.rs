@@ -158,15 +158,44 @@ pub struct ConfigChoice {
     pub predicted: SimDuration,
     /// Number of candidate configurations evaluated.
     pub evaluated: usize,
+    /// Number of SP compositions skipped by the branch-and-bound cut
+    /// (0 on the exhaustive and hill-climbing paths). For any squad,
+    /// `evaluated + pruned` equals the exhaustive candidate count, and the
+    /// chosen configuration is identical to the exhaustive search's.
+    pub pruned: usize,
 }
 
 /// Searches the configuration space for the fastest execution (§4.4.2).
 ///
 /// For up to [`EXACT_SEARCH_MAX_APPS`] participating requests the SP space
-/// is enumerated exactly; beyond that a quota-proportional seed plus
+/// is searched exactly with a branch-and-bound cut (see
+/// [`determine_config_exhaustive`] for the uncut twin — both return the
+/// same configuration); beyond that a quota-proportional seed plus
 /// hill-climbing is used (the paper only determines optimal partitions at
 /// runtime for small squads; REEF+ cannot do this at all, §6.4).
 pub fn determine_config(squad: &Squad, apps: &[DeployedApp], num_sms: u32) -> ConfigChoice {
+    determine_config_inner(squad, apps, num_sms, true)
+}
+
+/// [`determine_config`] with the branch-and-bound cut disabled: every SP
+/// composition is evaluated. Exists as the differential twin proving the
+/// pruned search exact (`same config, same prediction, evaluated + pruned
+/// = exhaustive evaluated`), and as the baseline for the
+/// `determiner_search` benchmark.
+pub fn determine_config_exhaustive(
+    squad: &Squad,
+    apps: &[DeployedApp],
+    num_sms: u32,
+) -> ConfigChoice {
+    determine_config_inner(squad, apps, num_sms, false)
+}
+
+fn determine_config_inner(
+    squad: &Squad,
+    apps: &[DeployedApp],
+    num_sms: u32,
+    prune: bool,
+) -> ConfigChoice {
     let k = squad.entries.len();
     assert!(
         k <= PARTITIONS,
@@ -177,6 +206,7 @@ pub fn determine_config(squad: &Squad, apps: &[DeployedApp], num_sms: u32) -> Co
             config: ExecConfig::Nsp,
             predicted: SimDuration::ZERO,
             evaluated: 0,
+            pruned: 0,
         };
     }
 
@@ -187,6 +217,7 @@ pub fn determine_config(squad: &Squad, apps: &[DeployedApp], num_sms: u32) -> Co
             config: ExecConfig::Nsp,
             predicted: nsp,
             evaluated: 1,
+            pruned: 0,
         };
     }
 
@@ -213,6 +244,7 @@ pub fn determine_config(squad: &Squad, apps: &[DeployedApp], num_sms: u32) -> Co
     };
 
     let mut evaluated = 1; // NSP
+    let mut pruned = 0usize;
     let mut best_sp: Option<(Vec<u32>, SimDuration)> = None;
     let consider =
         |parts: &[u32], dur: SimDuration, best: &mut Option<(Vec<u32>, SimDuration)>| match best {
@@ -221,13 +253,27 @@ pub fn determine_config(squad: &Squad, apps: &[DeployedApp], num_sms: u32) -> Co
         };
 
     if k <= EXACT_SEARCH_MAX_APPS {
-        // Exact enumeration of all compositions of PARTITIONS into k parts.
-        let mut parts = vec![1u32; k];
-        enumerate_compositions(PARTITIONS as u32, k, &mut parts, 0, &mut |parts| {
-            let dur = eval_sp(parts);
-            evaluated += 1;
-            consider(parts, dur, &mut best_sp);
-        });
+        // Exact search over all compositions of PARTITIONS into k parts,
+        // visited in the same lexicographic order as
+        // [`enumerate_compositions`]; with `prune` set, subtrees whose
+        // best possible completion already cannot beat the incumbent are
+        // cut (see [`SpSearch::descend`]) — the argmin is provably
+        // unchanged because `consider` only replaces on strictly smaller
+        // durations.
+        let mut search = SpSearch {
+            stacked: &stacked,
+            best_at_most: best_at_most(&stacked),
+            k,
+            prune,
+            evaluated: 0,
+            pruned: 0,
+            best: None,
+            parts: vec![1u32; k],
+        };
+        search.descend(0, PARTITIONS as u32, SimDuration::ZERO);
+        evaluated += search.evaluated;
+        pruned = search.pruned;
+        best_sp = search.best;
     } else {
         // Quota-proportional seed + greedy hill climbing: repeatedly move
         // one slice from the entry with the most slack to the bottleneck.
@@ -267,12 +313,101 @@ pub fn determine_config(squad: &Squad, apps: &[DeployedApp], num_sms: u32) -> Co
             config: ExecConfig::Sp { partitions: parts },
             predicted: dur,
             evaluated,
+            pruned,
         },
         _ => ConfigChoice {
             config: ExecConfig::Nsp,
             predicted: nsp,
             evaluated,
+            pruned,
         },
+    }
+}
+
+/// Per-entry prefix minima of the stacked-duration tables:
+/// `best_at_most[i][s-1]` is the fastest entry `i` can possibly run when
+/// granted *at most* `s` partition slices. This is the branch-and-bound
+/// lower bound for entries the composition prefix has not assigned yet —
+/// exact without assuming the profiled tables are monotone in SMs.
+fn best_at_most(stacked: &[Vec<SimDuration>]) -> Vec<Vec<SimDuration>> {
+    stacked
+        .iter()
+        .map(|row| {
+            let mut best = SimDuration::MAX;
+            row.iter()
+                .map(|&d| {
+                    best = best.min(d);
+                    best
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Number of compositions of `total` into `slots` positive parts:
+/// `C(total − 1, slots − 1)`. Used to account for every candidate a
+/// branch-and-bound cut skips.
+fn compositions(total: u32, slots: u32) -> usize {
+    let (n, mut r) = ((total - 1) as u64, (slots - 1) as u64);
+    r = r.min(n - r);
+    let mut c = 1u64;
+    for i in 0..r {
+        c = c * (n - i) / (i + 1);
+    }
+    c as usize
+}
+
+/// Depth-first branch-and-bound over SP compositions.
+struct SpSearch<'a> {
+    /// `stacked[i][p-1]`: entry `i`'s stacked duration on `p` slices.
+    stacked: &'a [Vec<SimDuration>],
+    /// Prefix minima of `stacked` (see [`best_at_most`]).
+    best_at_most: Vec<Vec<SimDuration>>,
+    k: usize,
+    prune: bool,
+    evaluated: usize,
+    pruned: usize,
+    best: Option<(Vec<u32>, SimDuration)>,
+    parts: Vec<u32>,
+}
+
+impl SpSearch<'_> {
+    /// Assigns slices to entry `idx` given `remaining` unassigned slices;
+    /// `partial_max` is the duration floor set by entries `0..idx`.
+    fn descend(&mut self, idx: usize, remaining: u32, partial_max: SimDuration) {
+        if idx == self.k - 1 {
+            self.parts[idx] = remaining;
+            let dur = partial_max.max(self.stacked[idx][remaining as usize - 1]);
+            self.evaluated += 1;
+            match &self.best {
+                Some((_, d)) if *d <= dur => {}
+                _ => self.best = Some((self.parts.clone(), dur)),
+            }
+            return;
+        }
+        let slots_after = (self.k - idx - 1) as u32;
+        for p in 1..=(remaining - slots_after) {
+            let new_max = partial_max.max(self.stacked[idx][p as usize - 1]);
+            if self.prune {
+                if let Some((_, incumbent)) = &self.best {
+                    // Lower-bound any completion of this prefix: assigned
+                    // entries contribute `new_max`; each unassigned entry
+                    // runs at best with every spare slice granted to it.
+                    let rem = remaining - p;
+                    let max_share = (rem - (slots_after - 1)) as usize;
+                    let mut bound = new_max;
+                    for j in idx + 1..self.k {
+                        bound = bound.max(self.best_at_most[j][max_share - 1]);
+                    }
+                    if bound >= *incumbent {
+                        self.pruned += compositions(rem, slots_after);
+                        continue;
+                    }
+                }
+            }
+            self.parts[idx] = p;
+            self.descend(idx + 1, remaining - p, new_max);
+        }
     }
 }
 
@@ -350,6 +485,10 @@ pub fn determine_config_memo(
     choice
 }
 
+/// Reference enumerator of compositions of `total` into `k` positive
+/// parts, in the lexicographic order [`SpSearch`] visits them. Retained
+/// as the specification the pruned search's unit tests check against.
+#[cfg_attr(not(test), allow(dead_code))]
 fn enumerate_compositions(
     total: u32,
     k: usize,
@@ -459,8 +598,52 @@ mod tests {
             deploy(ModelKind::ResNet50, 0.5),
         ];
         let squad = squad_of(&apps, 10);
+        let exhaustive = determine_config_exhaustive(&squad, &apps, 108);
+        assert_eq!(exhaustive.evaluated, 18);
+        assert_eq!(exhaustive.pruned, 0);
+        // The branch-and-bound cut must cover the same space: every
+        // candidate is either evaluated or accounted for as pruned.
         let choice = determine_config(&squad, &apps, 108);
-        assert_eq!(choice.evaluated, 18);
+        assert_eq!(choice.evaluated + choice.pruned, 18);
+        assert_eq!(choice.config, exhaustive.config);
+        assert_eq!(choice.predicted, exhaustive.predicted);
+    }
+
+    /// The pruned determiner is a pure speedup: across a spread of squad
+    /// shapes and sizes it returns the exhaustive argmin (same config,
+    /// same prediction) while covering the full space via
+    /// `evaluated + pruned` — and actually cuts work on the larger spaces.
+    #[test]
+    fn pruned_search_matches_exhaustive() {
+        let kinds = [
+            ModelKind::Vgg11,
+            ModelKind::ResNet50,
+            ModelKind::NasNet,
+            ModelKind::Bert,
+            ModelKind::ResNet101,
+            ModelKind::AlexNet,
+        ];
+        let mut saved_anywhere = false;
+        for k in 2..=5usize {
+            let apps: Vec<DeployedApp> = kinds[..k]
+                .iter()
+                .map(|&m| deploy(m, 1.0 / k as f64))
+                .collect();
+            for per_app in [3, 8, 14] {
+                let squad = squad_of(&apps, per_app);
+                let fast = determine_config(&squad, &apps, 108);
+                let slow = determine_config_exhaustive(&squad, &apps, 108);
+                assert_eq!(fast.config, slow.config, "k={k} per_app={per_app}");
+                assert_eq!(fast.predicted, slow.predicted, "k={k} per_app={per_app}");
+                assert_eq!(
+                    fast.evaluated + fast.pruned,
+                    slow.evaluated,
+                    "k={k} per_app={per_app}: candidate accounting"
+                );
+                saved_anywhere |= fast.evaluated < slow.evaluated;
+            }
+        }
+        assert!(saved_anywhere, "the cut never fired on any squad shape");
     }
 
     #[test]

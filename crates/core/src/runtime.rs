@@ -305,6 +305,7 @@ impl BlessDriver {
                 config: ExecConfig::Nsp,
                 predicted: SimDuration::ZERO,
                 evaluated: 0,
+                pruned: 0,
             }
         } else {
             determine_config_memo(&mut self.memo, &squad, &self.apps, gpu.spec().num_sms)

@@ -47,9 +47,15 @@ fn emit(id: &str, out: &ExpOutput, csv_dir: Option<&std::path::Path>) {
     for (rendered, slug, csv) in &out.tables {
         println!("{rendered}");
         if let Some(dir) = csv_dir {
-            std::fs::create_dir_all(dir).expect("create csv dir");
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("--csv: cannot create {}: {e}", dir.display());
+                std::process::exit(2);
+            }
             let path = dir.join(format!("{slug}.csv"));
-            std::fs::write(&path, csv).expect("write csv");
+            if let Err(e) = std::fs::write(&path, csv) {
+                eprintln!("--csv: cannot write {}: {e}", path.display());
+                std::process::exit(2);
+            }
             eprintln!("[experiments]   wrote {}", path.display());
         }
     }

@@ -75,8 +75,8 @@ pub fn run() -> Vec<Table> {
         "workload-equivalence".to_string(),
     ]);
 
-    let (pred_cfg, _) = best_pred.expect("configs evaluated");
-    let (act_cfg, _) = best_actual.expect("configs evaluated");
+    let (pred_cfg, _) = crate::require(best_pred, "configs evaluated");
+    let (act_cfg, _) = crate::require(best_actual, "configs evaluated");
     t.note(format!(
         "predicted optimum: {pred_cfg}; actual optimum: {act_cfg}; match: {}",
         pred_cfg == act_cfg

@@ -63,7 +63,7 @@ pub fn sweep(
 /// Builds a "system / latency / BLESS reduction" table from sweep rows
 /// (the last row must be BLESS).
 fn reduction_table(title: String, rows: &[(String, f64)], paper_note: &str) -> Table {
-    let bless = rows.last().expect("BLESS last").1;
+    let bless = crate::require(rows.last(), "BLESS last").1;
     let mut t = Table::new(title, &["system", "avg latency ms", "BLESS reduction %"]);
     for (name, ms) in rows {
         let red = if name == "BLESS" || *ms <= 0.0 {

@@ -88,7 +88,7 @@ pub fn run() -> Vec<Table> {
         ),
     ] {
         let rows = scenario(apps, quotas);
-        let bless = rows.last().expect("BLESS").1;
+        let bless = crate::require(rows.last(), "BLESS last").1;
         let mut t = Table::new(
             format!("Fig. 15: {label}, simultaneous arrival"),
             &[

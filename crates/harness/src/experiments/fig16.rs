@@ -47,7 +47,7 @@ pub fn biased_case(other: ModelKind, requests: usize) -> Vec<(String, f64, f64)>
         .map(|sys| {
             let ws = workload_e(other, requests);
             let r = run_system(sys, &ws, &spec, SimTime::from_secs(120), None);
-            let lat1 = r.log.stats(0).mean.expect("app1 ran").as_nanos() as f64;
+            let lat1 = crate::require(r.log.stats(0).mean, "app1 ran").as_nanos() as f64;
             let iso1 = r.iso_targets[0].as_nanos() as f64;
             let tput2 = r.log.throughput(1, sim_core::SimTime::ZERO, r.makespan);
             (sys.name().to_string(), lat1 / iso1 - 1.0, tput2)

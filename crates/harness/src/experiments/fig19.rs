@@ -64,7 +64,7 @@ pub fn squad_size_point(max_kernels: usize, requests: usize) -> (f64, f64) {
         SimTime::from_secs(120),
         None,
     );
-    let lat = r.log.stats(0).mean.expect("ran").as_millis_f64();
+    let lat = crate::require(r.log.stats(0).mean, "app ran").as_millis_f64();
     let iso = r.iso_targets[0].as_millis_f64();
     (mean, (lat - iso).max(0.0))
 }
@@ -94,7 +94,7 @@ pub fn squad_size_deviation_no_drain(max_kernels: usize, requests: usize) -> f64
         SimTime::from_secs(120),
         None,
     );
-    let lat = r.log.stats(0).mean.expect("ran").as_millis_f64();
+    let lat = crate::require(r.log.stats(0).mean, "app ran").as_millis_f64();
     (lat - r.iso_targets[0].as_millis_f64()).max(0.0)
 }
 

@@ -20,22 +20,25 @@ use crate::runner::{run_system, System};
 /// Runs a victim kernel against an aggressor and returns the slowdown.
 pub fn kernel_slowdown(victim_mem: f64, aggressor_mem: f64, spec: &GpuSpec) -> f64 {
     let mut gpu = Gpu::new(spec.clone(), HostCosts::free());
-    let ctx = gpu.create_context(CtxKind::Default).expect("ctx");
-    let q1 = gpu.create_queue(ctx).expect("q");
-    let q2 = gpu.create_queue(ctx).expect("q");
+    let ctx = crate::require_ok(gpu.create_context(CtxKind::Default), "create context");
+    let q1 = crate::require_ok(gpu.create_queue(ctx), "create queue");
+    let q2 = crate::require_ok(gpu.create_queue(ctx), "create queue");
     let base = SimDuration::from_micros(500);
     let half = spec.num_sms / 2;
-    let v = gpu
-        .launch(q1, micro::victim(base, half, victim_mem), 0)
-        .expect("launch");
-    gpu.launch(q2, micro::aggressor(half, aggressor_mem), 1)
-        .expect("launch");
+    let v = crate::require_ok(
+        gpu.launch(q1, micro::victim(base, half, victim_mem), 0),
+        "launch",
+    );
+    crate::require_ok(
+        gpu.launch(q2, micro::aggressor(half, aggressor_mem), 1),
+        "launch",
+    );
     while gpu.kernel_finished_at(v).is_none() {
         if gpu.step().is_none() && gpu.peek_event_time().is_none() {
             break;
         }
     }
-    let t = gpu.kernel_finished_at(v).expect("victim finished");
+    let t = crate::require(gpu.kernel_finished_at(v), "victim finished");
     t.duration_since(SimTime::ZERO).as_nanos() as f64 / base.as_nanos() as f64
 }
 
@@ -87,7 +90,7 @@ pub fn app_pair_slowdown(a: ModelKind, b: ModelKind, spec: &GpuSpec) -> f64 {
     let r = run_system(&System::Gslice, &ws, spec, SimTime::from_secs(60), None);
     let mut total = 0.0;
     for app in 0..2 {
-        let lat = r.log.stats(app).mean.expect("latency").as_nanos() as f64;
+        let lat = crate::require(r.log.stats(app).mean, "app ran").as_nanos() as f64;
         let iso = r.iso_targets[app].as_nanos() as f64;
         total += lat / iso - 1.0;
     }

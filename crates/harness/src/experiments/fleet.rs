@@ -1,0 +1,146 @@
+//! §4.2.2: multi-GPU fleet deployment.
+//!
+//! A central controller places eight tenants across a fleet of A100s and
+//! a replicated BLESS runtime serves each GPU, simulated on a worker
+//! pool. Under `--trace` every GPU's stream is exported as its own
+//! gpu-id-tagged Perfetto file and replayed through the
+//! [`metrics::TraceValidator`], extending the trace-driven invariant
+//! checks from single-GPU runs to the whole cluster.
+
+use bless::BlessParams;
+use cluster::{run_cluster_opts, ClusterOptions, ClusterRun};
+use dnn_models::{ModelKind, Phase};
+use gpu_sim::GpuSpec;
+use metrics::Table;
+use profiler::SharedProfile;
+use sim_core::{SimDuration, SimTime};
+use workloads::{ArrivalPattern, TenantSpec, WorkloadSet};
+
+use crate::{cache, tracectl};
+
+const TENANTS: [(ModelKind, f64); 8] = [
+    (ModelKind::Vgg11, 0.5),
+    (ModelKind::ResNet50, 0.5),
+    (ModelKind::ResNet101, 0.6),
+    (ModelKind::Bert, 0.4),
+    (ModelKind::NasNet, 0.7),
+    (ModelKind::ResNet50, 0.3),
+    (ModelKind::Bert, 0.5),
+    (ModelKind::Vgg11, 0.5),
+];
+
+/// Runs the eight-tenant fleet; trace capture follows the global
+/// `--trace` switch.
+pub fn fleet_run(fleet_size: usize, capture: bool) -> (GpuSpec, ClusterRun) {
+    let spec = GpuSpec::a100();
+    let tenants: Vec<TenantSpec> = TENANTS
+        .iter()
+        .map(|&(k, q)| {
+            TenantSpec::new(
+                cache::model(k, Phase::Inference),
+                q,
+                ArrivalPattern::ClosedLoop {
+                    think: SimDuration::from_millis(5),
+                    count: 6,
+                },
+            )
+        })
+        .collect();
+    let profiles: Vec<SharedProfile> = TENANTS
+        .iter()
+        .map(|&(k, _)| cache::profile(k, Phase::Inference, &spec))
+        .collect();
+    let ws = WorkloadSet { tenants, seed: 23 };
+    let run = run_cluster_opts(
+        &ws,
+        profiles,
+        fleet_size,
+        &spec,
+        &BlessParams::default(),
+        SimTime::from_secs(120),
+        &ClusterOptions {
+            capture_trace: capture,
+            ..ClusterOptions::default()
+        },
+    )
+    .unwrap_or_else(|e| panic!("fleet placement failed: {e}"));
+    (spec, run)
+}
+
+/// Regenerates the fleet-deployment table; under `--trace`, also exports
+/// and validates one trace per GPU.
+pub fn run() -> Vec<Table> {
+    let capture = tracectl::enabled();
+    let (spec, run) = fleet_run(5, capture);
+
+    if capture {
+        for g in &run.gpus {
+            // One Perfetto file per device, tagged by gpu id; validation
+            // replays each GPU's stream against the structural invariants.
+            tracectl::export_and_validate(&format!("gpu{}", g.gpu), spec.num_sms, None, &g.trace);
+        }
+    }
+
+    let mut placement = Table::new(
+        "§4.2.2: placement (8 tenants, fleet of 5 A100s)",
+        &["tenant", "model", "quota", "gpu", "mean ms"],
+    );
+    for (t, &(k, q)) in TENANTS.iter().enumerate() {
+        placement.row(&[
+            t.to_string(),
+            k.full_name().to_string(),
+            format!("{:.0}%", q * 100.0),
+            run.placement.assignments[t].to_string(),
+            format!("{:.2}", run.tenant_mean_ms(t).unwrap_or(f64::NAN)),
+        ]);
+    }
+
+    let mut per_gpu = Table::new(
+        "§4.2.2: per-GPU runtimes (replicated BLESS, parallel simulation)",
+        &["gpu", "tenants", "outcome", "utilization"],
+    );
+    for g in &run.gpus {
+        per_gpu.row(&[
+            g.gpu.to_string(),
+            format!("{:?}", g.tenants),
+            format!("{:?}", g.outcome),
+            format!("{:.1}%", g.utilization * 100.0),
+        ]);
+    }
+    per_gpu.note("GPUs are simulated on a worker pool; output is byte-identical to sequential");
+    if capture {
+        per_gpu.note("per-GPU traces exported (gpu-id tagged) and validator-clean");
+    }
+    vec![placement, per_gpu]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metrics::{TraceValidator, ValidatorConfig};
+
+    #[test]
+    fn fleet_completes_and_every_tenant_is_served() {
+        let (_, run) = fleet_run(5, false);
+        assert!(run.all_completed());
+        for t in 0..TENANTS.len() {
+            let ms = run.tenant_mean_ms(t).expect("tenant served");
+            assert!(ms.is_finite() && ms > 0.0, "tenant {t}: {ms}");
+        }
+    }
+
+    #[test]
+    fn per_gpu_traces_are_validator_clean() {
+        let (spec, run) = fleet_run(5, true);
+        for g in &run.gpus {
+            assert!(!g.trace.is_empty(), "gpu {} captured nothing", g.gpu);
+            let report = TraceValidator::new(ValidatorConfig {
+                num_sms: spec.num_sms,
+                iso_targets: None,
+                fairness_spread: None,
+            })
+            .validate(&g.trace);
+            assert!(report.is_clean(), "gpu {}: {report:?}", g.gpu);
+        }
+    }
+}

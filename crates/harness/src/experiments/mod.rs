@@ -14,6 +14,7 @@ pub mod fig19;
 pub mod fig20;
 pub mod fig4b;
 pub mod fig9;
+pub mod fleet;
 pub mod graphs;
 pub mod overhead;
 pub mod predictor;
@@ -151,6 +152,12 @@ pub fn registry() -> Vec<Experiment> {
             id: "faults",
             describes: "robustness: deterministic fault matrix (stragglers, drift, crashes, DMA)",
             run: faults::run,
+        },
+        Experiment {
+            id: "fleet",
+            describes:
+                "§4.2.2: multi-GPU fleet (placement + replicated runtimes, parallel simulation)",
+            run: fleet::run,
         },
     ]
 }

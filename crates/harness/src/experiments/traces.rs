@@ -95,7 +95,7 @@ pub fn run() -> Vec<Table> {
                 )
             })
             .collect();
-        let bless = results.last().expect("BLESS").1;
+        let bless = crate::require(results.last(), "BLESS last").1;
         for (name, ms) in &results {
             let red = if name == "BLESS" {
                 "-".to_string()

@@ -16,3 +16,15 @@ pub mod tracectl;
 pub use runner::{
     deployment, run_custom, run_system, run_system_traced, run_validated, RunResult, System,
 };
+
+/// Unwraps an `Option` that an experiment's construction guarantees is
+/// `Some`, panicking with context otherwise (the crate denies bare
+/// `unwrap`/`expect`; experiment code has no caller to propagate to).
+pub(crate) fn require<T>(opt: Option<T>, what: &str) -> T {
+    opt.unwrap_or_else(|| panic!("{what}"))
+}
+
+/// [`require`] for `Result`s whose error means a broken experiment setup.
+pub(crate) fn require_ok<T, E: std::fmt::Debug>(res: Result<T, E>, what: &str) -> T {
+    res.unwrap_or_else(|e| panic!("{what}: {e:?}"))
+}

@@ -9,6 +9,8 @@ use bless::{DeployedApp, ExecConfig, Squad, SquadEntry};
 use gpu_sim::{CtxKind, Gpu, GpuSpec, HostCosts, InstState, KernelHandle};
 use sim_core::{SimDuration, SimTime};
 
+use crate::require_ok;
+
 /// How a squad is executed in the lab (Fig. 17's four schemes).
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum SquadScheme {
@@ -45,22 +47,22 @@ pub fn run_squad(
 
     match scheme {
         SquadScheme::Seq => {
-            let ctx = gpu.create_context(CtxKind::Default).expect("ctx");
-            let q = gpu.create_queue(ctx).expect("queue");
+            let ctx = require_ok(gpu.create_context(CtxKind::Default), "create context");
+            let q = require_ok(gpu.create_queue(ctx), "create queue");
             for e in &squad.entries {
                 for &k in &e.kernels {
                     let desc = apps[e.app].profile.kernels[k].clone();
-                    all_handles.push(gpu.launch(q, desc, 0).expect("launch"));
+                    all_handles.push(require_ok(gpu.launch(q, desc, 0), "launch"));
                 }
             }
         }
         SquadScheme::Nsp => {
             for e in &squad.entries {
-                let ctx = gpu.create_context(CtxKind::Default).expect("ctx");
-                let q = gpu.create_queue(ctx).expect("queue");
+                let ctx = require_ok(gpu.create_context(CtxKind::Default), "create context");
+                let q = require_ok(gpu.create_queue(ctx), "create queue");
                 for &k in &e.kernels {
                     let desc = apps[e.app].profile.kernels[k].clone();
-                    all_handles.push(gpu.launch(q, desc, 0).expect("launch"));
+                    all_handles.push(require_ok(gpu.launch(q, desc, 0), "launch"));
                 }
             }
         }
@@ -71,21 +73,20 @@ pub fn run_squad(
                 _ => unreachable!(),
             };
             for (i, e) in squad.entries.iter().enumerate() {
-                let cap = config
-                    .sm_cap(i, num_sms)
-                    .expect("SP schemes need an SP config")
+                let cap = crate::require(config.sm_cap(i, num_sms), "SP schemes need an SP config")
                     .max(1);
-                let rctx = gpu
-                    .create_context(CtxKind::MpsAffinity { sm_cap: cap })
-                    .expect("ctx");
-                let rq = gpu.create_queue(rctx).expect("queue");
-                let fctx = gpu.create_context(CtxKind::Default).expect("ctx");
-                let fq = gpu.create_queue(fctx).expect("queue");
+                let rctx = require_ok(
+                    gpu.create_context(CtxKind::MpsAffinity { sm_cap: cap }),
+                    "create context",
+                );
+                let rq = require_ok(gpu.create_queue(rctx), "create queue");
+                let fctx = require_ok(gpu.create_context(CtxKind::Default), "create context");
+                let fq = require_ok(gpu.create_queue(fctx), "create queue");
                 let split_at =
                     ((e.kernels.len() as f64 * split).ceil() as usize).min(e.kernels.len());
                 for &k in &e.kernels[..split_at] {
                     let desc = apps[e.app].profile.kernels[k].clone();
-                    all_handles.push(gpu.launch(rq, desc, 0).expect("launch"));
+                    all_handles.push(require_ok(gpu.launch(rq, desc, 0), "launch"));
                 }
                 let tail: Vec<(usize, usize)> =
                     e.kernels[split_at..].iter().map(|&k| (e.app, k)).collect();
@@ -121,7 +122,10 @@ pub fn run_squad(
                 let vacuum = gpu.costs().context_switch;
                 for &(app, k) in tail {
                     let desc = apps[app].profile.kernels[k].clone();
-                    all_handles.push(gpu.launch_delayed(*fq, desc, 0, vacuum).expect("launch"));
+                    all_handles.push(require_ok(
+                        gpu.launch_delayed(*fq, desc, 0, vacuum),
+                        "launch",
+                    ));
                 }
             }
         }

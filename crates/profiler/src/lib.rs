@@ -22,4 +22,4 @@ pub mod admission;
 pub mod profile;
 
 pub use admission::{admit, AdmissionError, AdmissionPolicy};
-pub use profile::{ProfiledApp, PARTITIONS};
+pub use profile::{ProfiledApp, SharedProfile, PARTITIONS};

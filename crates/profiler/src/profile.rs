@@ -8,6 +8,15 @@ use sim_core::{SimDuration, SimTime};
 /// A100, i.e. 6%, 12%, …, 100% of 108 SMs).
 pub const PARTITIONS: usize = 18;
 
+/// A cheaply clonable handle to an interned profile.
+///
+/// A [`ProfiledApp`] owns `N + 1` runs' worth of kernel tables (tens of
+/// kilobytes per application); deep-copying it per placement request and
+/// again per GPU deployment dominated fleet-setup cost. Placement, the
+/// per-GPU runtimes, and the experiment cache all share one table through
+/// this handle instead.
+pub type SharedProfile = std::sync::Arc<ProfiledApp>;
+
 /// The profiled data of one application (§4.2.1).
 #[derive(Clone, Debug)]
 pub struct ProfiledApp {
@@ -110,6 +119,13 @@ impl ProfiledApp {
             profile_cost,
             kernels: app.kernels.clone(),
         }
+    }
+
+    /// [`ProfiledApp::profile`] returning an interned [`SharedProfile`]
+    /// handle, ready to share across placement requests and deployments
+    /// without further deep copies.
+    pub fn profile_shared(app: &AppModel, spec: &GpuSpec) -> SharedProfile {
+        std::sync::Arc::new(ProfiledApp::profile(app, spec))
     }
 
     /// Number of kernels per request.

@@ -8,7 +8,7 @@ use bless::BlessParams;
 use cluster::run_cluster;
 use dnn_models::{AppModel, ModelKind, Phase};
 use gpu_sim::GpuSpec;
-use profiler::ProfiledApp;
+use profiler::{ProfiledApp, SharedProfile};
 use sim_core::SimTime;
 use workloads::{ArrivalPattern, TenantSpec, WorkloadSet};
 
@@ -24,9 +24,11 @@ fn main() {
     ];
 
     println!("profiling 6 tenants...");
-    let profiles: Vec<ProfiledApp> = tenants_spec
+    // Shared handles: placement and the per-GPU runtimes reference one
+    // interned kernel table per tenant instead of deep-copying it.
+    let profiles: Vec<SharedProfile> = tenants_spec
         .iter()
-        .map(|&(k, _)| ProfiledApp::profile(&AppModel::build(k, Phase::Inference), &spec))
+        .map(|&(k, _)| ProfiledApp::profile_shared(&AppModel::build(k, Phase::Inference), &spec))
         .collect();
 
     let tenants: Vec<TenantSpec> = tenants_spec

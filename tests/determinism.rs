@@ -179,6 +179,84 @@ fn none_plan_is_byte_identical_to_no_plan() {
     assert_eq!(counters, gpu_sim::FaultCounters::default());
 }
 
+/// The parallel fleet runner is a pure reordering of the sequential one:
+/// at a fixed seed, every GPU's request-log digest and trace-stream digest
+/// must be byte-identical between the two, worker pool or not.
+#[test]
+fn cluster_parallel_matches_sequential_byte_for_byte() {
+    use cluster::{run_cluster_opts, ClusterOptions};
+    use workloads::{ArrivalPattern, TenantSpec};
+
+    let spec = GpuSpec::a100();
+    let kinds = [
+        ModelKind::Vgg11,
+        ModelKind::ResNet50,
+        ModelKind::ResNet101,
+        ModelKind::Bert,
+    ];
+    let tenants: Vec<TenantSpec> = (0..8)
+        .map(|i| {
+            TenantSpec::new(
+                cache::model(kinds[i % kinds.len()], Phase::Inference),
+                0.5,
+                ArrivalPattern::ClosedLoop {
+                    think: SimDuration::from_millis(10),
+                    count: 4,
+                },
+            )
+        })
+        .collect();
+    let profiles: Vec<_> = (0..8)
+        .map(|i| cache::profile(kinds[i % kinds.len()], Phase::Inference, &spec))
+        .collect();
+    let ws = WorkloadSet { tenants, seed: 42 };
+    let params = bless::BlessParams::default();
+    let horizon = SimTime::from_secs(120);
+
+    // Force a real worker pool on the parallel side — on a single-core
+    // host the auto-sized pool would degrade to the sequential loop and
+    // the differential would compare it to itself.
+    let par_opts = ClusterOptions {
+        capture_trace: true,
+        workers: Some(3),
+        ..ClusterOptions::default()
+    };
+    let seq_opts = ClusterOptions {
+        parallel: false,
+        capture_trace: true,
+        ..ClusterOptions::default()
+    };
+    let par =
+        run_cluster_opts(&ws, profiles.clone(), 8, &spec, &params, horizon, &par_opts).unwrap();
+    let seq = run_cluster_opts(&ws, profiles, 8, &spec, &params, horizon, &seq_opts).unwrap();
+
+    assert_eq!(par.placement, seq.placement);
+    assert!(par.placement.gpus_used > 1, "fixture must span GPUs");
+    for (p, s) in par.gpus.iter().zip(&seq.gpus) {
+        assert_eq!(p.gpu, s.gpu);
+        let (pd, sd) = (digest(&log_pairs(&p.log)), digest(&log_pairs(&s.log)));
+        assert_eq!(pd, sd, "gpu {}: request-log digest diverged", p.gpu);
+        // Trace streams compared as serialized bytes, like the golden
+        // trace: any reordering or payload drift shows up here.
+        let (pt, st) = (
+            fnv_bytes(sim_core::trace::to_jsonl(&p.trace).as_bytes()),
+            fnv_bytes(sim_core::trace::to_jsonl(&s.trace).as_bytes()),
+        );
+        assert_eq!(pt, st, "gpu {}: trace digest diverged", p.gpu);
+        assert!(!p.trace.is_empty(), "gpu {} captured no events", p.gpu);
+    }
+}
+
+/// FNV-1a over raw bytes (the request-log [`digest`] works on pairs).
+fn fnv_bytes(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
 #[test]
 fn model_generation_is_stable_across_calls() {
     // The model zoo must be a pure function of (kind, phase).

@@ -69,11 +69,11 @@ const BLOCK: usize = 8192;
 /// Regenerate with:
 /// `cargo test --test trace_invariants -- --ignored print_golden_trace_digests --nocapture`
 const GOLDEN_EVENTS: usize = 27735;
-const GOLDEN_TRACE: u64 = 0xca02236ba4957bd8;
+const GOLDEN_TRACE: u64 = 0x57241a777434abe1;
 const GOLDEN_BLOCKS: &[u64] = &[
-    0x6e018af9a6970767,
-    0x77832964a7271161,
-    0x5092751d72d91f8a,
+    0xef5614e89cdc6bed,
+    0x8ad1da39db92801d,
+    0x69ce9a2db228c04f,
     0xfb9c4752361e830f,
 ];
 
