@@ -12,6 +12,26 @@ pub use gpu_sim::{decode_tag as untag, encode_tag as tag_of};
 /// controller consumes.
 pub use workloads::encode_notice as workload_notice;
 
+/// Unwraps a GPU operation that can only fail on operator error (bad
+/// deployment, dead context): baselines fail fast with a message instead
+/// of degrading (the BLESS driver's richer error handling lives in
+/// `bless::runtime`).
+pub fn must<T, E: std::fmt::Display>(r: Result<T, E>, what: &str) -> T {
+    match r {
+        Ok(v) => v,
+        Err(e) => panic!("baseline driver invariant violated ({what}): {e}"),
+    }
+}
+
+/// Unwraps a driver-state invariant (e.g. a completion implies an
+/// in-flight request); a `None` here is a scheduling-logic bug.
+pub fn must_some<T>(o: Option<T>, what: &str) -> T {
+    match o {
+        Some(v) => v,
+        None => panic!("baseline driver invariant violated: {what}"),
+    }
+}
+
 /// Tracks whole requests launched asynchronously (UNBOUND/GSLICE/MIG
 /// style): each app has a FIFO of in-flight requests with remaining kernel
 /// counts; kernels of one app complete in queue order.
@@ -38,12 +58,13 @@ impl InflightTracker {
     /// Records one kernel completion of `app`; returns the request id if
     /// that request just finished.
     pub fn kernel_done(&mut self, app: usize) -> Option<usize> {
-        let front = self.per_app[app]
-            .front_mut()
-            .expect("completion without in-flight request");
+        let front = must_some(
+            self.per_app[app].front_mut(),
+            "completion without in-flight request",
+        );
         front.1 -= 1;
         if front.1 == 0 {
-            Some(self.per_app[app].pop_front().expect("front exists").0)
+            self.per_app[app].pop_front().map(|(req, _)| req)
         } else {
             None
         }
@@ -141,13 +162,16 @@ impl TenantStates {
         at: SimTime,
     ) -> bool {
         let total = self.kernel_totals[app];
-        let act = self.active[app].as_mut().expect("active request");
+        let act = must_some(
+            self.active[app].as_mut(),
+            "completion without active request",
+        );
         debug_assert_eq!(act.next_kernel, kernel, "kernels complete in order");
         act.next_kernel = kernel + 1;
         if act.next_kernel < total {
             return false;
         }
-        let done = self.active[app].take().expect("active");
+        let done = must_some(self.active[app].take(), "active request just observed");
         self.log.completed(app, done.req, at);
         gpu.post_notice(workload_notice(app, done.req));
         if let Some(next) = self.queues[app].pop_front() {

@@ -16,7 +16,7 @@
 
 use gpu_sim::{CtxId, CtxKind, Gpu, HostDriver, KernelDone, QueueId, RequestArrival};
 
-use crate::common::{tag_of, untag, TenantStates};
+use crate::common::{must, must_some, tag_of, untag, TenantStates};
 use bless::DeployedApp;
 
 /// Wake token for deferred batch scheduling.
@@ -73,13 +73,13 @@ impl ReefPlusDriver {
         // quota slices).
         let cap = (gpu.spec().num_sms / active.len() as u32).max(1);
         for &app in &active {
-            gpu.set_mps_cap(self.ctxs[app], cap).expect("cap");
+            must(gpu.set_mps_cap(self.ctxs[app], cap), "cap");
         }
 
         // Round-robin kernel selection up to the batch size.
         let mut pointers: Vec<usize> = active
             .iter()
-            .map(|&a| self.tenants.active[a].expect("work").next_kernel)
+            .map(|&a| must_some(self.tenants.active[a], "active tenant has work").next_kernel)
             .collect();
         let mut launched = 0usize;
         let mut progressed = true;
@@ -92,8 +92,7 @@ impl ReefPlusDriver {
                 }
                 let k = pointers[i];
                 let desc = self.apps[app].profile.kernels[k].clone();
-                gpu.launch(self.queues[app], desc, tag_of(app, k))
-                    .expect("launch");
+                must(gpu.launch(self.queues[app], desc, tag_of(app, k)), "launch");
                 pointers[i] += 1;
                 launched += 1;
                 progressed = true;
@@ -111,15 +110,15 @@ impl ReefPlusDriver {
 impl HostDriver for ReefPlusDriver {
     fn on_start(&mut self, gpu: &mut Gpu) {
         for app in &self.apps {
-            gpu.alloc_memory(app.profile.memory_mib)
-                .expect("deployment fits");
-            let ctx = gpu
-                .create_context(CtxKind::MpsAffinity {
+            must(gpu.alloc_memory(app.profile.memory_mib), "deployment fits");
+            let ctx = must(
+                gpu.create_context(CtxKind::MpsAffinity {
                     sm_cap: gpu.spec().num_sms,
-                })
-                .expect("ctx");
+                }),
+                "ctx",
+            );
             self.ctxs.push(ctx);
-            self.queues.push(gpu.create_queue(ctx).expect("queue"));
+            self.queues.push(must(gpu.create_queue(ctx), "queue"));
         }
     }
 

@@ -20,7 +20,7 @@
 use gpu_sim::{CtxKind, Gpu, HostDriver, KernelDone, QueueId, RequestArrival};
 use sim_core::SimDuration;
 
-use crate::common::{tag_of, untag, InflightTracker};
+use crate::common::{must, tag_of, untag, InflightTracker};
 use bless::DeployedApp;
 use metrics::RequestLog;
 
@@ -107,11 +107,10 @@ impl HostDriver for StaticShareDriver {
                     slice_mib
                 );
             } else {
-                gpu.alloc_memory(app.profile.memory_mib)
-                    .expect("deployment fits");
+                must(gpu.alloc_memory(app.profile.memory_mib), "deployment fits");
             }
-            let ctx = gpu.create_context(kind).expect("context");
-            self.queues.push(gpu.create_queue(ctx).expect("queue"));
+            let ctx = must(gpu.create_context(kind), "context");
+            self.queues.push(must(gpu.create_queue(ctx), "queue"));
         }
     }
 
@@ -125,8 +124,10 @@ impl HostDriver for StaticShareDriver {
             self.stagger[req.app]
         };
         for (i, k) in kernels.iter().enumerate() {
-            gpu.launch_delayed(self.queues[req.app], k.clone(), tag_of(req.app, i), extra)
-                .expect("launch");
+            must(
+                gpu.launch_delayed(self.queues[req.app], k.clone(), tag_of(req.app, i), extra),
+                "launch",
+            );
         }
         self.inflight.launched(req.app, req.req, kernels.len());
     }

@@ -12,7 +12,7 @@
 use gpu_sim::{CtxKind, Gpu, HostDriver, KernelDone, QueueId, RequestArrival};
 use sim_core::SimDuration;
 
-use crate::common::{tag_of, untag, TenantStates};
+use crate::common::{must, must_some, tag_of, untag, TenantStates};
 use bless::DeployedApp;
 use profiler::PARTITIONS;
 
@@ -133,13 +133,13 @@ impl TemporalDriver {
         // may overrun).
         let budget = remaining;
         let total = self.tenants.kernel_total(app);
-        let start_kernel = self.tenants.active[app].expect("has work").next_kernel;
+        let start_kernel =
+            must_some(self.tenants.active[app], "scheduled tenant has work").next_kernel;
         let mut used = SimDuration::ZERO;
         let mut launched = 0usize;
         for k in start_kernel..total {
             let desc = self.apps[app].profile.kernels[k].clone();
-            gpu.launch(self.queues[app], desc, tag_of(app, k))
-                .expect("launch");
+            must(gpu.launch(self.queues[app], desc, tag_of(app, k)), "launch");
             used += self.apps[app].profile.kernel_duration(PARTITIONS - 1, k);
             launched += 1;
             if used >= budget {
@@ -154,10 +154,9 @@ impl TemporalDriver {
 impl HostDriver for TemporalDriver {
     fn on_start(&mut self, gpu: &mut Gpu) {
         for app in &self.apps {
-            gpu.alloc_memory(app.profile.memory_mib)
-                .expect("deployment fits");
-            let ctx = gpu.create_context(CtxKind::Default).expect("ctx");
-            self.queues.push(gpu.create_queue(ctx).expect("queue"));
+            must(gpu.alloc_memory(app.profile.memory_mib), "deployment fits");
+            let ctx = must(gpu.create_context(CtxKind::Default), "ctx");
+            self.queues.push(must(gpu.create_queue(ctx), "queue"));
         }
     }
 

@@ -17,7 +17,7 @@ use std::collections::VecDeque;
 use gpu_sim::{CtxKind, Gpu, HostDriver, KernelDone, QueueId, RequestArrival};
 use sim_core::SimDuration;
 
-use crate::common::{tag_of, untag, workload_notice, InflightTracker};
+use crate::common::{must, tag_of, untag, workload_notice, InflightTracker};
 use bless::DeployedApp;
 use metrics::RequestLog;
 
@@ -109,8 +109,10 @@ impl ZicoDriver {
             let total = self.apps[app].profile.kernels.len();
             for i in 0..total {
                 let k = self.apps[app].profile.kernels[i].clone();
-                gpu.launch_delayed(self.queues[app], k, tag_of(app, i), extra)
-                    .expect("launch");
+                must(
+                    gpu.launch_delayed(self.queues[app], k, tag_of(app, i), extra),
+                    "launch",
+                );
             }
             self.inflight.launched(app, req, total);
             self.launched[app] += 1;
@@ -121,10 +123,9 @@ impl ZicoDriver {
 impl HostDriver for ZicoDriver {
     fn on_start(&mut self, gpu: &mut Gpu) {
         for app in &self.apps {
-            gpu.alloc_memory(app.profile.memory_mib)
-                .expect("deployment fits");
-            let ctx = gpu.create_context(CtxKind::Default).expect("ctx");
-            self.queues.push(gpu.create_queue(ctx).expect("queue"));
+            must(gpu.alloc_memory(app.profile.memory_mib), "deployment fits");
+            let ctx = must(gpu.create_context(CtxKind::Default), "ctx");
+            self.queues.push(must(gpu.create_queue(ctx), "queue"));
         }
     }
 

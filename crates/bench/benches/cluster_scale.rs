@@ -206,13 +206,25 @@ fn write_json(fleet: &[FleetRow], det: &[DeterminerRow]) {
     out.push_str("  \"regenerate\": \"cargo bench --bench cluster_scale\",\n");
     out.push_str(&format!("  \"quick\": {},\n", quick()));
     out.push_str(&format!("  \"workers\": {workers},\n"));
+    if workers == 1 {
+        // A single-worker "parallel" run is just the sequential path with
+        // thread-pool overhead: labelling its ratio as a speedup would
+        // misrepresent the machine. The rows still carry both timings.
+        out.push_str(
+            "  \"note\": \"single worker: par_ms is not a parallel baseline, speedup omitted\",\n",
+        );
+    }
     out.push_str("  \"fleet\": [\n");
     for (i, r) in fleet.iter().enumerate() {
-        let speedup = r.seq_ms / r.par_ms;
+        let speedup = if workers > 1 {
+            format!("{:.2}", r.seq_ms / r.par_ms)
+        } else {
+            "null".to_string()
+        };
         let gps = r.gpus as f64 / (r.par_ms / 1e3);
         out.push_str(&format!(
             "    {{\"gpus\": {}, \"tenants\": {}, \"seq_ms\": {:.3}, \"par_ms\": {:.3}, \
-             \"speedup\": {:.2}, \"gpus_per_sec\": {:.1}}}{}\n",
+             \"speedup\": {}, \"gpus_per_sec\": {:.1}}}{}\n",
             r.gpus,
             r.tenants,
             r.seq_ms,

@@ -40,6 +40,32 @@ fn drain_kernels(n: usize, recycle: bool) {
     black_box(gpu.now());
 }
 
+/// The same hot loop driven by table reference: the descriptor is
+/// registered once and every launch passes `(table, index)` — the
+/// steady-state path BLESS uses, with no per-launch descriptor values
+/// constructed at all.
+fn drain_kernels_table(n: usize) {
+    let mut gpu = Gpu::new(GpuSpec::a100(), HostCosts::free());
+    gpu.set_slot_recycling(true);
+    let queues: Vec<_> = (0..2)
+        .map(|_| {
+            let ctx = gpu.create_context(CtxKind::Default).unwrap();
+            gpu.create_queue(ctx).unwrap()
+        })
+        .collect();
+    let desc = KernelDesc::compute("k", SimDuration::from_micros(5), 54, 0.2);
+    let table = gpu.register_kernel_table(vec![desc].into());
+    for i in 0..n {
+        let q = queues[i % queues.len()];
+        gpu.launch_table(q, table, 0, i as u64).unwrap();
+        if i % 8 == 7 {
+            gpu.drain();
+        }
+    }
+    gpu.drain();
+    black_box(gpu.now());
+}
+
 fn bench(c: &mut Criterion) {
     warm_profiles();
     let mut g = c.benchmark_group("engine_throughput");
@@ -48,6 +74,9 @@ fn bench(c: &mut Criterion) {
     });
     g.bench_function("drain_10k_kernels_no_recycle", |b| {
         b.iter(|| drain_kernels(10_000, false))
+    });
+    g.bench_function("drain_10k_kernels_table", |b| {
+        b.iter(|| drain_kernels_table(10_000))
     });
     g.finish();
 

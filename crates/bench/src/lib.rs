@@ -10,6 +10,76 @@ use harness::runner::{run_system, RunResult, System};
 use sim_core::SimTime;
 use workloads::{pair_workload, PaperWorkload, WorkloadSet};
 
+/// Counting global allocator for the allocation-regression gate
+/// (`cargo bench --bench alloc_stats --features count-alloc`). Every heap
+/// allocation bumps a relaxed atomic; the `alloc_stats` bench reads the
+/// counter around a steady-state window to compute allocations per
+/// simulated kernel. Behind a feature so ordinary builds and benches keep
+/// the system allocator untouched.
+#[cfg(feature = "count-alloc")]
+mod counting_alloc {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    pub static ALLOCS: AtomicU64 = AtomicU64::new(0);
+    pub static BYTES: AtomicU64 = AtomicU64::new(0);
+
+    struct CountingAlloc;
+
+    // SAFETY: delegates verbatim to `System`; the counters are
+    // observational and touch no allocator state.
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+            unsafe { System.alloc(layout) }
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            unsafe { System.dealloc(ptr, layout) }
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            // A grow-in-place still traverses the allocator; count it.
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+            unsafe { System.realloc(ptr, layout, new_size) }
+        }
+    }
+
+    #[global_allocator]
+    static GLOBAL: CountingAlloc = CountingAlloc;
+}
+
+/// True when the counting allocator is installed (`count-alloc` feature).
+pub fn alloc_counting_enabled() -> bool {
+    cfg!(feature = "count-alloc")
+}
+
+/// Total heap allocations since process start (0 without `count-alloc`).
+pub fn alloc_count() -> u64 {
+    #[cfg(feature = "count-alloc")]
+    {
+        counting_alloc::ALLOCS.load(std::sync::atomic::Ordering::Relaxed)
+    }
+    #[cfg(not(feature = "count-alloc"))]
+    {
+        0
+    }
+}
+
+/// Total bytes requested from the allocator (0 without `count-alloc`).
+pub fn alloc_bytes() -> u64 {
+    #[cfg(feature = "count-alloc")]
+    {
+        counting_alloc::BYTES.load(std::sync::atomic::Ordering::Relaxed)
+    }
+    #[cfg(not(feature = "count-alloc"))]
+    {
+        0
+    }
+}
+
 /// A small pair workload shared by several benches.
 pub fn small_pair(a: ModelKind, b: ModelKind, load: PaperWorkload, requests: usize) -> WorkloadSet {
     pair_workload(

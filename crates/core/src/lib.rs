@@ -63,4 +63,6 @@ pub use predict::{
     predict_interference_free, predict_workload_equivalence, ConfigChoice, ConfigMemo, ExecConfig,
 };
 pub use runtime::{BlessDriver, SquadRecord};
-pub use squad::{generate_squad, ActiveRequest, Squad, SquadEntry};
+pub use squad::{
+    generate_squad, generate_squad_into, ActiveRequest, Squad, SquadEntry, SquadScratch,
+};

@@ -34,7 +34,8 @@ use crate::deploy::DeployedApp;
 use crate::error::SchedError;
 use crate::params::BlessParams;
 use crate::predict::{determine_config_memo, ConfigChoice, ConfigMemo, ExecConfig};
-use crate::squad::{generate_squad, scheduling_cost, ActiveRequest, Squad};
+use crate::squad::{generate_squad_into, scheduling_cost, ActiveRequest, Squad, SquadScratch};
+use gpu_sim::KernelTableId;
 
 // `PendingReq`/`ActiveReq` mirror `baselines::common`'s request-lifecycle
 // types. They cannot be shared: `baselines` depends on this crate, and the
@@ -61,14 +62,19 @@ struct ActiveReq {
 /// so that the squad can *drain* (stop feeding and end early) the moment a
 /// new tenant's request arrives — the paper's "shrink instantly, lazily
 /// wait for [launched kernels'] completion rather than preempting" (§3.3).
-#[derive(Clone, Debug)]
+/// Selected kernels are always a consecutive run of the app's trace
+/// (`first..first + count`), so the entry is a plain `Copy` range — no
+/// per-squad kernel list is allocated or cloned.
+#[derive(Clone, Copy, Debug)]
 struct EntryRun {
-    /// Selected kernel indices, in order.
-    kernels: Vec<usize>,
-    /// Kernels `[0, split_at)` go to the restricted context, the rest to
-    /// the unrestricted one (semi-SP).
+    /// First selected kernel index (into the app's kernel trace).
+    first: usize,
+    /// Number of selected kernels.
+    count: usize,
+    /// Kernels `[0, split_at)` (relative to `first`) go to the restricted
+    /// context, the rest to the unrestricted one (semi-SP).
     split_at: usize,
-    /// Next index into `kernels` to launch.
+    /// Next offset in `first..first + count` to launch.
     next_to_launch: usize,
     /// Launched but unfinished kernels.
     inflight: usize,
@@ -115,9 +121,25 @@ pub struct BlessDriver {
     queue_free: Vec<QueueId>,
     queue_restricted: Vec<QueueId>,
     ctx_restricted: Vec<CtxId>,
+    /// Per-app engine kernel table (the app's profiled trace, registered
+    /// in `on_start`); all steady-state launches go by `(table, index)`.
+    tables: Vec<KernelTableId>,
     task_queues: Vec<VecDeque<PendingReq>>,
     active: Vec<Option<ActiveReq>>,
     squad: Option<SquadState>,
+    /// Retired squad state recycled into the next launch (its `per_app`
+    /// and `sm_caps` buffers keep their capacity).
+    squad_pool: Option<SquadState>,
+    /// Scratch: active-request snapshot reused every scheduling round.
+    actives_buf: Vec<ActiveRequest>,
+    /// Scratch: squad generation buffers (candidates + spare kernel Vecs).
+    squad_scratch: SquadScratch,
+    /// Scratch: the squad being built/launched this round.
+    squad_buf: Squad,
+    /// Scratch: per-entry predicted totals for squad trimming.
+    totals_buf: Vec<f64>,
+    /// Scratch: crash-retry drain buffer (swapped with `pending_retry`).
+    retry_buf: Vec<(usize, QueueId)>,
     sched_pending: bool,
     last_squad_launch: SimTime,
     /// Total squads launched.
@@ -174,9 +196,16 @@ impl BlessDriver {
             queue_free: Vec::new(),
             queue_restricted: Vec::new(),
             ctx_restricted: Vec::new(),
+            tables: Vec::new(),
             task_queues: vec![VecDeque::new(); n],
             active: vec![None; n],
             squad: None,
+            squad_pool: None,
+            actives_buf: Vec::new(),
+            squad_scratch: SquadScratch::default(),
+            squad_buf: Squad::default(),
+            totals_buf: Vec::new(),
+            retry_buf: Vec::new(),
             sched_pending: false,
             last_squad_launch: SimTime::ZERO,
             squads_launched: 0,
@@ -233,18 +262,16 @@ impl BlessDriver {
             .push(DegradeTransition { at, app, from, to });
     }
 
-    fn active_requests(&self) -> Vec<ActiveRequest> {
-        self.active
-            .iter()
-            .enumerate()
-            .filter_map(|(app, a)| {
-                a.map(|a| ActiveRequest {
-                    app,
-                    arrival: a.arrival,
-                    next_kernel: a.next_kernel,
-                })
+    /// Fills `out` (cleared first) with a snapshot of the active requests.
+    fn fill_active_requests(&self, out: &mut Vec<ActiveRequest>) {
+        out.clear();
+        out.extend(self.active.iter().enumerate().filter_map(|(app, a)| {
+            a.map(|a| ActiveRequest {
+                app,
+                arrival: a.arrival,
+                next_kernel: a.next_kernel,
             })
-            .collect()
+        }));
     }
 
     /// Requests squad scheduling at the current instant, deferred through
@@ -258,45 +285,60 @@ impl BlessDriver {
         gpu.wake_at(gpu.now(), SCHED_WAKE_TOKEN);
     }
 
-    /// The active requests the next squad may draw from, honouring the
-    /// degradation ladder: an app demoted to pure temporal sharing only
-    /// runs solo, and only when it holds the earliest deadline
-    /// (arrival + SLO-or-ISO target) among all active requests.
-    fn schedulable_actives(&self) -> Vec<ActiveRequest> {
-        let active = self.active_requests();
-        if active.is_empty() || !self.degrade.contains(&ShareMode::Temporal) {
-            return active;
+    /// Fills `out` with the active requests the next squad may draw from,
+    /// honouring the degradation ladder: an app demoted to pure temporal
+    /// sharing only runs solo, and only when it holds the earliest
+    /// deadline (arrival + SLO-or-ISO target) among all active requests.
+    fn fill_schedulable_actives(&self, out: &mut Vec<ActiveRequest>) {
+        self.fill_active_requests(out);
+        if out.is_empty() || !self.degrade.contains(&ShareMode::Temporal) {
+            return;
         }
-        let urgent = active
+        let urgent = out
             .iter()
             .enumerate()
             .min_by_key(|(_, r)| r.arrival + self.apps[r.app].target_latency())
             .map(|(i, _)| i);
-        let Some(urgent) = urgent else { return active };
-        if self.degrade[active[urgent].app] == ShareMode::Temporal {
-            return vec![active[urgent].clone()];
+        let Some(urgent) = urgent else { return };
+        let urgent = out[urgent].clone();
+        if self.degrade[urgent.app] == ShareMode::Temporal {
+            out.clear();
+            out.push(urgent);
+            return;
         }
-        let rest: Vec<ActiveRequest> = active
-            .iter()
-            .filter(|r| self.degrade[r.app] != ShareMode::Temporal)
-            .cloned()
-            .collect();
-        if rest.is_empty() {
+        out.retain(|r| self.degrade[r.app] != ShareMode::Temporal);
+        if out.is_empty() {
             // Everyone is temporal-degraded: still serve the most urgent.
-            vec![active[urgent].clone()]
-        } else {
-            rest
+            out.push(urgent);
         }
     }
 
     fn schedule_squad(&mut self, gpu: &mut Gpu) {
         debug_assert!(self.squad.is_none());
-        let active = self.schedulable_actives();
+        // Scratch buffers are moved out for the duration of the round
+        // (`Vec::new`/`Default` placeholders allocate nothing) so `self`
+        // stays borrowable, and restored — with their capacity — at the
+        // end, making the whole round allocation-free in steady state.
+        let mut active = std::mem::take(&mut self.actives_buf);
+        self.fill_schedulable_actives(&mut active);
         if active.is_empty() {
+            self.actives_buf = active;
             return;
         }
-        let squad = generate_squad(gpu.now(), &active, &self.apps, &self.params);
+        let mut squad = std::mem::take(&mut self.squad_buf);
+        let mut scratch = std::mem::take(&mut self.squad_scratch);
+        generate_squad_into(
+            gpu.now(),
+            &active,
+            &self.apps,
+            &self.params,
+            &mut scratch,
+            &mut squad,
+        );
+        self.squad_scratch = scratch;
+        self.actives_buf = active;
         if squad.is_empty() {
+            self.squad_buf = squad;
             return;
         }
 
@@ -317,7 +359,7 @@ impl BlessDriver {
         // and are re-selected next squad. (The multi-task scheduler
         // compensates at fine granularity, §4.3.2; ending squads balanced
         // is what keeps the 20 µs squad switch the only boundary cost.)
-        let squad = self.trim_squad(squad, &choice.config, gpu.spec().num_sms);
+        self.trim_squad(&mut squad, &choice.config, gpu.spec().num_sms);
 
         // Pipeline the scheduling cost with the previous squad: the squad
         // may not launch before the background scheduler has spent its
@@ -330,27 +372,30 @@ impl BlessDriver {
         }
 
         self.launch_squad(gpu, &squad, &choice);
+        self.squad_buf = squad;
     }
 
     /// Trims each entry to roughly the predicted duration of the squad's
     /// shortest entry (+[`TRIM_TOLERANCE`]), so all entries finish
     /// near-simultaneously.
-    fn trim_squad(&self, mut squad: Squad, config: &ExecConfig, num_sms: u32) -> Squad {
+    fn trim_squad(&mut self, squad: &mut Squad, config: &ExecConfig, num_sms: u32) {
         if squad.entries.len() < 2 {
-            return squad;
+            return;
         }
         // Predicted per-kernel durations at the chosen configuration.
-        let kernel_dur = |entry_idx: usize, app: usize, k: usize| -> f64 {
-            self.apps[app]
+        let kernel_dur = |apps: &[DeployedApp], entry_idx: usize, app: usize, k: usize| -> f64 {
+            apps[app]
                 .predicted_kernel_duration(k, config.sm_cap(entry_idx, num_sms))
                 .as_nanos() as f64
         };
-        let totals: Vec<f64> = squad
-            .entries
-            .iter()
-            .enumerate()
-            .map(|(i, e)| e.kernels.iter().map(|&k| kernel_dur(i, e.app, k)).sum())
-            .collect();
+        let mut totals = std::mem::take(&mut self.totals_buf);
+        totals.clear();
+        totals.extend(squad.entries.iter().enumerate().map(|(i, e)| {
+            e.kernels
+                .iter()
+                .map(|&k| kernel_dur(&self.apps, i, e.app, k))
+                .sum::<f64>()
+        }));
         let target = totals.iter().cloned().fold(f64::MAX, f64::min) * TRIM_TOLERANCE;
         for (i, e) in squad.entries.iter_mut().enumerate() {
             if totals[i] <= target {
@@ -359,7 +404,7 @@ impl BlessDriver {
             let mut cum = 0.0;
             let mut keep = 0;
             for &k in &e.kernels {
-                cum += kernel_dur(i, e.app, k);
+                cum += kernel_dur(&self.apps, i, e.app, k);
                 keep += 1;
                 if cum > target {
                     break;
@@ -367,16 +412,28 @@ impl BlessDriver {
             }
             e.kernels.truncate(keep.max(1));
         }
-        squad
+        totals.clear();
+        self.totals_buf = totals;
     }
 
     fn launch_squad(&mut self, gpu: &mut Gpu, squad: &Squad, choice: &ConfigChoice) {
         let config = &choice.config;
         let num_sms = gpu.spec().num_sms;
-        let mut per_app: Vec<Option<EntryRun>> = vec![None; self.apps.len()];
+        // Recycle the retired squad's buffers instead of reallocating.
+        let mut state = self.squad_pool.take().unwrap_or_else(|| SquadState {
+            per_app: Vec::new(),
+            inflight_total: 0,
+            pending_total: 0,
+            draining: false,
+            launched_at: SimTime::ZERO,
+            spatial: false,
+            sm_caps: Vec::new(),
+        });
+        state.per_app.clear();
+        state.per_app.resize(self.apps.len(), None);
+        state.sm_caps.clear();
         let mut pending_total = 0usize;
         let spatial = matches!(config, ExecConfig::Sp { .. });
-        let mut sm_caps = Vec::new();
         let squad_id = self.squads_launched as u64;
         let mut trace_entries: Vec<TraceSquadEntry> = Vec::new();
 
@@ -396,7 +453,7 @@ impl BlessDriver {
             let split_at = match cap {
                 Some(cap_sms) => match gpu.set_mps_cap(self.ctx_restricted[app], cap_sms) {
                     Ok(()) => {
-                        sm_caps.push((app, cap_sms));
+                        state.sm_caps.push((app, cap_sms));
                         applied_cap = cap_sms;
                         if strict {
                             entry.kernels.len()
@@ -442,12 +499,25 @@ impl BlessDriver {
                 SimDuration::ZERO
             };
             pending_total += entry.kernels.len();
-            per_app[app] = Some(EntryRun {
+            // Squad selections are a consecutive run of the app's trace
+            // (the generator advances `next` one at a time), so a
+            // `(first, count)` range captures them without cloning.
+            let first = entry.kernels.first().copied().unwrap_or(0);
+            debug_assert!(
+                entry
+                    .kernels
+                    .iter()
+                    .enumerate()
+                    .all(|(i, &k)| k == first + i),
+                "squad entry kernels must be consecutive"
+            );
+            state.per_app[app] = Some(EntryRun {
                 head_remaining: split_at,
                 next_to_launch: 0,
                 inflight: 0,
                 tail_started: split_at == 0,
-                kernels: entry.kernels.clone(),
+                first,
+                count: entry.kernels.len(),
                 split_at,
                 predicted,
                 finished_at: None,
@@ -459,15 +529,12 @@ impl BlessDriver {
             self.sp_squads += 1;
         }
         self.last_squad_launch = gpu.now();
-        self.squad = Some(SquadState {
-            per_app,
-            inflight_total: 0,
-            pending_total,
-            draining: false,
-            launched_at: gpu.now(),
-            spatial,
-            sm_caps,
-        });
+        state.inflight_total = 0;
+        state.pending_total = pending_total;
+        state.draining = false;
+        state.launched_at = gpu.now();
+        state.spatial = spatial;
+        self.squad = Some(state);
 
         if gpu.tracing_enabled() {
             gpu.trace_emit(TraceEvent::ConfigChosen {
@@ -486,10 +553,10 @@ impl BlessDriver {
             });
         }
 
-        // Prime the launch windows.
-        let apps: Vec<usize> = squad.entries.iter().map(|e| e.app).collect();
-        for app in apps {
-            self.feed_entry(gpu, app);
+        // Prime the launch windows. (`squad` is the caller's buffer, not a
+        // borrow of `self`, so no app list needs collecting.)
+        for entry in &squad.entries {
+            self.feed_entry(gpu, entry.app);
         }
     }
 
@@ -510,7 +577,8 @@ impl BlessDriver {
             return;
         };
         let graph = self.params.graph_granularity.max(1);
-        while entry.inflight < window && entry.next_to_launch < entry.kernels.len() {
+        let table = self.tables[app];
+        while entry.inflight < window && entry.next_to_launch < entry.count {
             let idx = entry.next_to_launch;
             let in_head = idx < entry.split_at;
             // Semi-SP barrier: hold tail kernels until the head drains.
@@ -527,39 +595,35 @@ impl BlessDriver {
             };
             // One scheduling unit: a single kernel, or a CUDA graph of up
             // to `graph` consecutive kernels on the same queue side
-            // (launched with one API call, §6.10).
-            let phase_end = if in_head {
-                entry.split_at
-            } else {
-                entry.kernels.len()
-            };
+            // (launched with one API call, §6.10). The unit is a range of
+            // the app's registered kernel table — no descriptor list is
+            // built or cloned.
+            let phase_end = if in_head { entry.split_at } else { entry.count };
             let unit_end = (idx + graph).min(phase_end);
-            let group: Vec<(gpu_sim::KernelDesc, u64)> = entry.kernels[idx..unit_end]
-                .iter()
-                .map(|&k| (self.apps[app].profile.kernels[k].clone(), tag_of(app, k)))
-                .collect();
-            let launched = group.len();
+            let launched = unit_end - idx;
+            let base = entry.first;
             // The unit launches atomically: the only failure mode here is
             // a dead queue/context, which fails every call on it alike.
             let result: Result<(), gpu_sim::GpuError> = if launched == 1 {
-                match group.into_iter().next() {
-                    Some((desc, tag)) => gpu.launch_delayed(queue, desc, tag, extra).map(|_| ()),
-                    None => Ok(()),
-                }
+                let k = base + idx;
+                gpu.launch_table_delayed(queue, table, k, tag_of(app, k), extra)
+                    .map(|_| ())
             } else if extra.is_zero() {
-                gpu.launch_graph(queue, group).map(|_| ())
+                gpu.launch_table_graph(queue, table, base + idx..base + unit_end, |k| {
+                    tag_of(app, k)
+                })
             } else {
                 // The context-switch vacuum stalls only this queue: apply
                 // it to the unit's first kernel; the rest of the graph
                 // follows in FIFO order behind it.
-                let mut it = group.into_iter();
-                match it.next() {
-                    Some((desc, tag)) => gpu
-                        .launch_delayed(queue, desc, tag, extra)
-                        .map(|_| ())
-                        .and_then(|()| gpu.launch_graph(queue, it.collect()).map(|_| ())),
-                    None => Ok(()),
-                }
+                let k = base + idx;
+                gpu.launch_table_delayed(queue, table, k, tag_of(app, k), extra)
+                    .map(|_| ())
+                    .and_then(|()| {
+                        gpu.launch_table_graph(queue, table, base + idx + 1..base + unit_end, |k| {
+                            tag_of(app, k)
+                        })
+                    })
             };
             if let Err(e) = result {
                 launch_failed = Some(e.into());
@@ -612,10 +676,14 @@ impl BlessDriver {
     /// Kernels that fail to launch stay pending and another backoff wake
     /// is armed.
     fn flush_retries(&mut self, gpu: &mut Gpu, app: usize) {
-        let pending = std::mem::take(&mut self.pending_retry[app]);
-        for (kernel, queue) in pending {
-            let desc = self.apps[app].profile.kernels[kernel].clone();
-            match gpu.launch(queue, desc, tag_of(app, kernel)) {
+        // Drain into the reusable scratch buffer (both Vecs keep their
+        // capacity) so retry rounds allocate nothing in steady state.
+        let mut pending = std::mem::take(&mut self.retry_buf);
+        pending.clear();
+        pending.append(&mut self.pending_retry[app]);
+        let table = self.tables[app];
+        for &(kernel, queue) in &pending {
+            match gpu.launch_table(queue, table, kernel, tag_of(app, kernel)) {
                 Ok(_) => {
                     self.robustness.kernels_retried += 1;
                     self.outstanding_retried[app].push(kernel);
@@ -633,6 +701,8 @@ impl BlessDriver {
                 }
             }
         }
+        pending.clear();
+        self.retry_buf = pending;
         if !self.pending_retry[app].is_empty() {
             let exp = self.retry_streak[app].min(RETRY_BACKOFF_CAP);
             self.retry_streak[app] = self.retry_streak[app].saturating_add(1);
@@ -658,7 +728,7 @@ impl BlessDriver {
             };
             // Drained/partial entries and zero-prediction entries carry no
             // signal about profile drift.
-            let fully_ran = e.inflight == 0 && e.next_to_launch == e.kernels.len();
+            let fully_ran = e.inflight == 0 && e.next_to_launch == e.count;
             if !fully_ran || e.predicted.is_zero() {
                 continue;
             }
@@ -741,6 +811,11 @@ impl HostDriver for BlessDriver {
             self.queue_restricted
                 .push(must(gpu.create_queue(res_ctx), "queue"));
             self.ctx_restricted.push(res_ctx);
+            // Register the app's profiled kernel trace as an engine table:
+            // steady-state launches go by (table, index), never cloning
+            // descriptors driver-side.
+            self.tables
+                .push(gpu.register_kernel_table(app.profile.kernels.clone()));
         }
     }
 
@@ -831,9 +906,7 @@ impl HostDriver for BlessDriver {
         if entry.head_remaining > 0 {
             entry.head_remaining -= 1;
         }
-        if entry.inflight == 0
-            && entry.next_to_launch == entry.kernels.len()
-            && entry.finished_at.is_none()
+        if entry.inflight == 0 && entry.next_to_launch == entry.count && entry.finished_at.is_none()
         {
             entry.finished_at = Some(done.at);
         }
@@ -856,7 +929,7 @@ impl HostDriver for BlessDriver {
                         .per_app
                         .iter()
                         .enumerate()
-                        .filter_map(|(a, e)| e.as_ref().map(|e| (a, e.kernels.len())))
+                        .filter_map(|(a, e)| e.as_ref().map(|e| (a, e.count)))
                         .collect(),
                     spatial: finished.spatial,
                     sm_caps: finished.sm_caps.clone(),
@@ -873,6 +946,8 @@ impl HostDriver for BlessDriver {
                 }
             }
             self.watchdog_eval(gpu, &finished, done.at);
+            // Recycle the retired squad's buffers into the next launch.
+            self.squad_pool = Some(finished);
             // A crash-free squad boundary resets the backoff streak of
             // apps with nothing left to retry.
             for a in 0..self.apps.len() {

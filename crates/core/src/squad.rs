@@ -86,6 +86,32 @@ pub struct ActiveRequest {
     pub next_kernel: usize,
 }
 
+/// The scheduler's working view of one candidate request during squad
+/// generation. Selections are always consecutive (`start..next`), so the
+/// candidate carries a range, not a kernel list.
+struct Cand {
+    app: usize,
+    /// First kernel selected this round (the request's `next_kernel`).
+    start: usize,
+    next: usize,
+    total: usize,
+    /// Absolute quota deadline (arrival + target), ns.
+    deadline_ns: f64,
+    /// Remaining time at quota pace for the unscheduled suffix, ns
+    /// (updated tentatively as kernels are selected).
+    remaining_quota_ns: f64,
+}
+
+/// Reusable buffers for [`generate_squad_into`]: the candidate pool plus a
+/// spare-list of kernel `Vec`s recycled from previously emitted squads, so
+/// a driver that passes the same scratch every round generates squads with
+/// zero steady-state heap allocation.
+#[derive(Default)]
+pub struct SquadScratch {
+    cands: Vec<Cand>,
+    spare: Vec<Vec<usize>>,
+}
+
 /// Generates a kernel squad from the active requests (§4.3.2).
 ///
 /// `apps[i]` must hold the deployment data for application `i`. Generation
@@ -98,44 +124,57 @@ pub fn generate_squad(
     apps: &[DeployedApp],
     params: &BlessParams,
 ) -> Squad {
-    let now_ns = now.as_nanos() as f64;
-    let mut selections: Vec<Vec<usize>> = vec![Vec::new(); apps.len()];
-    struct Cand {
-        app: usize,
-        next: usize,
-        total: usize,
-        /// Absolute quota deadline (arrival + target), ns.
-        deadline_ns: f64,
-        /// Remaining time at quota pace for the unscheduled suffix, ns
-        /// (updated tentatively as kernels are selected).
-        remaining_quota_ns: f64,
+    let mut scratch = SquadScratch::default();
+    let mut out = Squad::default();
+    generate_squad_into(now, active, apps, params, &mut scratch, &mut out);
+    out
+}
+
+/// [`generate_squad`] writing into `out` and reusing `scratch`: `out`'s
+/// previous entries are recycled through the scratch's spare list, so the
+/// steady-state scheduling round allocates nothing. `active` must hold at
+/// most one request per application (the driver's invariant; entries are
+/// emitted in ascending application order either way).
+pub fn generate_squad_into(
+    now: SimTime,
+    active: &[ActiveRequest],
+    apps: &[DeployedApp],
+    params: &BlessParams,
+    scratch: &mut SquadScratch,
+    out: &mut Squad,
+) {
+    for mut e in out.entries.drain(..) {
+        e.kernels.clear();
+        scratch.spare.push(e.kernels);
     }
-    let mut cands: Vec<Cand> = active
-        .iter()
-        .filter_map(|r| {
-            let d = &apps[r.app];
-            let total = d.profile.kernel_count();
-            // Degenerate deployments (empty kernel trace) and requests
-            // past their last kernel have nothing to schedule.
-            if total == 0 || r.next_kernel >= total {
-                return None;
-            }
-            let stretch = d.schedule_stretch();
-            let tau_end = d.quota_tau(total - 1).as_nanos() as f64;
-            let tau_done = if r.next_kernel == 0 {
-                0.0
-            } else {
-                d.quota_tau(r.next_kernel - 1).as_nanos() as f64
-            };
-            Some(Cand {
-                app: r.app,
-                next: r.next_kernel,
-                total,
-                deadline_ns: r.arrival.as_nanos() as f64 + d.target_latency().as_nanos() as f64,
-                remaining_quota_ns: (tau_end - tau_done) * stretch,
-            })
-        })
-        .collect();
+
+    let now_ns = now.as_nanos() as f64;
+    let cands = &mut scratch.cands;
+    cands.clear();
+    for r in active {
+        let d = &apps[r.app];
+        let total = d.profile.kernel_count();
+        // Degenerate deployments (empty kernel trace) and requests past
+        // their last kernel have nothing to schedule.
+        if total == 0 || r.next_kernel >= total {
+            continue;
+        }
+        let stretch = d.schedule_stretch();
+        let tau_end = d.quota_tau(total - 1).as_nanos() as f64;
+        let tau_done = if r.next_kernel == 0 {
+            0.0
+        } else {
+            d.quota_tau(r.next_kernel - 1).as_nanos() as f64
+        };
+        cands.push(Cand {
+            app: r.app,
+            start: r.next_kernel,
+            next: r.next_kernel,
+            total,
+            deadline_ns: r.arrival.as_nanos() as f64 + d.target_latency().as_nanos() as f64,
+            remaining_quota_ns: (tau_end - tau_done) * stretch,
+        });
+    }
 
     // Safety factor on the quota-pace estimate: leaves headroom for
     // interference and squad-boundary granularity so that deprioritized
@@ -145,27 +184,34 @@ pub fn generate_squad(
     let mut count = 0usize;
     let mut rr_cursor = 0usize; // Round-robin cursor for the ablation mode.
     while count < params.max_kernels_per_squad {
-        let live: Vec<usize> = (0..cands.len())
-            .filter(|&i| cands[i].next < cands[i].total)
-            .collect();
-        if live.is_empty() {
+        // The live candidates are scanned in place, in candidate order —
+        // the same order the former materialized `live` list had, and
+        // `min_by` keeps the first minimum — so every pick below is
+        // identical to the list-building implementation.
+        let is_live = |c: &Cand| c.next < c.total;
+        let live_count = cands.iter().filter(|c| is_live(c)).count();
+        if live_count == 0 {
             break;
         }
 
         let pick = if params.disable_multitask {
             // Ablation: plain round-robin over live candidates.
-            let p = live[rr_cursor % live.len()];
+            let j = rr_cursor % live_count;
             rr_cursor += 1;
-            p
+            cands
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| is_live(c))
+                .nth(j)
+                .map(|(i, _)| i)
+                .unwrap_or(0)
         } else {
             let laxity = |c: &Cand| c.deadline_ns - now_ns - c.remaining_quota_ns * LAXITY_SAFETY;
             // Tier 1: lagging requests (negative laxity) first, the one
             // with the earliest deadline leading — the tightest guarantee
             // wins when several are behind schedule.
-            let at_risk = live
-                .iter()
-                .copied()
-                .filter(|&i| laxity(&cands[i]) < 0.0)
+            let at_risk = (0..cands.len())
+                .filter(|&i| is_live(&cands[i]) && laxity(&cands[i]) < 0.0)
                 .min_by(|&a, &b| {
                     cands[a]
                         .deadline_ns
@@ -175,17 +221,17 @@ pub fn generate_squad(
                 });
             // Tier 2: everyone safe — earliest deadline finishes first.
             at_risk.unwrap_or_else(|| {
-                live.iter()
-                    .copied()
+                (0..cands.len())
+                    .filter(|&i| is_live(&cands[i]))
                     .min_by(|&a, &b| {
                         cands[a]
                             .deadline_ns
                             .total_cmp(&cands[b].deadline_ns)
                             .then(cands[a].app.cmp(&cands[b].app))
                     })
-                    // `live` is non-empty (checked above); the fallback
+                    // Live candidates exist (checked above); the fallback
                     // only placates the no-panic lint.
-                    .unwrap_or(live[0])
+                    .unwrap_or(0)
             })
         };
 
@@ -199,7 +245,6 @@ pub fn generate_squad(
             if c.next >= c.total {
                 break;
             }
-            selections[c.app].push(c.next);
             c.remaining_quota_ns -= apps[c.app].quota_kernel_duration(c.next).as_nanos() as f64
                 * apps[c.app].schedule_stretch();
             c.next += 1;
@@ -214,13 +259,15 @@ pub fn generate_squad(
         }
     }
 
-    Squad {
-        entries: selections
-            .into_iter()
-            .enumerate()
-            .filter(|(_, ks)| !ks.is_empty())
-            .map(|(app, kernels)| SquadEntry { app, kernels })
-            .collect(),
+    // Emit non-empty selections in ascending app order (as the former
+    // per-app selection table did), recycling spare kernel Vecs.
+    for app in 0..apps.len() {
+        for c in cands.iter().filter(|c| c.app == app && c.next > c.start) {
+            let mut kernels = scratch.spare.pop().unwrap_or_default();
+            kernels.clear();
+            kernels.extend(c.start..c.next);
+            out.entries.push(SquadEntry { app, kernels });
+        }
     }
 }
 

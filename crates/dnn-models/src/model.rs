@@ -312,9 +312,9 @@ mod tests {
                 max_us = max_us.max(d);
             }
         }
-        assert!(min_us >= 2.0 && min_us <= 10.0, "min kernel {min_us:.1} µs");
+        assert!((2.0..=10.0).contains(&min_us), "min kernel {min_us:.1} µs");
         assert!(
-            max_us >= 1_000.0 && max_us <= 3_500.0,
+            (1_000.0..=3_500.0).contains(&max_us),
             "max kernel {max_us:.1} µs"
         );
     }

@@ -23,12 +23,13 @@
 //! per kernel than the kernels' device time starves the GPU).
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use sim_core::trace::{TraceEvent, TraceSink};
 use sim_core::{EventQueue, FaultPlan, SimDuration, SimTime};
 
 use crate::alloc::{allocate_sms_into, CtxGroup, KernelDemand};
-use crate::kernel::{KernelDesc, KernelKind};
+use crate::kernel::{KernelDesc, KernelKind, KernelTableId};
 use crate::spec::{GpuSpec, HostCosts, HwPolicy};
 
 /// Identifier of a GPU context.
@@ -332,6 +333,9 @@ pub struct Gpu {
     /// Scratch buffers reused across `reallocate` calls so the per-event
     /// hot path performs no heap allocation in steady state.
     scratch: ReallocScratch,
+    /// Interned kernel tables (see [`Gpu::register_kernel_table`]):
+    /// launch-by-index targets so steady-state launches clone nothing.
+    tables: Vec<Arc<[KernelDesc]>>,
 }
 
 /// Reusable buffers for [`Gpu::reallocate_scoped`] / `sticky_allocate`.
@@ -380,6 +384,7 @@ impl Gpu {
             trace: None,
             next_trace_seq: 1,
             scratch: ReallocScratch::default(),
+            tables: Vec::new(),
         }
     }
 
@@ -470,6 +475,16 @@ impl Gpu {
             .as_mut()
             .map(|f| std::mem::take(&mut f.failed))
             .unwrap_or_default()
+    }
+
+    /// Drains crash casualties into `buf` (cleared first), preserving both
+    /// buffers' capacity — the drain-into counterpart of
+    /// [`Gpu::take_failed`].
+    pub fn take_failed_into(&mut self, buf: &mut Vec<FailedKernel>) {
+        buf.clear();
+        if let Some(f) = self.fault.as_mut() {
+            buf.append(&mut f.failed);
+        }
     }
 
     /// Totals of faults injected so far (all zero without a plan).
@@ -823,6 +838,97 @@ impl Gpu {
         Ok(handles)
     }
 
+    /// Interns a kernel table: an `Arc` slice of descriptors (typically
+    /// one application's profiled kernel sequence) that subsequent
+    /// [`Gpu::launch_table`] / [`Gpu::launch_table_graph`] calls reference
+    /// by `(table, index)`. Registering costs one `Arc` refcount bump plus
+    /// a slot in the table registry; launching from a table then clones
+    /// nothing but the descriptor's interned `Arc<str>` name.
+    pub fn register_kernel_table(&mut self, table: Arc<[KernelDesc]>) -> KernelTableId {
+        debug_assert!(self.tables.len() < u32::MAX as usize);
+        self.tables.push(table);
+        KernelTableId((self.tables.len() - 1) as u32)
+    }
+
+    /// The descriptors behind a registered table.
+    pub fn kernel_table(&self, table: KernelTableId) -> Option<&[KernelDesc]> {
+        self.tables.get(table.0 as usize).map(|t| &t[..])
+    }
+
+    /// Looks up `table[index]`, or the reason it does not exist.
+    fn table_desc(&self, table: KernelTableId, index: usize) -> Result<&KernelDesc, GpuError> {
+        self.tables
+            .get(table.0 as usize)
+            .ok_or(GpuError::InvalidOperation("unknown kernel table"))?
+            .get(index)
+            .ok_or(GpuError::InvalidOperation("kernel index out of table"))
+    }
+
+    /// [`Gpu::launch`] addressing the kernel as `(table, index)`; exact
+    /// same host charge and device arrival as the by-value form.
+    pub fn launch_table(
+        &mut self,
+        queue: QueueId,
+        table: KernelTableId,
+        index: usize,
+        tag: u64,
+    ) -> Result<KernelHandle, GpuError> {
+        self.launch_table_delayed(queue, table, index, tag, SimDuration::ZERO)
+    }
+
+    /// [`Gpu::launch_delayed`] addressing the kernel as `(table, index)`.
+    pub fn launch_table_delayed(
+        &mut self,
+        queue: QueueId,
+        table: KernelTableId,
+        index: usize,
+        tag: u64,
+        extra: SimDuration,
+    ) -> Result<KernelHandle, GpuError> {
+        if queue.0 as usize >= self.queues.len() {
+            return Err(GpuError::UnknownQueue(queue));
+        }
+        let desc = self.table_desc(table, index)?.clone();
+        self.charge_host(self.costs.kernel_launch);
+        let arrive_at = (self.host_free + extra).max(self.queues[queue.0 as usize].last_arrival);
+        self.queues[queue.0 as usize].last_arrival = arrive_at;
+        Ok(self.enqueue_instance(queue, desc, tag, arrive_at))
+    }
+
+    /// [`Gpu::launch_graph`] addressing the group as `table[range]`, with
+    /// `tag_for(index)` supplying each kernel's tag. Identical host-charge
+    /// and arrival semantics — an empty range costs nothing, a non-empty
+    /// one costs a single launch overhead — but builds no group `Vec` and
+    /// returns no handle `Vec`, so the steady-state squad feed allocates
+    /// nothing.
+    pub fn launch_table_graph(
+        &mut self,
+        queue: QueueId,
+        table: KernelTableId,
+        range: std::ops::Range<usize>,
+        mut tag_for: impl FnMut(usize) -> u64,
+    ) -> Result<(), GpuError> {
+        if queue.0 as usize >= self.queues.len() {
+            return Err(GpuError::UnknownQueue(queue));
+        }
+        if range.is_empty() {
+            return Ok(());
+        }
+        // Validate the whole range up front so a partial group is never
+        // enqueued (matches `launch_graph`, which takes the group whole).
+        self.table_desc(table, range.end - 1)?;
+        self.charge_host(self.costs.kernel_launch);
+        let arrive_at = self
+            .host_free
+            .max(self.queues[queue.0 as usize].last_arrival);
+        self.queues[queue.0 as usize].last_arrival = arrive_at;
+        for index in range {
+            let desc = self.tables[table.0 as usize][index].clone();
+            self.enqueue_instance(queue, desc, tag_for(index), arrive_at);
+        }
+        Ok(())
+    }
+
     /// Posts a notice for the simulation loop (drivers use this to signal
     /// request completions to closed-loop workload clients).
     pub fn post_notice(&mut self, notice: u64) {
@@ -832,6 +938,15 @@ impl Gpu {
     /// Drains all posted notices (called by the simulation loop).
     pub fn drain_notices(&mut self) -> Vec<u64> {
         std::mem::take(&mut self.notices)
+    }
+
+    /// Drains all posted notices into `buf` (cleared first). Unlike
+    /// [`Gpu::drain_notices`], both the notice buffer and `buf` keep their
+    /// capacity, so a caller that reuses `buf` makes the notice path
+    /// allocation-free in steady state.
+    pub fn drain_notices_into(&mut self, buf: &mut Vec<u64>) {
+        buf.clear();
+        buf.append(&mut self.notices);
     }
 
     /// Requests a [`StepOutput::HostWake`] callback at `at`.

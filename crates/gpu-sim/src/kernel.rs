@@ -17,6 +17,16 @@ use std::sync::Arc;
 
 use sim_core::SimDuration;
 
+/// Identifier of a kernel table registered with
+/// [`crate::Gpu::register_kernel_table`]: an interned `Arc<[KernelDesc]>`
+/// (typically one application's profiled kernel sequence) that launch
+/// calls reference by `(table, index)` instead of passing descriptors by
+/// value. This keeps the steady-state launch path free of descriptor
+/// clones and of the per-group `Vec` that [`crate::Gpu::launch_graph`]
+/// requires.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct KernelTableId(pub u32);
+
 /// What a kernel does; determines which resource it occupies.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum KernelKind {

@@ -45,7 +45,7 @@ pub use engine::{
     CtxId, CtxKind, FailedKernel, FaultCounters, Gpu, GpuError, InstState, KernelHandle, QueueId,
     StepOutput, TimelineSegment,
 };
-pub use kernel::{KernelDesc, KernelKind};
+pub use kernel::{KernelDesc, KernelKind, KernelTableId};
 pub use sim::{
     decode_tag, encode_tag, HostDriver, KernelDone, NoticeHandler, RequestArrival, RunOutcome,
     Simulation,

@@ -119,6 +119,11 @@ pub struct Simulation<D: HostDriver> {
     notice_handler: Option<NoticeHandler>,
     max_events: u64,
     started: bool,
+    /// Scratch: driver notices drained here each callback round, so the
+    /// loop allocates nothing in steady state.
+    notice_buf: Vec<u64>,
+    /// Scratch: crashed-kernel casualties drained here per crash event.
+    failed_buf: Vec<FailedKernel>,
 }
 
 impl<D: HostDriver> Simulation<D> {
@@ -140,6 +145,8 @@ impl<D: HostDriver> Simulation<D> {
             notice_handler: None,
             max_events: 200_000_000,
             started: false,
+            notice_buf: Vec::new(),
+            failed_buf: Vec::new(),
         }
     }
 
@@ -164,13 +171,17 @@ impl<D: HostDriver> Simulation<D> {
     }
 
     fn process_notices(&mut self) {
-        let notices = self.gpu.drain_notices();
+        // Drain into the reusable scratch buffer (taken out for the loop so
+        // `self` stays borrowable); both Vecs keep their capacity.
+        let mut notices = std::mem::take(&mut self.notice_buf);
+        self.gpu.drain_notices_into(&mut notices);
         if notices.is_empty() {
+            self.notice_buf = notices;
             return;
         }
         let now = self.gpu.now();
         if let Some(handler) = &mut self.notice_handler {
-            for n in notices {
+            for &n in &notices {
                 if let Some(arrival) = handler(n, now) {
                     debug_assert!(arrival.at >= now, "cannot inject an arrival in the past");
                     self.arrivals.push(arrival.at.max(now), arrival);
@@ -178,6 +189,8 @@ impl<D: HostDriver> Simulation<D> {
                 }
             }
         }
+        notices.clear();
+        self.notice_buf = notices;
     }
 
     /// Runs until all arrivals are delivered and the device is idle, or
@@ -253,8 +266,11 @@ impl<D: HostDriver> Simulation<D> {
                     self.process_notices();
                 }
                 Some(StepOutput::ContextCrash { app }) => {
-                    let failed = self.gpu.take_failed();
+                    let mut failed = std::mem::take(&mut self.failed_buf);
+                    self.gpu.take_failed_into(&mut failed);
                     self.driver.on_crash(&mut self.gpu, app, &failed);
+                    failed.clear();
+                    self.failed_buf = failed;
                     self.process_notices();
                 }
                 None => {} // Stale completion; keep going.

@@ -151,3 +151,144 @@ proptest! {
             "partition B: {db} vs {:?}", expect(sms_b));
     }
 }
+
+// ----------------------------------------------------------------------
+// Slot recycling, handle generations, and the drain-into scratch APIs
+// (the zero-allocation steady-state machinery).
+// ----------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// With slot recycling on, a retired kernel's slot may be reused by a
+    /// later launch — but the stale handle must never alias the new
+    /// instance: it keeps reporting `Done`, and its timestamps are either
+    /// its own or gone (`None`), never the new kernel's.
+    #[test]
+    fn prop_recycled_slots_invalidate_stale_handles(
+        first in proptest::collection::vec(arb_kernel(), 1..16),
+        second in proptest::collection::vec(arb_kernel(), 1..16),
+    ) {
+        let mut gpu = Gpu::new(GpuSpec::a100(), HostCosts::free());
+        gpu.set_slot_recycling(true);
+        let ctx = gpu.create_context(CtxKind::Default).unwrap();
+        let q = gpu.create_queue(ctx).unwrap();
+        let launch = |gpu: &mut Gpu, ks: &[(u64, u32, f64)], base: u64| {
+            ks.iter()
+                .enumerate()
+                .map(|(i, &(us, sms, mem))| {
+                    let k = KernelDesc::compute(
+                        "k", SimDuration::from_micros(us), sms, mem);
+                    gpu.launch(q, k, base + i as u64).unwrap()
+                })
+                .collect::<Vec<_>>()
+        };
+        let h1 = launch(&mut gpu, &first, 0);
+        gpu.drain();
+        // With recycling on, a completed kernel's slot is freed (and the
+        // handle turned stale) immediately: `Done` is reported and the
+        // timestamps are dropped with the slot.
+        let finished: Vec<_> = h1.iter().map(|&h| gpu.kernel_finished_at(h)).collect();
+        for &h in &h1 {
+            prop_assert_eq!(gpu.kernel_state(h), gpu_sim::InstState::Done);
+        }
+
+        // Second batch recycles the freed slots (the free list is LIFO).
+        let h2 = launch(&mut gpu, &second, first.len() as u64);
+        for &h in &h2 {
+            // Generation tagging: a recycled slot's new handle is distinct
+            // from every handle ever issued for that slot.
+            prop_assert!(!h1.contains(&h), "recycled handle must differ from stale one");
+        }
+        for (&h, f) in h1.iter().zip(&finished) {
+            // The stale handle never observes the new (queued/in-flight)
+            // instance: still `Done`, and its completion time is either
+            // preserved (slot not reused) or dropped with the slot.
+            prop_assert_eq!(gpu.kernel_state(h), gpu_sim::InstState::Done);
+            let now = gpu.kernel_finished_at(h);
+            prop_assert!(now.is_none() || now == *f,
+                "stale handle must not alias a new instance's timestamps");
+        }
+        gpu.drain();
+        for &h in &h2 {
+            prop_assert_eq!(gpu.kernel_state(h), gpu_sim::InstState::Done);
+        }
+    }
+
+    /// `drain_notices_into` must observe exactly what `drain_notices`
+    /// returns, across interleaved posts and drains, and leave the GPU's
+    /// internal buffer empty just the same.
+    #[test]
+    fn prop_drain_notices_into_matches_return(
+        ops in proptest::collection::vec(
+            proptest::option::of(any::<u64>()), 1..64),
+    ) {
+        // `Some(n)` posts notice n; `None` drains (both ways) and compares.
+        let mk = || Gpu::new(GpuSpec::a100(), HostCosts::free());
+        let (mut a, mut b) = (mk(), mk());
+        let mut buf = Vec::new();
+        for op in &ops {
+            match op {
+                Some(n) => {
+                    a.post_notice(*n);
+                    b.post_notice(*n);
+                }
+                None => {
+                    let returned = a.drain_notices();
+                    b.drain_notices_into(&mut buf);
+                    prop_assert_eq!(&returned, &buf);
+                }
+            }
+        }
+        let returned = a.drain_notices();
+        b.drain_notices_into(&mut buf);
+        prop_assert_eq!(&returned, &buf);
+        // Both drained: a second drain of either flavour is empty.
+        b.drain_notices_into(&mut buf);
+        prop_assert!(buf.is_empty() && a.drain_notices().is_empty());
+    }
+
+    /// `take_failed_into` must report exactly the casualties that
+    /// `take_failed` returns for an identical crash scenario.
+    #[test]
+    fn prop_take_failed_into_matches_return(
+        seed in any::<u64>(),
+        kernels in proptest::collection::vec(arb_kernel(), 2..12),
+        crash_us in 10u64..400,
+    ) {
+        use sim_core::{FaultPlan, FaultSpec};
+        let spec = FaultSpec {
+            num_apps: 1,
+            crash_count: 1,
+            crash_window: (SimTime::from_micros(crash_us), SimTime::from_micros(crash_us)),
+            ..FaultSpec::default()
+        };
+        let run = |mut gpu: Gpu| -> Gpu {
+            gpu.set_fault_plan(FaultPlan::build(seed, &spec));
+            let ctx = gpu.create_context(CtxKind::Default).unwrap();
+            let q = gpu.create_queue(ctx).unwrap();
+            for (i, &(us, sms, mem)) in kernels.iter().enumerate() {
+                let k = KernelDesc::compute(
+                    "k", SimDuration::from_micros(us), sms, mem);
+                // Tag app 0 in the low bits so the crash plan targets it.
+                gpu.launch(q, k, (i as u64) << 20).unwrap();
+            }
+            gpu.drain();
+            gpu
+        };
+        let mut a = run(Gpu::new(GpuSpec::a100(), HostCosts::free()));
+        let mut b = run(Gpu::new(GpuSpec::a100(), HostCosts::free()));
+        let returned = a.take_failed();
+        let mut buf = vec![gpu_sim::FailedKernel {
+            // Pre-seed garbage to prove the buffer is cleared first.
+            handle: gpu_sim::KernelHandle(u64::MAX),
+            queue: gpu_sim::QueueId(u32::MAX),
+            tag: u64::MAX,
+        }];
+        b.take_failed_into(&mut buf);
+        prop_assert_eq!(&returned, &buf);
+        // Drained: both flavours come back empty afterwards.
+        b.take_failed_into(&mut buf);
+        prop_assert!(buf.is_empty() && a.take_failed().is_empty());
+    }
+}

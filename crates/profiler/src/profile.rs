@@ -45,8 +45,10 @@ pub struct ProfiledApp {
     /// Total simulated time the profiling runs took (Table 1's
     /// "profile cost").
     pub profile_cost: SimDuration,
-    /// The application's kernel trace (for the runtime scheduler).
-    pub kernels: Vec<KernelDesc>,
+    /// The application's kernel trace (for the runtime scheduler), as an
+    /// `Arc` slice so drivers can register it with the engine as a kernel
+    /// table (one refcount bump, no deep copy) and launch by index.
+    pub kernels: std::sync::Arc<[KernelDesc]>,
 }
 
 impl ProfiledApp {
@@ -117,7 +119,7 @@ impl ProfiledApp {
             d_frac,
             memory_mib: app.memory_mib,
             profile_cost,
-            kernels: app.kernels.clone(),
+            kernels: app.kernels.clone().into(),
         }
     }
 

@@ -5,11 +5,22 @@
 //! determinism: GPU schedulers frequently enqueue several events for the
 //! same nanosecond (e.g. a squad's kernels all arriving after the same
 //! launch delay) and the pop order must not depend on heap internals.
-
-use core::cmp::Ordering;
-use std::collections::BinaryHeap;
+//!
+//! The queue is a flat four-ary min-heap over `(at, seq)` keys. Compared
+//! to `std::collections::BinaryHeap` (binary, max-heap with inverted
+//! `Ord`), the wider fan-out halves the tree depth, sift-down touches one
+//! contiguous cache line of children per level, and the backing `Vec`
+//! never shrinks — so a queue that has reached its steady-state high-water
+//! mark pushes and pops without allocating. The original `BinaryHeap`
+//! wrapper is retained (test-only) as `legacy::LegacyEventQueue`, and a
+//! differential test drives both through random interleaved operation
+//! sequences to pin the pop order bit-for-bit.
 
 use crate::time::SimTime;
+
+/// Children per node. Four keeps the tree shallow (depth log4 n) while a
+/// node's children stay adjacent in memory.
+const ARITY: usize = 4;
 
 /// One pending entry: fire time, insertion sequence number, payload.
 struct Entry<E> {
@@ -18,32 +29,19 @@ struct Entry<E> {
     payload: E,
 }
 
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<E> Eq for Entry<E> {}
-
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // `BinaryHeap` is a max-heap; invert so the earliest (and, on ties,
-        // the first-inserted) entry is at the top.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
+impl<E> Entry<E> {
+    /// The heap key: earliest time first; FIFO (insertion order) on ties.
+    #[inline]
+    fn key(&self) -> (SimTime, u64) {
+        (self.at, self.seq)
     }
 }
 
 /// A priority queue of `(SimTime, E)` pairs with FIFO tie-breaking.
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    /// Flat four-ary min-heap: `heap[0]` is the earliest entry; the
+    /// children of node `i` are nodes `4i + 1 ..= 4i + 4`.
+    heap: Vec<Entry<E>>,
     next_seq: u64,
 }
 
@@ -57,7 +55,7 @@ impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            heap: Vec::new(),
             next_seq: 0,
         }
     }
@@ -67,16 +65,23 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Entry { at, seq, payload });
+        self.sift_up(self.heap.len() - 1);
     }
 
     /// Removes and returns the earliest event, if any.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|e| (e.at, e.payload))
+        let last = self.heap.len().checked_sub(1)?;
+        self.heap.swap(0, last);
+        let e = self.heap.pop().map(|e| (e.at, e.payload));
+        if !self.heap.is_empty() {
+            self.sift_down(0);
+        }
+        e
     }
 
     /// The firing time of the earliest pending event.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.at)
+        self.heap.first().map(|e| e.at)
     }
 
     /// Number of pending events.
@@ -89,9 +94,124 @@ impl<E> EventQueue<E> {
         self.heap.is_empty()
     }
 
-    /// Drops all pending events.
+    /// Drops all pending events. Keeps the backing capacity.
     pub fn clear(&mut self) {
         self.heap.clear();
+    }
+
+    /// Moves `heap[i]` toward the root until its parent's key is smaller.
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / ARITY;
+            if self.heap[parent].key() <= self.heap[i].key() {
+                break;
+            }
+            self.heap.swap(parent, i);
+            i = parent;
+        }
+    }
+
+    /// Moves `heap[i]` toward the leaves, swapping with its smallest
+    /// child while that child's key is smaller.
+    fn sift_down(&mut self, mut i: usize) {
+        let len = self.heap.len();
+        loop {
+            let first_child = ARITY * i + 1;
+            if first_child >= len {
+                break;
+            }
+            let mut best = first_child;
+            let end = (first_child + ARITY).min(len);
+            for c in first_child + 1..end {
+                if self.heap[c].key() < self.heap[best].key() {
+                    best = c;
+                }
+            }
+            if self.heap[i].key() <= self.heap[best].key() {
+                break;
+            }
+            self.heap.swap(i, best);
+            i = best;
+        }
+    }
+}
+
+/// The pre-PR-5 `BinaryHeap`-backed implementation, kept as a differential
+/// twin: the four-ary queue above must reproduce its pop order exactly for
+/// any operation sequence. Compiled for tests only.
+#[cfg(test)]
+pub mod legacy {
+    use core::cmp::Ordering;
+    use std::collections::BinaryHeap;
+
+    use crate::time::SimTime;
+
+    struct Entry<E> {
+        at: SimTime,
+        seq: u64,
+        payload: E,
+    }
+
+    impl<E> PartialEq for Entry<E> {
+        fn eq(&self, other: &Self) -> bool {
+            self.at == other.at && self.seq == other.seq
+        }
+    }
+    impl<E> Eq for Entry<E> {}
+
+    impl<E> Ord for Entry<E> {
+        fn cmp(&self, other: &Self) -> Ordering {
+            // `BinaryHeap` is a max-heap; invert so the earliest (and, on
+            // ties, the first-inserted) entry is at the top.
+            other
+                .at
+                .cmp(&self.at)
+                .then_with(|| other.seq.cmp(&self.seq))
+        }
+    }
+    impl<E> PartialOrd for Entry<E> {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    /// The old queue: a max-`BinaryHeap` of inverted-`Ord` entries.
+    pub struct LegacyEventQueue<E> {
+        heap: BinaryHeap<Entry<E>>,
+        next_seq: u64,
+    }
+
+    impl<E> Default for LegacyEventQueue<E> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<E> LegacyEventQueue<E> {
+        /// Creates an empty queue.
+        pub fn new() -> Self {
+            LegacyEventQueue {
+                heap: BinaryHeap::new(),
+                next_seq: 0,
+            }
+        }
+
+        /// Schedules `payload` to fire at `at`.
+        pub fn push(&mut self, at: SimTime, payload: E) {
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.heap.push(Entry { at, seq, payload });
+        }
+
+        /// Removes and returns the earliest event, if any.
+        pub fn pop(&mut self) -> Option<(SimTime, E)> {
+            self.heap.pop().map(|e| (e.at, e.payload))
+        }
+
+        /// The firing time of the earliest pending event.
+        pub fn peek_time(&self) -> Option<SimTime> {
+            self.heap.peek().map(|e| e.at)
+        }
     }
 }
 
@@ -149,6 +269,20 @@ mod tests {
         assert_eq!(q.pop().unwrap().1, 9);
     }
 
+    #[test]
+    fn capacity_is_reused_across_refills() {
+        let mut q = EventQueue::new();
+        for i in 0..1024u64 {
+            q.push(SimTime::from_nanos(i % 7), i);
+        }
+        let cap = q.heap.capacity();
+        while q.pop().is_some() {}
+        for i in 0..1024u64 {
+            q.push(SimTime::from_nanos(i % 11), i);
+        }
+        assert_eq!(q.heap.capacity(), cap, "steady-state refill reallocated");
+    }
+
     proptest! {
         /// Popping the entire queue yields a non-decreasing time sequence,
         /// and equal-time events keep their relative insertion order.
@@ -167,6 +301,38 @@ mod tests {
                     }
                 }
                 last = Some((t, idx));
+            }
+        }
+
+        /// Differential twin: for any interleaving of pushes and pops
+        /// (heavy on same-nanosecond ties), the four-ary heap and the old
+        /// `BinaryHeap` implementation produce identical results — same
+        /// pops, same peeks, same final drain, element for element.
+        #[test]
+        fn prop_matches_legacy_binary_heap(
+            ops in proptest::collection::vec(
+                // (is_push, time) — a small time range forces many ties.
+                (any::<bool>(), 0u64..16), 1..400),
+        ) {
+            let mut new_q = EventQueue::new();
+            let mut old_q = legacy::LegacyEventQueue::new();
+            let mut payload = 0u64;
+            for (is_push, t) in ops {
+                if is_push {
+                    new_q.push(SimTime::from_nanos(t), payload);
+                    old_q.push(SimTime::from_nanos(t), payload);
+                    payload += 1;
+                } else {
+                    prop_assert_eq!(new_q.peek_time(), old_q.peek_time());
+                    prop_assert_eq!(new_q.pop(), old_q.pop());
+                }
+            }
+            loop {
+                let (a, b) = (new_q.pop(), old_q.pop());
+                prop_assert_eq!(a, b);
+                if a.is_none() {
+                    break;
+                }
             }
         }
     }

@@ -65,11 +65,10 @@ impl SimTime {
     /// Panics if `earlier` is later than `self`; simulation clocks never run
     /// backwards, so this indicates a logic error.
     pub fn duration_since(self, earlier: SimTime) -> SimDuration {
-        SimDuration(
-            self.0
-                .checked_sub(earlier.0)
-                .expect("SimTime::duration_since: earlier is after self"),
-        )
+        match self.0.checked_sub(earlier.0) {
+            Some(ns) => SimDuration(ns),
+            None => panic!("SimTime::duration_since: earlier is after self"),
+        }
     }
 
     /// The duration since `earlier`, or zero if `earlier` is in the future.
@@ -190,7 +189,10 @@ impl SimDuration {
 impl Add<SimDuration> for SimTime {
     type Output = SimTime;
     fn add(self, rhs: SimDuration) -> SimTime {
-        SimTime(self.0.checked_add(rhs.0).expect("SimTime overflow"))
+        match self.0.checked_add(rhs.0) {
+            Some(ns) => SimTime(ns),
+            None => panic!("SimTime overflow"),
+        }
     }
 }
 
@@ -210,7 +212,10 @@ impl Sub<SimTime> for SimTime {
 impl Add for SimDuration {
     type Output = SimDuration;
     fn add(self, rhs: SimDuration) -> SimDuration {
-        SimDuration(self.0.checked_add(rhs.0).expect("SimDuration overflow"))
+        match self.0.checked_add(rhs.0) {
+            Some(ns) => SimDuration(ns),
+            None => panic!("SimDuration overflow"),
+        }
     }
 }
 
@@ -223,11 +228,10 @@ impl AddAssign for SimDuration {
 impl Sub for SimDuration {
     type Output = SimDuration;
     fn sub(self, rhs: SimDuration) -> SimDuration {
-        SimDuration(
-            self.0
-                .checked_sub(rhs.0)
-                .expect("SimDuration underflow; use saturating_sub"),
-        )
+        match self.0.checked_sub(rhs.0) {
+            Some(ns) => SimDuration(ns),
+            None => panic!("SimDuration underflow; use saturating_sub"),
+        }
     }
 }
 
@@ -240,7 +244,10 @@ impl SubAssign for SimDuration {
 impl Mul<u64> for SimDuration {
     type Output = SimDuration;
     fn mul(self, rhs: u64) -> SimDuration {
-        SimDuration(self.0.checked_mul(rhs).expect("SimDuration overflow"))
+        match self.0.checked_mul(rhs) {
+            Some(ns) => SimDuration(ns),
+            None => panic!("SimDuration overflow"),
+        }
     }
 }
 

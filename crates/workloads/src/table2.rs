@@ -49,7 +49,9 @@ impl PaperWorkload {
     ) -> ArrivalPattern {
         match self {
             PaperWorkload::HighLoad | PaperWorkload::MediumLoad | PaperWorkload::LowLoad => {
-                let think = solo_latency.mul_f64(self.closed_loop_factor().unwrap());
+                // The three closed-loop variants always carry a factor.
+                let factor = self.closed_loop_factor().unwrap_or(1.0);
+                let think = solo_latency.mul_f64(factor);
                 ArrivalPattern::ClosedLoop {
                     think,
                     count: requests,
