@@ -222,11 +222,15 @@ fn write_json(fleet: &[FleetRow], det: &[DeterminerRow]) {
             "null".to_string()
         };
         let gps = r.gpus as f64 / (r.par_ms / 1e3);
+        // Parallelism the row could actually use: one worker per GPU at
+        // most, so the speedup column reads against its real ceiling.
+        let row_workers = workers.min(r.gpus);
         out.push_str(&format!(
-            "    {{\"gpus\": {}, \"tenants\": {}, \"seq_ms\": {:.3}, \"par_ms\": {:.3}, \
-             \"speedup\": {}, \"gpus_per_sec\": {:.1}}}{}\n",
+            "    {{\"gpus\": {}, \"tenants\": {}, \"workers\": {}, \"seq_ms\": {:.3}, \
+             \"par_ms\": {:.3}, \"speedup\": {}, \"gpus_per_sec\": {:.1}}}{}\n",
             r.gpus,
             r.tenants,
+            row_workers,
             r.seq_ms,
             r.par_ms,
             speedup,

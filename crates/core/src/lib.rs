@@ -50,6 +50,7 @@
 
 pub mod deploy;
 pub mod error;
+pub mod lanes;
 pub mod params;
 pub mod predict;
 pub mod runtime;
@@ -57,6 +58,7 @@ pub mod squad;
 
 pub use deploy::DeployedApp;
 pub use error::SchedError;
+pub use lanes::{LaneGroup, LaneHints, LaneKind};
 pub use params::{BlessParams, WatchdogParams};
 pub use predict::{
     determine_config, determine_config_exhaustive, determine_config_memo,

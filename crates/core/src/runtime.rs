@@ -228,6 +228,19 @@ impl BlessDriver {
         self.degrade[app]
     }
 
+    /// Lane hints for the current degradation state: which tenants could
+    /// advance on independent engine lanes (`gpu_sim::lanes`) given their
+    /// present share modes and quotas, on a device with `num_sms` SMs.
+    ///
+    /// The grouping is structural (SM-allocator reachability); see
+    /// [`crate::lanes`] for when a hint may be promoted to an actual lane
+    /// split. Recompute after degradation transitions — mode shifts move
+    /// tenants between the shared-pool lane and partition lanes.
+    pub fn lane_hints(&self, num_sms: u32) -> crate::lanes::LaneHints {
+        let quotas: Vec<f64> = self.apps.iter().map(|a| a.quota).collect();
+        crate::lanes::LaneHints::from_share_modes(&self.degrade, &quotas, num_sms)
+    }
+
     /// Records a recoverable anomaly without letting the error log grow
     /// unboundedly under a pathological fault storm.
     fn record_error(&mut self, e: SchedError) {
@@ -1036,6 +1049,46 @@ mod tests {
         assert_eq!(outcome, RunOutcome::Completed);
         assert!(sim.gpu.is_device_idle());
         sim.driver
+    }
+
+    #[test]
+    fn lane_hints_track_the_degradation_ladder() {
+        let arrivals = vec![
+            RequestArrival {
+                app: 0,
+                req: 0,
+                at: SimTime::ZERO,
+            },
+            RequestArrival {
+                app: 1,
+                req: 0,
+                at: SimTime::ZERO,
+            },
+        ];
+        let mut driver = run_pair(
+            ModelKind::Vgg11,
+            ModelKind::ResNet50,
+            (0.25, 0.75),
+            arrivals,
+        );
+
+        // Default ladder state is semi-spatial: both apps can reach the
+        // shared pool, so they must share one lane.
+        let hints = driver.lane_hints(108);
+        assert_eq!(hints.num_lanes(), 1);
+        assert_eq!(hints.groups[0].kind, crate::lanes::LaneKind::SharedPool);
+        assert_eq!(hints.lane_of(0), hints.lane_of(1));
+
+        // Degrade app 0 to strict spatial: it becomes shardable onto its
+        // own quota-capped lane while app 1 keeps the pool lane.
+        driver.degrade[0] = metrics::ShareMode::StrictSpatial;
+        let hints = driver.lane_hints(108);
+        assert_eq!(hints.num_lanes(), 2);
+        assert_eq!(
+            hints.groups[1].kind,
+            crate::lanes::LaneKind::Partition { sm_cap: 27 }
+        );
+        assert_ne!(hints.lane_of(0), hints.lane_of(1));
     }
 
     #[test]

@@ -26,7 +26,7 @@ use std::collections::VecDeque;
 use std::sync::Arc;
 
 use sim_core::trace::{TraceEvent, TraceSink};
-use sim_core::{EventQueue, FaultPlan, SimDuration, SimTime};
+use sim_core::{DynEventQueue, EventQueueKind, FaultPlan, SimDuration, SimTime};
 
 use crate::alloc::{allocate_sms_into, CtxGroup, KernelDemand};
 use crate::kernel::{KernelDesc, KernelKind, KernelTableId};
@@ -300,7 +300,7 @@ pub struct Gpu {
     contexts: Vec<Context>,
     queues: Vec<Queue>,
     instances: Vec<Instance>,
-    events: EventQueue<DevEv>,
+    events: DynEventQueue<DevEv>,
     epoch: u64,
     /// SM capacity of each pool (pool 0 = shared).
     pool_capacity: Vec<f64>,
@@ -356,8 +356,19 @@ struct ReallocScratch {
 }
 
 impl Gpu {
-    /// Creates a GPU with the given hardware spec and host cost model.
+    /// Creates a GPU with the given hardware spec and host cost model,
+    /// using the default (four-ary heap) event queue.
     pub fn new(spec: GpuSpec, costs: HostCosts) -> Self {
+        Self::with_queue_kind(spec, costs, EventQueueKind::default())
+    }
+
+    /// Creates a GPU with an explicit event-queue backend.
+    ///
+    /// Both backends pop events in identical `(time, insertion)` order, so
+    /// this is purely a performance knob: the timing wheel wins at very
+    /// high per-lane event volume (see `sim_core::wheel`), the heap
+    /// everywhere else. Simulation results are bit-identical either way.
+    pub fn with_queue_kind(spec: GpuSpec, costs: HostCosts, queue_kind: EventQueueKind) -> Self {
         let shared = spec.num_sms as f64;
         Gpu {
             spec,
@@ -367,7 +378,7 @@ impl Gpu {
             contexts: Vec::new(),
             queues: Vec::new(),
             instances: Vec::new(),
-            events: EventQueue::new(),
+            events: DynEventQueue::new(queue_kind),
             epoch: 0,
             pool_capacity: vec![shared],
             mig_reserved_sms: 0,
@@ -1030,6 +1041,11 @@ impl Gpu {
         self.events.peek_time()
     }
 
+    /// The event-queue backend this GPU was constructed with.
+    pub fn queue_kind(&self) -> EventQueueKind {
+        self.events.kind()
+    }
+
     // ------------------------------------------------------------------
     // Engine core
     // ------------------------------------------------------------------
@@ -1230,6 +1246,43 @@ impl Gpu {
     /// react to completions.
     pub fn drain(&mut self) {
         while self.step().is_some() || !self.events.is_empty() {}
+    }
+
+    /// Processes every pending event strictly earlier than `limit`,
+    /// appending each externally visible output with its timestamp to
+    /// `out`. Events at exactly `limit` (or later) stay pending, so a
+    /// caller coordinating several engines can stop each one at a common
+    /// barrier and interleave deterministically.
+    ///
+    /// `out` is reused across calls by design (the lane engine's parallel
+    /// drain holds one such buffer per lane), keeping the steady-state
+    /// path allocation-free once buffers reach their high-water mark.
+    pub fn advance_until(&mut self, limit: SimTime, out: &mut Vec<(SimTime, StepOutput)>) {
+        while let Some(et) = self.events.peek_time() {
+            if et >= limit {
+                break;
+            }
+            if let Some(o) = self.step() {
+                out.push((self.now, o));
+            }
+        }
+    }
+
+    /// Runs the device until no events remain, appending every externally
+    /// visible output with its timestamp to `out` (a [`Gpu::drain`] that
+    /// keeps the outputs; same buffer-reuse contract as
+    /// [`Gpu::advance_until`]).
+    pub fn drain_outputs_into(&mut self, out: &mut Vec<(SimTime, StepOutput)>) {
+        loop {
+            match self.step() {
+                Some(o) => out.push((self.now, o)),
+                None => {
+                    if self.events.is_empty() {
+                        break;
+                    }
+                }
+            }
+        }
     }
 
     fn finish(&mut self, slot: usize) {
@@ -1678,6 +1731,67 @@ mod tests {
             }
         }
         done
+    }
+
+    #[test]
+    fn gpu_is_send() {
+        // The lane engine moves per-lane GPUs onto scoped worker threads;
+        // this pins the auto-trait so a future `Rc`/raw-pointer field
+        // can't silently break it.
+        fn assert_send<T: Send>() {}
+        assert_send::<Gpu>();
+    }
+
+    #[test]
+    fn queue_backends_produce_identical_results() {
+        let run = |kind: EventQueueKind| {
+            let mut gpu = Gpu::with_queue_kind(GpuSpec::a100(), HostCosts::free(), kind);
+            assert_eq!(gpu.queue_kind(), kind);
+            let ctx = gpu.create_context(CtxKind::Default).unwrap();
+            let qa = gpu.create_queue(ctx).unwrap();
+            let qb = gpu.create_queue(ctx).unwrap();
+            for i in 0..40u64 {
+                let (q, name) = if i % 2 == 0 { (qa, "a") } else { (qb, "b") };
+                let k = if i % 5 == 3 {
+                    KernelDesc::memcpy_h2d("cp", 64 + i)
+                } else {
+                    KernelDesc::compute(
+                        name,
+                        SimDuration::from_micros(20 + (i % 7) * 13),
+                        40 + (i % 4) as u32 * 20,
+                        0.1 + (i % 3) as f64 * 0.25,
+                    )
+                };
+                gpu.launch(q, k, i).unwrap();
+            }
+            run_all(&mut gpu)
+        };
+        let heap = run(EventQueueKind::FourAryHeap);
+        let wheel = run(EventQueueKind::TimingWheel);
+        assert_eq!(heap, wheel);
+    }
+
+    #[test]
+    fn advance_until_stops_at_barrier() {
+        let mut gpu = free_gpu();
+        let ctx = gpu.create_context(CtxKind::Default).unwrap();
+        let q = gpu.create_queue(ctx).unwrap();
+        for i in 0..4u64 {
+            let k = KernelDesc::compute("k", SimDuration::from_micros(100), 108, 0.0);
+            gpu.launch(q, k, i).unwrap();
+        }
+        let mut out = Vec::new();
+        // Kernels finish at 100/200/300/400 us; events at exactly the
+        // barrier stay pending.
+        gpu.advance_until(SimTime::from_micros(300), &mut out);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].0, SimTime::from_micros(100));
+        assert_eq!(out[1].0, SimTime::from_micros(200));
+        assert_eq!(gpu.peek_event_time(), Some(SimTime::from_micros(300)));
+        gpu.drain_outputs_into(&mut out);
+        assert_eq!(out.len(), 4);
+        assert_eq!(out[3].0, SimTime::from_micros(400));
+        assert!(gpu.is_device_idle());
     }
 
     #[test]

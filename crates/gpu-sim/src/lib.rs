@@ -38,6 +38,7 @@
 pub mod alloc;
 pub mod engine;
 pub mod kernel;
+pub mod lanes;
 pub mod sim;
 pub mod spec;
 
@@ -46,10 +47,12 @@ pub use engine::{
     StepOutput, TimelineSegment,
 };
 pub use kernel::{KernelDesc, KernelKind, KernelTableId};
+pub use lanes::{LaneEngine, MergedOutput};
 pub use sim::{
     decode_tag, encode_tag, HostDriver, KernelDone, NoticeHandler, RequestArrival, RunOutcome,
     Simulation,
 };
+pub use sim_core::EventQueueKind;
 pub use spec::{GpuSpec, HostCosts, HwPolicy};
 
 // Trace-stream types, re-exported so drivers and harnesses can attach

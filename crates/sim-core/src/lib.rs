@@ -27,9 +27,11 @@ pub mod fault;
 pub mod rng;
 pub mod time;
 pub mod trace;
+pub mod wheel;
 
 pub use event::EventQueue;
 pub use fault::{CrashEvent, DmaStallEvent, FaultPlan, FaultSpec};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};
 pub use trace::{BufferSink, JsonlSink, RingSink, TraceEvent, TraceSink, TraceSquadEntry};
+pub use wheel::{DynEventQueue, EventQueueKind, TimingWheelQueue};

@@ -21,10 +21,9 @@
 //! ids, and `seq` a unique per-launch sequence number (a retried kernel
 //! gets a fresh `seq`; `seq` is never reused within one simulation).
 
-use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::fmt::Write as _;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use crate::time::SimTime;
 
@@ -370,11 +369,22 @@ impl TraceEvent {
     }
 }
 
+/// Recovers a mutex guard even if another holder panicked: the payload is
+/// plain event data, never left in a half-updated state, so the poison
+/// flag carries no information here.
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 /// Receiver of a structured trace stream.
 ///
 /// Sinks must not influence the simulation: `record` takes the event by
 /// reference and the engine never observes a sink's state.
-pub trait TraceSink {
+///
+/// Sinks are `Send` so an engine holding one can be moved to (or driven
+/// from) a worker thread — the lane engine shards one GPU across scoped
+/// threads and each lane carries its own sink.
+pub trait TraceSink: Send {
     /// Records one event. Events arrive in non-decreasing virtual time.
     fn record(&mut self, ev: &TraceEvent);
 
@@ -397,7 +407,7 @@ pub trait TraceSink {
 /// ```
 #[derive(Clone, Default)]
 pub struct BufferSink {
-    inner: Rc<RefCell<Vec<TraceEvent>>>,
+    inner: Arc<Mutex<Vec<TraceEvent>>>,
 }
 
 impl BufferSink {
@@ -408,23 +418,29 @@ impl BufferSink {
 
     /// Number of events recorded so far.
     pub fn len(&self) -> usize {
-        self.inner.borrow().len()
+        lock_unpoisoned(&self.inner).len()
     }
 
     /// True when no events were recorded.
     pub fn is_empty(&self) -> bool {
-        self.inner.borrow().is_empty()
+        lock_unpoisoned(&self.inner).is_empty()
     }
 
     /// Removes and returns all recorded events.
     pub fn take(&self) -> Vec<TraceEvent> {
-        std::mem::take(&mut *self.inner.borrow_mut())
+        std::mem::take(&mut *lock_unpoisoned(&self.inner))
+    }
+
+    /// Removes all recorded events into `out` (appending), reusing `out`'s
+    /// capacity instead of allocating a fresh vector.
+    pub fn take_into(&self, out: &mut Vec<TraceEvent>) {
+        out.append(&mut lock_unpoisoned(&self.inner));
     }
 }
 
 impl TraceSink for BufferSink {
     fn record(&mut self, ev: &TraceEvent) {
-        self.inner.borrow_mut().push(ev.clone());
+        lock_unpoisoned(&self.inner).push(ev.clone());
     }
 }
 
@@ -432,7 +448,7 @@ impl TraceSink for BufferSink {
 /// counting (but dropping) older ones. Clones share one ring.
 #[derive(Clone)]
 pub struct RingSink {
-    inner: Rc<RefCell<RingInner>>,
+    inner: Arc<Mutex<RingInner>>,
 }
 
 struct RingInner {
@@ -445,7 +461,7 @@ impl RingSink {
     /// Creates a ring holding at most `capacity` events (min 1).
     pub fn new(capacity: usize) -> Self {
         RingSink {
-            inner: Rc::new(RefCell::new(RingInner {
+            inner: Arc::new(Mutex::new(RingInner {
                 buf: VecDeque::with_capacity(capacity.max(1)),
                 capacity: capacity.max(1),
                 dropped: 0,
@@ -455,18 +471,18 @@ impl RingSink {
 
     /// The retained events, oldest first.
     pub fn snapshot(&self) -> Vec<TraceEvent> {
-        self.inner.borrow().buf.iter().cloned().collect()
+        lock_unpoisoned(&self.inner).buf.iter().cloned().collect()
     }
 
     /// Number of events evicted to stay within capacity.
     pub fn dropped(&self) -> u64 {
-        self.inner.borrow().dropped
+        lock_unpoisoned(&self.inner).dropped
     }
 }
 
 impl TraceSink for RingSink {
     fn record(&mut self, ev: &TraceEvent) {
-        let mut r = self.inner.borrow_mut();
+        let mut r = lock_unpoisoned(&self.inner);
         if r.buf.len() == r.capacity {
             r.buf.pop_front();
             r.dropped += 1;
@@ -518,7 +534,7 @@ impl<W: std::io::Write> JsonlSink<W> {
     }
 }
 
-impl<W: std::io::Write> TraceSink for JsonlSink<W> {
+impl<W: std::io::Write + Send> TraceSink for JsonlSink<W> {
     fn record(&mut self, ev: &TraceEvent) {
         if self.error.is_some() {
             return;
