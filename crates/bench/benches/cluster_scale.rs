@@ -13,14 +13,14 @@ use std::cell::RefCell;
 use std::time::Duration;
 
 use bless::{determine_config, determine_config_exhaustive, BlessParams, DeployedApp};
-use cluster::{run_cluster_opts, ClusterOptions};
+use cluster::{run_chaos, run_cluster_opts, ChaosOptions, ClusterOptions};
 use criterion::{criterion_group, criterion_main, Criterion};
 use dnn_models::{ModelKind, Phase};
 use gpu_sim::GpuSpec;
 use harness::cache;
 use harness::squadlab::slice_squad;
 use profiler::SharedProfile;
-use sim_core::{SimDuration, SimTime};
+use sim_core::{FaultSpec, SimDuration, SimTime};
 use workloads::{ArrivalPattern, TenantSpec, WorkloadSet};
 
 const KINDS: [ModelKind; 4] = [
@@ -81,6 +81,16 @@ struct FleetRow {
     tenants: usize,
     seq_ms: f64,
     par_ms: f64,
+}
+
+struct ChaosRow {
+    gpus: usize,
+    tenants: usize,
+    cluster_ms: f64,
+    none_ms: f64,
+    faulted_ms: f64,
+    migrations: usize,
+    stranded: usize,
 }
 
 struct DeterminerRow {
@@ -151,6 +161,125 @@ fn bench_fleet(c: &mut Criterion, rows: &mut Vec<FleetRow>) {
     g.finish();
 }
 
+/// Open-loop chaos workload: 2·N−1 tenants at quota 0.45 so the fleet
+/// keeps one half-empty device for evacuees (closed-loop clients cannot
+/// be checkpointed across a migration, so chaos runs are open-loop).
+fn chaos_workload(fleet: usize, spec: &GpuSpec) -> (WorkloadSet, Vec<SharedProfile>) {
+    let n = 2 * fleet - 1;
+    let tenants: Vec<TenantSpec> = (0..n)
+        .map(|i| {
+            TenantSpec::new(
+                cache::model(KINDS[i % KINDS.len()], Phase::Inference),
+                0.45,
+                ArrivalPattern::Periodic {
+                    period: SimDuration::from_millis(5),
+                    count: 6,
+                    offset: SimDuration::from_millis((i % 5) as u64),
+                },
+            )
+        })
+        .collect();
+    let profiles = (0..n)
+        .map(|i| cache::profile(KINDS[i % KINDS.len()], Phase::Inference, spec))
+        .collect();
+    (WorkloadSet { tenants, seed: 7 }, profiles)
+}
+
+/// The chaos runner's cost model: a fault-free chaos run against the
+/// plain cluster runner (the identity overhead of the fault machinery),
+/// and a kill/hang matrix run showing what quiesce + checkpoint +
+/// migrate + rebuild cost on top.
+fn bench_chaos(c: &mut Criterion, rows: &mut Vec<ChaosRow>) {
+    let spec = GpuSpec::a100();
+    let params = BlessParams::default();
+    let horizon = SimTime::from_secs(60);
+    let fleets: &[usize] = if quick() { &[4] } else { &[4, 16] };
+    let faults = FaultSpec {
+        gpu_fail_count: 2,
+        gpu_fail_window: (SimTime::from_millis(5), SimTime::from_millis(25)),
+        gpu_hang_count: 2,
+        gpu_hang_window: (SimTime::from_millis(5), SimTime::from_millis(25)),
+        gpu_hang_len: SimDuration::from_millis(3),
+        ..FaultSpec::default()
+    };
+
+    let mut g = c.benchmark_group("chaos_recovery");
+    g.sample_size(if quick() { 2 } else { 5 });
+    for &fleet in fleets {
+        let (ws, profiles) = chaos_workload(fleet, &spec);
+        let cluster_t = RefCell::new(Vec::new());
+        let none_t = RefCell::new(Vec::new());
+        let faulted_t = RefCell::new(Vec::new());
+        g.bench_function(format!("cluster_fleet{fleet}"), |b| {
+            b.iter(|| {
+                timed(&cluster_t, || {
+                    run_cluster_opts(
+                        &ws,
+                        profiles.clone(),
+                        fleet,
+                        &spec,
+                        &params,
+                        horizon,
+                        &ClusterOptions::default(),
+                    )
+                    .unwrap()
+                })
+            })
+        });
+        g.bench_function(format!("chaos_none_fleet{fleet}"), |b| {
+            b.iter(|| {
+                timed(&none_t, || {
+                    run_chaos(
+                        &ws,
+                        profiles.clone(),
+                        fleet,
+                        &spec,
+                        &params,
+                        horizon,
+                        42,
+                        &FaultSpec::default(),
+                        &ChaosOptions::default(),
+                    )
+                    .unwrap()
+                })
+            })
+        });
+        let mut migrations = 0;
+        let mut stranded = 0;
+        g.bench_function(format!("chaos_faulted_fleet{fleet}"), |b| {
+            b.iter(|| {
+                timed(&faulted_t, || {
+                    let run = run_chaos(
+                        &ws,
+                        profiles.clone(),
+                        fleet,
+                        &spec,
+                        &params,
+                        horizon,
+                        42,
+                        &faults,
+                        &ChaosOptions::default(),
+                    )
+                    .unwrap();
+                    migrations = run.migrations.len();
+                    stranded = run.stranded.len();
+                    run
+                })
+            })
+        });
+        rows.push(ChaosRow {
+            gpus: fleet,
+            tenants: 2 * fleet - 1,
+            cluster_ms: min_ms(&cluster_t),
+            none_ms: min_ms(&none_t),
+            faulted_ms: min_ms(&faulted_t),
+            migrations,
+            stranded,
+        });
+    }
+    g.finish();
+}
+
 fn bench_determiner(c: &mut Criterion, rows: &mut Vec<DeterminerRow>) {
     let spec = GpuSpec::a100();
     let per_app = 12;
@@ -199,7 +328,7 @@ fn bench_determiner(c: &mut Criterion, rows: &mut Vec<DeterminerRow>) {
     g.finish();
 }
 
-fn write_json(fleet: &[FleetRow], det: &[DeterminerRow]) {
+fn write_json(fleet: &[FleetRow], det: &[DeterminerRow], chaos: &[ChaosRow]) {
     let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut out = String::from("{\n");
     out.push_str("  \"bench\": \"cluster_scale\",\n");
@@ -239,6 +368,27 @@ fn write_json(fleet: &[FleetRow], det: &[DeterminerRow]) {
         ));
     }
     out.push_str("  ],\n");
+    // Chaos overhead: the fault-free chaos runner against the plain
+    // cluster runner (none_ms / cluster_ms is the identity overhead of
+    // the fault machinery) and the kill/hang matrix run on top.
+    out.push_str("  \"chaos\": [\n");
+    for (i, r) in chaos.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"gpus\": {}, \"tenants\": {}, \"cluster_ms\": {:.3}, \
+             \"none_ms\": {:.3}, \"faulted_ms\": {:.3}, \"none_overhead\": {:.3}, \
+             \"migrations\": {}, \"stranded\": {}}}{}\n",
+            r.gpus,
+            r.tenants,
+            r.cluster_ms,
+            r.none_ms,
+            r.faulted_ms,
+            r.none_ms / r.cluster_ms,
+            r.migrations,
+            r.stranded,
+            if i + 1 < chaos.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
     out.push_str("  \"determiner\": [\n");
     for (i, r) in det.iter().enumerate() {
         out.push_str(&format!(
@@ -264,9 +414,11 @@ fn bench(c: &mut Criterion) {
     bench::warm_profiles();
     let mut fleet_rows = Vec::new();
     let mut det_rows = Vec::new();
+    let mut chaos_rows = Vec::new();
     bench_fleet(c, &mut fleet_rows);
+    bench_chaos(c, &mut chaos_rows);
     bench_determiner(c, &mut det_rows);
-    write_json(&fleet_rows, &det_rows);
+    write_json(&fleet_rows, &det_rows, &chaos_rows);
 }
 
 criterion_group!(benches, bench);

@@ -21,8 +21,13 @@
 //! [`run_cluster_opts`] exposes per-GPU trace capture for the
 //! `experiments --trace` pipeline.
 
+pub mod chaos;
 pub mod placement;
 pub mod run;
 
+pub use chaos::{
+    run_chaos, ChaosOptions, ChaosRun, FaultKind, MigrationPolicy, MigrationRecord, SkippedFault,
+    StrandedTenant,
+};
 pub use placement::{place, Placement, PlacementError, PlacementRequest};
 pub use run::{run_cluster, run_cluster_opts, run_cluster_seq, ClusterOptions, ClusterRun, GpuRun};

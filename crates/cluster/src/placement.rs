@@ -70,6 +70,18 @@ pub enum PlacementError {
         /// Number of tenants in the workload.
         tenants: usize,
     },
+    /// No alive GPU can admit an evacuated tenant (migration path): every
+    /// surviving device fails the quota-capacity or admission check.
+    NoCapacity {
+        /// Fleet tenant id of the migrant.
+        app: usize,
+    },
+    /// A fault or migration referenced a device that is already dead or
+    /// outside the placed fleet, so there is no state left to recover.
+    SourceDead {
+        /// The referenced GPU slot.
+        gpu: usize,
+    },
 }
 
 impl std::fmt::Display for PlacementError {
@@ -90,6 +102,12 @@ impl std::fmt::Display for PlacementError {
             PlacementError::EmptyWorkload => write!(f, "workload has no tenants to place"),
             PlacementError::ProfileCountMismatch { profiles, tenants } => {
                 write!(f, "{profiles} profiles supplied for {tenants} tenants")
+            }
+            PlacementError::NoCapacity { app } => {
+                write!(f, "no alive GPU can admit evacuated tenant {app}")
+            }
+            PlacementError::SourceDead { gpu } => {
+                write!(f, "GPU {gpu} is dead or outside the placed fleet")
             }
         }
     }

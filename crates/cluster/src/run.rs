@@ -14,11 +14,11 @@ use std::sync::{Mutex, PoisonError};
 
 use bless::{BlessDriver, BlessParams, DeployedApp};
 use gpu_sim::{BufferSink, Gpu, GpuSpec, HostCosts, RequestArrival, RunOutcome, Simulation};
-use metrics::RequestLog;
+use metrics::{RequestLog, ShareMode};
 use profiler::SharedProfile;
 use sim_core::trace::TraceEvent;
 use sim_core::SimTime;
-use workloads::{TenantSpec, WorkloadSet};
+use workloads::{ArrivalPattern, TenantSpec, WorkloadSet};
 
 use crate::placement::{place, Placement, PlacementError, PlacementRequest};
 
@@ -35,6 +35,11 @@ pub struct GpuRun {
     pub outcome: RunOutcome,
     /// GPU utilization over its makespan.
     pub utilization: f64,
+    /// Number of engine lanes this GPU ran on. `1` is the monolithic
+    /// engine; more means the tenancy was fully sharded
+    /// ([`bless::LaneHints::is_fully_sharded`]) and each tenant ran on
+    /// its own isolated lane.
+    pub lanes: usize,
     /// This GPU's structured trace stream (empty unless
     /// [`ClusterOptions::capture_trace`] was set). Events are GPU-local:
     /// app ids index into `tenants`.
@@ -79,6 +84,21 @@ pub struct ClusterOptions {
     pub capture_trace: bool,
     /// Worker-pool size; `None` honours `std::thread::available_parallelism`.
     pub workers: Option<usize>,
+    /// Shard a GPU into per-tenant lanes automatically when its
+    /// [`BlessDriver::lane_hints`] report a fully sharded tenancy (every
+    /// tenant strict-spatial behind its own hard SM cap). Per DESIGN.md
+    /// §5h the split is exact for decoupled physics and drops only the
+    /// cross-partition memory-interference term otherwise; it never
+    /// triggers for tenancies that can reach the shared pool. On by
+    /// default — a freshly deployed fleet starts semi-spatial, so the
+    /// hint only holds when [`ClusterOptions::initial_modes`] (or a
+    /// checkpoint restore) pins every tenant strict-spatial.
+    pub lane_sharding: bool,
+    /// Initial degradation-ladder position per fleet tenant, restored
+    /// into each GPU's driver before the first arrival (the same
+    /// mechanism a migration uses to carry ladder state). `None` deploys
+    /// everyone semi-spatial as usual.
+    pub initial_modes: Option<Vec<ShareMode>>,
 }
 
 impl Default for ClusterOptions {
@@ -87,6 +107,8 @@ impl Default for ClusterOptions {
             parallel: true,
             capture_trace: false,
             workers: None,
+            lane_sharding: true,
+            initial_modes: None,
         }
     }
 }
@@ -160,6 +182,13 @@ pub fn run_cluster_opts<P: Into<SharedProfile>>(
             profiles: profiles.len(),
             tenants: ws.len(),
         });
+    }
+    if let Some(modes) = &opts.initial_modes {
+        assert_eq!(
+            modes.len(),
+            ws.len(),
+            "initial_modes needs one entry per tenant"
+        );
     }
     let requests: Vec<PlacementRequest> = profiles
         .into_iter()
@@ -277,7 +306,31 @@ fn run_one_gpu(
             )
         })
         .collect();
-    let driver = BlessDriver::new(apps, params.clone());
+    let mut driver = BlessDriver::new(apps, params.clone());
+    if let Some(modes) = &opts.initial_modes {
+        for (local, &t) in tenants.iter().enumerate() {
+            driver.restore_share_mode(local, modes[t], 0);
+        }
+    }
+    // PR 6 follow-on: when the runtime's own lane hints certify the
+    // tenancy as fully sharded, promote the hint into an actual lane
+    // split — each tenant simulates on its own isolated engine. Trace
+    // capture stays monolithic (lane streams have per-lane queue/seq
+    // namespaces), as do closed-loop tenants (their client state lives
+    // in one shared notice handler).
+    let open_loop = local_ws
+        .tenants
+        .iter()
+        .all(|t| !matches!(t.pattern, ArrivalPattern::ClosedLoop { .. }));
+    if opts.lane_sharding && !opts.capture_trace && open_loop {
+        let hints = driver.lane_hints(spec.num_sms);
+        if hints.is_fully_sharded() && hints.num_lanes() > 1 {
+            let modes: Vec<ShareMode> = (0..tenants.len()).map(|a| driver.share_mode(a)).collect();
+            return run_one_gpu_sharded(
+                g, tenants, &local_ws, requests, &modes, spec, params, horizon,
+            );
+        }
+    }
     let mut gpu = Gpu::new(spec.clone(), HostCosts::paper());
     let sink = if opts.capture_trace {
         let s = BufferSink::new();
@@ -302,7 +355,77 @@ fn run_one_gpu(
         log: sim.driver.log,
         outcome,
         utilization,
+        lanes: 1,
         trace: sink.map(|s| s.take()).unwrap_or_default(),
+    }
+}
+
+/// Simulates a fully-sharded GPU as per-tenant lanes: every tenant runs
+/// on its own engine (its hard SM cap makes the partition structurally
+/// isolated — see DESIGN.md §5h), and the per-lane logs merge back into
+/// local tenant order. Arrivals come from the *same* per-app forks the
+/// monolithic path draws, so the schedules coincide; only the
+/// cross-partition memory-interference term is dropped.
+#[allow(clippy::too_many_arguments)]
+fn run_one_gpu_sharded(
+    g: usize,
+    tenants: Vec<usize>,
+    local_ws: &WorkloadSet,
+    requests: &[PlacementRequest],
+    modes: &[ShareMode],
+    spec: &GpuSpec,
+    params: &BlessParams,
+    horizon: SimTime,
+) -> GpuRun {
+    // Canonical arrival schedule (per-app forks of the GPU seed),
+    // partitioned by tenant and renumbered to each lane's app 0.
+    let mut per_lane: Vec<Vec<RequestArrival>> = vec![Vec::new(); tenants.len()];
+    for a in local_ws.initial_arrivals() {
+        per_lane[a.app].push(RequestArrival { app: 0, ..a });
+    }
+
+    let mut log = RequestLog::new(tenants.len());
+    let mut outcome = RunOutcome::Completed;
+    let mut busy = 0.0;
+    let mut makespan = 0.0f64;
+    for (lane, arrivals) in per_lane.into_iter().enumerate() {
+        let t = tenants[lane];
+        let app = DeployedApp::new(
+            SharedProfile::clone(&requests[t].profile),
+            requests[t].quota,
+            None,
+        );
+        let mut driver = BlessDriver::new(vec![app], params.clone());
+        driver.restore_share_mode(0, modes[lane], 0);
+        let gpu = Gpu::new(spec.clone(), HostCosts::paper());
+        let mut sim = Simulation::new(gpu, driver, arrivals);
+        let lane_outcome = sim.run(horizon);
+        if outcome == RunOutcome::Completed {
+            outcome = lane_outcome;
+        }
+        busy += sim.gpu.busy_sm_seconds();
+        makespan = makespan.max(sim.gpu.now().as_secs_f64());
+        for (req, r) in sim.driver.log.records(0).iter().enumerate() {
+            log.arrived(lane, req, r.arrival);
+            if let Some(c) = r.completion {
+                log.completed(lane, req, c);
+            }
+        }
+    }
+    let lanes = tenants.len();
+    let utilization = if makespan > 0.0 {
+        busy / (spec.num_sms as f64 * makespan)
+    } else {
+        0.0
+    };
+    GpuRun {
+        gpu: g,
+        tenants,
+        log,
+        outcome,
+        utilization,
+        lanes,
+        trace: Vec::new(),
     }
 }
 
@@ -514,6 +637,124 @@ mod tests {
                 tenants: 4
             }
         );
+    }
+
+    fn strict_pair_fixture() -> (GpuSpec, WorkloadSet, Vec<SharedProfile>) {
+        let spec = GpuSpec::a100();
+        let kinds = [ModelKind::Vgg11, ModelKind::ResNet50];
+        let tenants: Vec<TenantSpec> = kinds
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| {
+                TenantSpec::new(
+                    AppModel::build(k, Phase::Inference),
+                    0.45,
+                    ArrivalPattern::Periodic {
+                        period: SimDuration::from_millis(5),
+                        count: 6,
+                        offset: SimDuration::from_millis(i as u64),
+                    },
+                )
+            })
+            .collect();
+        let profiles = kinds
+            .iter()
+            .map(|&k| ProfiledApp::profile_shared(&AppModel::build(k, Phase::Inference), &spec))
+            .collect();
+        (spec, WorkloadSet { tenants, seed: 9 }, profiles)
+    }
+
+    #[test]
+    fn fully_sharded_tenancy_runs_on_per_tenant_lanes() {
+        let (spec, ws, profiles) = strict_pair_fixture();
+        let horizon = SimTime::from_secs(60);
+        let params = BlessParams::default();
+        let opts = ClusterOptions {
+            initial_modes: Some(vec![ShareMode::StrictSpatial; 2]),
+            ..ClusterOptions::default()
+        };
+        let run =
+            run_cluster_opts(&ws, profiles.clone(), 1, &spec, &params, horizon, &opts).unwrap();
+        assert_eq!(run.gpus.len(), 1);
+        let g = &run.gpus[0];
+        assert_eq!(g.lanes, 2, "strict-spatial pair must shard onto 2 lanes");
+        assert_eq!(g.outcome, RunOutcome::Completed);
+        assert!(g.utilization > 0.0);
+        for app in 0..2 {
+            assert_eq!(g.log.records(app).len(), 6);
+            assert_eq!(g.log.completed_count(app), 6, "app {app} lost requests");
+        }
+
+        // The sharded run is deterministic…
+        let again =
+            run_cluster_opts(&ws, profiles.clone(), 1, &spec, &params, horizon, &opts).unwrap();
+        for app in 0..2 {
+            let a: Vec<_> = run.gpus[0]
+                .log
+                .records(app)
+                .iter()
+                .map(|r| (r.arrival, r.completion))
+                .collect();
+            let b: Vec<_> = again.gpus[0]
+                .log
+                .records(app)
+                .iter()
+                .map(|r| (r.arrival, r.completion))
+                .collect();
+            assert_eq!(a, b, "app {app}");
+        }
+
+        // …and draws the exact arrival schedule the monolithic engine
+        // uses (same per-app forks), so only completion physics differ.
+        let mono = run_cluster_opts(
+            &ws,
+            profiles,
+            1,
+            &spec,
+            &params,
+            horizon,
+            &ClusterOptions {
+                lane_sharding: false,
+                initial_modes: Some(vec![ShareMode::StrictSpatial; 2]),
+                ..ClusterOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(mono.gpus[0].lanes, 1);
+        for app in 0..2 {
+            let sharded: Vec<_> = run.gpus[0]
+                .log
+                .records(app)
+                .iter()
+                .map(|r| r.arrival)
+                .collect();
+            let monolithic: Vec<_> = mono.gpus[0]
+                .log
+                .records(app)
+                .iter()
+                .map(|r| r.arrival)
+                .collect();
+            assert_eq!(sharded, monolithic, "app {app} arrival schedules diverge");
+            assert_eq!(mono.gpus[0].log.completed_count(app), 6);
+        }
+    }
+
+    #[test]
+    fn pool_reachable_tenancies_stay_monolithic() {
+        // Without mode pinning every tenant deploys semi-spatial — the
+        // hint never certifies the split, even with sharding enabled.
+        let (spec, ws, profiles) = strict_pair_fixture();
+        let run = run_cluster(
+            &ws,
+            profiles,
+            1,
+            &spec,
+            &BlessParams::default(),
+            SimTime::from_secs(60),
+        )
+        .unwrap();
+        assert_eq!(run.gpus[0].lanes, 1);
+        assert!(run.all_completed());
     }
 
     #[test]

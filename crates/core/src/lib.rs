@@ -64,7 +64,7 @@ pub use predict::{
     determine_config, determine_config_exhaustive, determine_config_memo,
     predict_interference_free, predict_workload_equivalence, ConfigChoice, ConfigMemo, ExecConfig,
 };
-pub use runtime::{BlessDriver, SquadRecord};
+pub use runtime::{BlessDriver, CheckpointReq, SquadRecord, TenantCheckpoint};
 pub use squad::{
     generate_squad, generate_squad_into, ActiveRequest, Squad, SquadEntry, SquadScratch,
 };

@@ -105,6 +105,43 @@ pub struct SquadRecord {
     pub sm_caps: Vec<(usize, u32)>,
 }
 
+/// One request preserved in a tenant checkpoint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CheckpointReq {
+    /// Per-driver request id (dense from 0 on the source driver).
+    pub req: usize,
+    /// Original arrival instant.
+    pub arrival: SimTime,
+}
+
+/// Portable per-tenant snapshot of a quiesced driver's pending request
+/// work, exported by [`BlessDriver::export_checkpoint`] — the driver half
+/// of the drain-and-snapshot migration path (the engine half is
+/// [`gpu_sim::DeviceCheckpoint`]; see DESIGN.md §5i).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TenantCheckpoint {
+    /// App id on the source driver.
+    pub app: usize,
+    /// The request in flight at the barrier, if any. Its launched squads
+    /// were abandoned with typed errors on the device; the request must
+    /// be re-run from scratch wherever the tenant lands.
+    pub in_flight: Option<CheckpointReq>,
+    /// Requests still waiting in the task queue, FIFO order preserved.
+    pub queued: Vec<CheckpointReq>,
+    /// Degradation-ladder position at the barrier, carried so a migrated
+    /// tenant resumes mid-ladder instead of resetting to semi-spatial.
+    pub mode: ShareMode,
+    /// Consecutive clean squads toward re-promotion at the barrier.
+    pub clean_squads: u32,
+}
+
+impl TenantCheckpoint {
+    /// Total requests preserved (in-flight plus queued).
+    pub fn outstanding(&self) -> usize {
+        usize::from(self.in_flight.is_some()) + self.queued.len()
+    }
+}
+
 /// The BLESS scheduler, driving one GPU on behalf of its tenants.
 pub struct BlessDriver {
     /// Deployment data, indexed by app id.
@@ -239,6 +276,49 @@ impl BlessDriver {
     pub fn lane_hints(&self, num_sms: u32) -> crate::lanes::LaneHints {
         let quotas: Vec<f64> = self.apps.iter().map(|a| a.quota).collect();
         crate::lanes::LaneHints::from_share_modes(&self.degrade, &quotas, num_sms)
+    }
+
+    /// Exports the driver's pending request work as a portable per-tenant
+    /// checkpoint: the in-flight request (whose device squads the caller
+    /// abandons via [`Gpu::drain_snapshot`]) plus the task queue in FIFO
+    /// order, with the degradation-ladder position carried along.
+    ///
+    /// Pure read: the driver is left untouched, so the caller decides
+    /// whether the source keeps running (planned migration) or is retired
+    /// (device failure). Undelivered future arrivals live in the
+    /// simulation loop, not the driver — collect them separately with
+    /// `Simulation::take_pending_arrivals`.
+    pub fn export_checkpoint(&self) -> Vec<TenantCheckpoint> {
+        (0..self.apps.len())
+            .map(|app| TenantCheckpoint {
+                app,
+                in_flight: self.active[app].map(|a| CheckpointReq {
+                    req: a.req,
+                    arrival: a.arrival,
+                }),
+                queued: self.task_queues[app]
+                    .iter()
+                    .map(|p| CheckpointReq {
+                        req: p.req,
+                        arrival: p.arrival,
+                    })
+                    .collect(),
+                mode: self.degrade[app],
+                clean_squads: self.clean_squads[app],
+            })
+            .collect()
+    }
+
+    /// Restores a migrated tenant's degradation-ladder position from its
+    /// checkpoint: the tenant keeps its rung and its re-promotion progress,
+    /// so a migration landing mid-ladder re-promotes through the same
+    /// remaining rungs as an uninterrupted run.
+    ///
+    /// Call before the first arrival is delivered (fresh drivers start
+    /// every tenant at semi-spatial with zero clean squads).
+    pub fn restore_share_mode(&mut self, app: usize, mode: ShareMode, clean_squads: u32) {
+        self.degrade[app] = mode;
+        self.clean_squads[app] = clean_squads;
     }
 
     /// Records a recoverable anomaly without letting the error log grow
@@ -1370,6 +1450,168 @@ mod tests {
         assert_eq!(sim.driver.robustness.demotions(), 0);
         assert_eq!(sim.driver.robustness.sched_errors, 0);
         assert_eq!(sim.driver.share_mode(0), metrics::ShareMode::SemiSpatial);
+    }
+
+    #[test]
+    fn ladder_round_trip_repromotes_through_the_same_rungs() {
+        use metrics::ShareMode;
+        // Walking an app all the way down the ladder and back up must
+        // visit exactly the same rungs in reverse, with the saturating
+        // steps (demote from temporal, promote from semi-spatial)
+        // recording nothing.
+        let walk = || {
+            let params = BlessParams {
+                watchdog: Some(crate::params::WatchdogParams::default()),
+                ..BlessParams::default()
+            };
+            let mut driver = BlessDriver::new(vec![deploy(ModelKind::NasNet, 0.5)], params);
+            let mut gpu = Gpu::new(GpuSpec::a100(), HostCosts::paper());
+            for i in 0..3u64 {
+                driver.shift_mode(&mut gpu, 0, SimTime::from_millis(i), true);
+            }
+            assert_eq!(driver.share_mode(0), ShareMode::Temporal);
+            for i in 3..6u64 {
+                driver.shift_mode(&mut gpu, 0, SimTime::from_millis(i), false);
+            }
+            assert_eq!(driver.share_mode(0), ShareMode::SemiSpatial);
+            driver
+                .robustness
+                .degradations
+                .iter()
+                .map(|t| (t.app, t.from, t.to))
+                .collect::<Vec<_>>()
+        };
+        let rungs = walk();
+        assert_eq!(
+            rungs,
+            vec![
+                (0, ShareMode::SemiSpatial, ShareMode::StrictSpatial),
+                (0, ShareMode::StrictSpatial, ShareMode::Temporal),
+                (0, ShareMode::Temporal, ShareMode::StrictSpatial),
+                (0, ShareMode::StrictSpatial, ShareMode::SemiSpatial),
+            ]
+        );
+        // Same walk, same rungs — the ladder is a deterministic machine.
+        assert_eq!(rungs, walk());
+    }
+
+    #[test]
+    fn checkpoint_restore_lands_mid_ladder_and_repromotes_identically() {
+        use metrics::ShareMode;
+        // A migration exports (mode, clean_squads) and restores them on
+        // the target driver. The restored tenant must sit on the same
+        // rung with the same promotion credit, and from there walk the
+        // exact rung sequence the donor walks.
+        let params = BlessParams {
+            watchdog: Some(crate::params::WatchdogParams {
+                degrade_threshold: 1.4,
+                promote_after: 3,
+            }),
+            ..BlessParams::default()
+        };
+        let mut donor = BlessDriver::new(vec![deploy(ModelKind::NasNet, 0.5)], params.clone());
+        let mut gpu = Gpu::new(GpuSpec::a100(), HostCosts::paper());
+        donor.shift_mode(&mut gpu, 0, SimTime::from_millis(1), true);
+        donor.shift_mode(&mut gpu, 0, SimTime::from_millis(2), true);
+        donor.clean_squads[0] = 2; // promotion credit banked mid-ladder
+        let ckpt = donor.export_checkpoint();
+        assert_eq!(ckpt[0].mode, ShareMode::Temporal);
+        assert_eq!(ckpt[0].clean_squads, 2);
+
+        let mut restored = BlessDriver::new(vec![deploy(ModelKind::NasNet, 0.5)], params);
+        restored.restore_share_mode(0, ckpt[0].mode, ckpt[0].clean_squads);
+        assert_eq!(restored.share_mode(0), ShareMode::Temporal);
+        assert_eq!(restored.clean_squads[0], 2);
+
+        // Promote both in lockstep: every rung matches.
+        let mut tgt_gpu = Gpu::new(GpuSpec::a100(), HostCosts::paper());
+        for i in 3..6u64 {
+            donor.shift_mode(&mut gpu, 0, SimTime::from_millis(i), false);
+            restored.shift_mode(&mut tgt_gpu, 0, SimTime::from_millis(i), false);
+            assert_eq!(donor.share_mode(0), restored.share_mode(0), "step {i}");
+        }
+        assert_eq!(restored.share_mode(0), ShareMode::SemiSpatial);
+        let donor_up: Vec<_> = donor.robustness.degradations[2..]
+            .iter()
+            .map(|t| (t.from, t.to))
+            .collect();
+        let restored_up: Vec<_> = restored
+            .robustness
+            .degradations
+            .iter()
+            .map(|t| (t.from, t.to))
+            .collect();
+        assert_eq!(donor_up, restored_up);
+    }
+
+    #[test]
+    fn watchdog_repromotes_a_migrated_tenant_through_the_full_ladder() {
+        use metrics::ShareMode;
+        use sim_core::{FaultPlan, FaultSpec};
+        // End-to-end: severe drift walks the tenant down to temporal;
+        // a checkpoint restore moves it to a healthy device mid-ladder,
+        // where the watchdog itself must re-promote it rung by rung back
+        // to semi-spatial — the same rungs, watchdog-driven this time.
+        let params = BlessParams {
+            watchdog: Some(crate::params::WatchdogParams {
+                degrade_threshold: 1.4,
+                promote_after: 2,
+            }),
+            ..BlessParams::default()
+        };
+        let arrivals = |n: usize| -> Vec<RequestArrival> {
+            (0..n)
+                .map(|i| RequestArrival {
+                    app: 0,
+                    req: i,
+                    at: SimTime::from_millis(5 * i as u64),
+                })
+                .collect()
+        };
+        let driver = BlessDriver::new(vec![deploy(ModelKind::NasNet, 0.5)], params.clone());
+        let mut gpu = Gpu::new(GpuSpec::a100(), HostCosts::paper());
+        gpu.set_fault_plan(FaultPlan::build(
+            11,
+            &FaultSpec {
+                num_apps: 1,
+                drift_prob: 1.0,
+                drift_range: (2.0, 2.5),
+                ..FaultSpec::default()
+            },
+        ));
+        let mut sick = Simulation::new(gpu, driver, arrivals(8));
+        assert_eq!(sick.run(SimTime::from_secs(30)), RunOutcome::Completed);
+        assert_eq!(
+            sick.driver.share_mode(0),
+            ShareMode::Temporal,
+            "persistent 2x drift must walk the tenant to the bottom rung"
+        );
+
+        // "Migrate": restore the exported ladder state on a fresh driver
+        // and a fault-free device, then serve more requests there.
+        let ckpt = sick.driver.export_checkpoint();
+        let mut target = BlessDriver::new(vec![deploy(ModelKind::NasNet, 0.5)], params);
+        target.restore_share_mode(0, ckpt[0].mode, ckpt[0].clean_squads);
+        let healthy = Gpu::new(GpuSpec::a100(), HostCosts::paper());
+        let mut sim = Simulation::new(healthy, target, arrivals(8));
+        assert_eq!(sim.run(SimTime::from_secs(30)), RunOutcome::Completed);
+
+        assert_eq!(sim.driver.share_mode(0), ShareMode::SemiSpatial);
+        let rungs: Vec<_> = sim
+            .driver
+            .robustness
+            .degradations
+            .iter()
+            .map(|t| (t.from, t.to))
+            .collect();
+        assert_eq!(
+            rungs,
+            vec![
+                (ShareMode::Temporal, ShareMode::StrictSpatial),
+                (ShareMode::StrictSpatial, ShareMode::SemiSpatial),
+            ],
+            "recovery must climb the same rungs the degradation descended"
+        );
     }
 
     #[test]

@@ -265,6 +265,22 @@ pub struct FailedKernel {
     pub tag: u64,
 }
 
+/// Portable snapshot of a quiesced device's pending engine-level work,
+/// produced by [`Gpu::drain_snapshot`] (see DESIGN.md §5i).
+///
+/// The kernel list is the *abandoned* work: requests owning these kernels
+/// must be re-run from scratch wherever the tenant lands next. Queued
+/// request order is the driver's to preserve; the engine checkpoint only
+/// certifies that nothing was silently dropped.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeviceCheckpoint {
+    /// Barrier instant the device was quiesced at.
+    pub at: SimTime,
+    /// Every kernel abandoned at the barrier — in launch order, which
+    /// preserves per-queue FIFO — with launch tags intact.
+    pub abandoned: Vec<FailedKernel>,
+}
+
 /// Running totals of injected faults, for robustness reports.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct FaultCounters {
@@ -1239,6 +1255,70 @@ impl Gpu {
         }
         // Survivors inherit the freed SMs / bandwidth immediately.
         self.reallocate_scoped(true, true);
+    }
+
+    /// Quiesces the device at the current instant and exports its pending
+    /// work as a portable checkpoint: every in-flight, queued, and running
+    /// kernel of every tenant is abandoned (reported only through the
+    /// returned [`DeviceCheckpoint`], never through [`Gpu::take_failed`])
+    /// and all remaining device events are dropped.
+    ///
+    /// After the call the device is idle and permanently drained — this is
+    /// the engine half of a live migration or failure evacuation; the
+    /// driver half supplies the request-level checkpoint
+    /// (`BlessDriver::export_checkpoint`). Call it after advancing the
+    /// engine to the fault barrier (e.g. via [`Gpu::advance_until`]).
+    pub fn drain_snapshot(&mut self) -> DeviceCheckpoint {
+        let mut abandoned = Vec::new();
+        for slot in 0..self.instances.len() {
+            let inst = &self.instances[slot];
+            if matches!(inst.state, InstState::Done | InstState::Failed) {
+                continue;
+            }
+            let state = inst.state;
+            let q = inst.queue.0 as usize;
+            let inst = &mut self.instances[slot];
+            inst.state = InstState::Failed;
+            inst.rate = 0.0;
+            inst.alloc_sms = 0.0;
+            inst.finished_at = None;
+            let generation = inst.generation;
+            match state {
+                InstState::InFlight => {
+                    // The pending Arrive event is dropped with the queue.
+                }
+                InstState::Queued => {
+                    self.queues[q].waiting.retain(|&s| s != slot);
+                }
+                InstState::Running => {
+                    if self.queues[q].running == Some(slot) {
+                        self.queues[q].running = None;
+                    }
+                }
+                InstState::Done | InstState::Failed => unreachable!(),
+            }
+            self.live_instances -= 1;
+            if self.trace.is_some() {
+                let seq = self.instances[slot].trace_seq;
+                if seq != 0 {
+                    self.trace_emit(TraceEvent::KernelFailed {
+                        at: self.now,
+                        seq,
+                        queue: q as u32,
+                    });
+                }
+            }
+            abandoned.push(FailedKernel {
+                handle: Self::handle_for(slot, generation),
+                queue: QueueId(q as u32),
+                tag: self.instances[slot].tag,
+            });
+        }
+        self.events.clear();
+        DeviceCheckpoint {
+            at: self.now,
+            abandoned,
+        }
     }
 
     /// Runs the device forward until no events remain, discarding outputs.

@@ -58,7 +58,7 @@
 use sim_core::trace::{BufferSink, TraceEvent};
 use sim_core::{EventQueueKind, SimTime};
 
-use crate::engine::{Gpu, StepOutput};
+use crate::engine::{DeviceCheckpoint, Gpu, StepOutput};
 use crate::spec::{GpuSpec, HostCosts};
 
 /// One externally visible output, stamped with its virtual time and the
@@ -263,6 +263,35 @@ impl LaneEngine {
     pub fn advance_par_until(&mut self, limit: SimTime, out: &mut Vec<MergedOutput>) {
         self.run_lanes(Some(limit));
         self.merge_outputs(out);
+    }
+
+    /// Quiesces the whole sharded device at `barrier` and exports its
+    /// pending work as one portable checkpoint: every lane is advanced up
+    /// to (but not including) the barrier — outputs merged into `out`
+    /// exactly as [`LaneEngine::advance_par_until`] would — then each
+    /// lane's engine is drained via [`Gpu::drain_snapshot`] and the
+    /// per-lane checkpoints are concatenated in lane order (each lane's
+    /// abandoned list is already in launch order, so per-queue FIFO is
+    /// preserved inside every lane).
+    ///
+    /// After the call every lane is idle and permanently drained; the
+    /// engine is done. Deterministic for any worker count: the abandoned
+    /// set at a fixed barrier is a pure function of each lane's state.
+    pub fn drain_snapshot(
+        &mut self,
+        barrier: SimTime,
+        out: &mut Vec<MergedOutput>,
+    ) -> DeviceCheckpoint {
+        self.advance_par_until(barrier, out);
+        let mut merged = DeviceCheckpoint {
+            at: barrier,
+            abandoned: Vec::new(),
+        };
+        for lane in &mut self.lanes {
+            let ckpt = lane.gpu.drain_snapshot();
+            merged.abandoned.extend(ckpt.abandoned);
+        }
+        merged
     }
 
     /// Advances each lane (to `limit`, or to completion when `None`),

@@ -43,8 +43,8 @@ pub mod sim;
 pub mod spec;
 
 pub use engine::{
-    CtxId, CtxKind, FailedKernel, FaultCounters, Gpu, GpuError, InstState, KernelHandle, QueueId,
-    StepOutput, TimelineSegment,
+    CtxId, CtxKind, DeviceCheckpoint, FailedKernel, FaultCounters, Gpu, GpuError, InstState,
+    KernelHandle, QueueId, StepOutput, TimelineSegment,
 };
 pub use kernel::{KernelDesc, KernelKind, KernelTableId};
 pub use lanes::{LaneEngine, MergedOutput};

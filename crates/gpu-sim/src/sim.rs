@@ -105,7 +105,9 @@ pub fn decode_tag(tag: u64) -> (usize, usize) {
 /// Reaction of a workload client to a driver notice: optionally inject the
 /// next request (closed-loop clients schedule a new arrival after each
 /// completion).
-pub type NoticeHandler = Box<dyn FnMut(u64, SimTime) -> Option<RequestArrival>>;
+/// `Send` so a whole [`Simulation`] can move across threads — the cluster
+/// chaos runner drains surviving devices on a worker pool.
+pub type NoticeHandler = Box<dyn FnMut(u64, SimTime) -> Option<RequestArrival> + Send>;
 
 /// Owns a [`Gpu`] and a schedule of request arrivals, and runs a driver
 /// against them.
@@ -168,6 +170,20 @@ impl<D: HostDriver> Simulation<D> {
     pub fn inject_arrival(&mut self, arrival: RequestArrival) {
         self.arrivals.push(arrival.at, arrival);
         self.pending_count += 1;
+    }
+
+    /// Removes and returns every arrival not yet delivered to the driver,
+    /// in time order (ties keep insertion order). Part of the
+    /// drain-and-snapshot path: after quiescing the device at a barrier,
+    /// the undelivered tail joins the migration checkpoint so no request
+    /// is lost when the simulation is retired.
+    pub fn take_pending_arrivals(&mut self) -> Vec<RequestArrival> {
+        let mut out = Vec::with_capacity(self.arrivals.len());
+        while let Some((_, a)) = self.arrivals.pop() {
+            out.push(a);
+        }
+        self.pending_count = 0;
+        out
     }
 
     fn process_notices(&mut self) {

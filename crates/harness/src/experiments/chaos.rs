@@ -1,0 +1,289 @@
+//! Chaos experiment: seeded GPU kill/hang matrix over 4–64 GPU fleets
+//! (see DESIGN.md §5i "Fleet-level fault tolerance").
+//!
+//! Each scenario places an open-loop tenant fleet, injects a seeded
+//! schedule of permanent device failures and transient hangs via
+//! [`cluster::run_chaos`], and machine-checks the recovery invariants:
+//!
+//! * the fleet survives — every surviving device drains to completion;
+//! * **no request lost across migration**: the only unserved requests
+//!   belong to tenants the run explicitly reports as stranded, with a
+//!   typed [`PlacementError`] reason;
+//! * bounded time-to-recover: every evacuation is matched by a
+//!   restoration within `MAX_RECOVERY`, enforced twice — directly on
+//!   the [`cluster::MigrationRecord`]s and independently by the
+//!   [`metrics::TraceValidator`] replaying the synthesized fleet trace;
+//! * per-tenant FIFO end-to-end: completions stay in request order even
+//!   when a tenant's queue is checkpointed and replayed elsewhere.
+//!
+//! The whole schedule is a pure function of `(FAULT_SEED, FaultSpec)`,
+//! so the matrix — including which tenants migrate, strand, or ride out
+//! a hang — replays byte-identically at any worker count.
+
+use bless::BlessParams;
+use cluster::{run_chaos, ChaosOptions, ChaosRun, PlacementError};
+use dnn_models::{ModelKind, Phase};
+use gpu_sim::{GpuSpec, RunOutcome};
+use metrics::{Table, TraceValidator, ValidatorConfig};
+use profiler::SharedProfile;
+use sim_core::{FaultSpec, SimDuration, SimTime};
+use workloads::{ArrivalPattern, TenantSpec, WorkloadSet};
+
+use crate::{cache, tracectl};
+
+/// Seed for the kill/hang schedule (same seed ⇒ same chaos every run).
+const FAULT_SEED: u64 = 42;
+
+/// Workload seed, matching the fleet experiment.
+const WORKLOAD_SEED: u64 = 23;
+
+/// Per-tenant SM quota. With 2·N−1 tenants on an N-GPU fleet the
+/// first-fit placer packs two per device and leaves the last GPU with a
+/// single tenant — the only headroom a failure's evacuees can migrate
+/// into, so every kill scenario exercises both the re-place and the
+/// typed-strand path.
+const QUOTA: f64 = 0.45;
+
+/// Ceiling on any single tenant's time-to-recover. Transient hangs
+/// dominate: 3 ms of hang plus the modeled device restart; permanent
+/// failures only pay the 250 µs migration cost.
+const MAX_RECOVERY: SimDuration = SimDuration::from_millis(5);
+
+/// One row of the chaos matrix.
+struct Scenario {
+    name: &'static str,
+    fleet: usize,
+    faults: FaultSpec,
+}
+
+fn fault_spec(fails: u32, hangs: u32) -> FaultSpec {
+    FaultSpec {
+        // `num_gpus: 0` sizes the fault domain to the placement.
+        gpu_fail_count: fails,
+        gpu_fail_window: (SimTime::from_millis(5), SimTime::from_millis(25)),
+        gpu_hang_count: hangs,
+        gpu_hang_window: (SimTime::from_millis(5), SimTime::from_millis(25)),
+        gpu_hang_len: SimDuration::from_millis(3),
+        ..FaultSpec::default()
+    }
+}
+
+/// The kill/hang matrix, smallest fleet first.
+fn scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            name: "control-4",
+            fleet: 4,
+            faults: FaultSpec::default(),
+        },
+        Scenario {
+            name: "kill-4",
+            fleet: 4,
+            faults: fault_spec(1, 0),
+        },
+        Scenario {
+            name: "hang-4",
+            fleet: 4,
+            faults: fault_spec(0, 2),
+        },
+        Scenario {
+            name: "mixed-16",
+            fleet: 16,
+            faults: fault_spec(2, 2),
+        },
+        Scenario {
+            name: "mixed-64",
+            fleet: 64,
+            faults: fault_spec(4, 4),
+        },
+    ]
+}
+
+/// Open-loop tenant fleet: 2·N−1 VGG-11 inference tenants with staggered
+/// periodic arrivals (closed-loop clients cannot be checkpointed across
+/// a migration, so chaos runs are open-loop by construction).
+fn workload(fleet: usize) -> WorkloadSet {
+    let tenants = (0..2 * fleet - 1)
+        .map(|i| {
+            TenantSpec::new(
+                cache::model(ModelKind::Vgg11, Phase::Inference),
+                QUOTA,
+                ArrivalPattern::Periodic {
+                    period: SimDuration::from_millis(5),
+                    count: 12,
+                    offset: SimDuration::from_millis((i % 5) as u64),
+                },
+            )
+        })
+        .collect();
+    WorkloadSet {
+        tenants,
+        seed: WORKLOAD_SEED,
+    }
+}
+
+fn run_scenario(sc: &Scenario, spec: &GpuSpec) -> ChaosRun {
+    let ws = workload(sc.fleet);
+    let profiles: Vec<SharedProfile> = (0..ws.len())
+        .map(|_| cache::profile(ModelKind::Vgg11, Phase::Inference, spec))
+        .collect();
+    let run = run_chaos(
+        &ws,
+        profiles,
+        sc.fleet,
+        spec,
+        &BlessParams::default(),
+        SimTime::from_secs(120),
+        FAULT_SEED,
+        &sc.faults,
+        &ChaosOptions {
+            capture_trace: true,
+            ..ChaosOptions::default()
+        },
+    )
+    .unwrap_or_else(|e| panic!("{}: placement failed: {e}", sc.name));
+
+    // Invariant: every surviving device drains to completion.
+    for (g, o) in run.outcomes.iter().enumerate() {
+        if let Some(o) = o {
+            assert_eq!(*o, RunOutcome::Completed, "{}: gpu {g} wedged", sc.name);
+        }
+    }
+    // Invariant: no request lost across migration — the only unserved
+    // requests belong to explicitly reported casualties, each with a
+    // typed reason.
+    let stranded_losses: usize = run.stranded.iter().map(|s| s.lost_requests).sum();
+    assert_eq!(
+        run.lost_requests(),
+        stranded_losses,
+        "{}: requests lost outside the stranded report",
+        sc.name
+    );
+    for s in &run.stranded {
+        assert!(
+            matches!(s.reason, PlacementError::NoCapacity { .. }),
+            "{}: tenant {} stranded with untyped reason {}",
+            sc.name,
+            s.tenant,
+            s.reason
+        );
+    }
+    // Invariant: bounded time-to-recover, checked on the records…
+    for m in &run.migrations {
+        assert!(
+            m.recovery() <= MAX_RECOVERY,
+            "{}: tenant {} recovery {:?} exceeds {:?}",
+            sc.name,
+            m.tenant,
+            m.recovery(),
+            MAX_RECOVERY
+        );
+    }
+    // …and independently by the trace validator (which also enforces
+    // evacuation closure and end-to-end per-tenant FIFO). The Perfetto
+    // file is written *before* validation so a CI failure still leaves
+    // the artifact behind.
+    assert!(!run.trace.is_empty(), "{}: fleet trace empty", sc.name);
+    let path = tracectl::write_perfetto(sc.name, &run.trace);
+    let report = TraceValidator::new(ValidatorConfig {
+        num_sms: spec.num_sms,
+        iso_targets: None,
+        fairness_spread: None,
+        max_recovery_ns: Some(MAX_RECOVERY.as_nanos()),
+    })
+    .validate(&run.trace);
+    if !report.is_clean() {
+        if let Some(p) = &path {
+            eprintln!("chaos trace with violations saved to {}", p.display());
+        }
+        report.assert_clean();
+    }
+    run
+}
+
+/// Regenerates the chaos matrix table.
+pub fn run() -> Vec<Table> {
+    let spec = GpuSpec::a100();
+    let mut t = Table::new(
+        "Chaos: seeded GPU kill/hang matrix over 4-64 GPU fleets (seed 42)",
+        &[
+            "scenario",
+            "fleet",
+            "tenants",
+            "kills",
+            "hangs",
+            "migrated",
+            "stranded",
+            "skipped",
+            "lost",
+            "max rec (us)",
+            "mean ms",
+        ],
+    );
+    for sc in scenarios() {
+        let r = run_scenario(&sc, &spec);
+        if sc.name == "control-4" {
+            // The fault-free control must be an untouched fleet run.
+            assert!(r.migrations.is_empty() && r.stranded.is_empty() && r.skipped.is_empty());
+            assert!(r.all_served(), "control lost requests");
+        }
+        let max_rec_us = r
+            .migrations
+            .iter()
+            .map(|m| m.recovery().as_nanos())
+            .max()
+            .map_or(0.0, |ns| ns as f64 / 1_000.0);
+        let mean_ms = r
+            .log
+            .mean_of_app_means()
+            .map_or(f64::NAN, |d| d.as_millis_f64());
+        t.row(&[
+            sc.name.to_string(),
+            sc.fleet.to_string(),
+            (2 * sc.fleet - 1).to_string(),
+            sc.faults.gpu_fail_count.to_string(),
+            sc.faults.gpu_hang_count.to_string(),
+            r.migrations.len().to_string(),
+            r.stranded.len().to_string(),
+            r.skipped.len().to_string(),
+            r.lost_requests().to_string(),
+            format!("{max_rec_us:.1}"),
+            format!("{mean_ms:.2}"),
+        ]);
+    }
+    t.note(format!(
+        "invariants checked per scenario: survivors drain clean, no request lost \
+         outside the typed stranded report, recovery <= {MAX_RECOVERY:?}, \
+         trace validator clean (evacuation closure, FIFO, recovery bound)"
+    ));
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chaos_matrix_upholds_recovery_invariants() {
+        // `run` asserts every invariant internally; also pin the shape
+        // and that the matrix actually exercises both recovery paths.
+        let tables = run();
+        assert_eq!(tables.len(), 1);
+        let t = &tables[0];
+        assert_eq!(t.row_count(), scenarios().len());
+        let col = |row: usize, col: usize| -> u64 { t.cell(row, col).parse().unwrap() };
+        // Control row is all-quiet.
+        assert_eq!(t.cell(0, 0), "control-4");
+        assert_eq!(col(0, 5) + col(0, 6) + col(0, 7) + col(0, 8), 0);
+        // Across the fault rows, tenants both migrate successfully and
+        // strand with a typed reason — both recovery paths are live.
+        let migrated: u64 = (1..t.row_count()).map(|r| col(r, 5)).sum();
+        let stranded: u64 = (1..t.row_count()).map(|r| col(r, 6)).sum();
+        assert!(migrated > 0, "matrix never exercised a live migration");
+        assert!(stranded > 0, "matrix never exercised the strand path");
+        // Hang-only scenarios recover in place and serve everything.
+        assert_eq!(t.cell(2, 0), "hang-4");
+        assert_eq!(col(2, 6), 0, "hangs must not strand tenants");
+        assert_eq!(col(2, 8), 0, "hangs must not lose requests");
+    }
+}

@@ -138,6 +138,7 @@ mod tests {
                 num_sms: spec.num_sms,
                 iso_targets: None,
                 fairness_spread: None,
+                max_recovery_ns: None,
             })
             .validate(&g.trace);
             assert!(report.is_clean(), "gpu {}: {report:?}", g.gpu);

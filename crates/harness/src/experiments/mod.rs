@@ -1,6 +1,7 @@
 //! One module per paper artifact; the registry maps experiment ids to
 //! runner functions.
 
+pub mod chaos;
 pub mod faults;
 pub mod fig10;
 pub mod fig12;
@@ -152,6 +153,11 @@ pub fn registry() -> Vec<Experiment> {
             id: "faults",
             describes: "robustness: deterministic fault matrix (stragglers, drift, crashes, DMA)",
             run: faults::run,
+        },
+        Experiment {
+            id: "chaos",
+            describes: "robustness: seeded GPU kill/hang matrix with live migration (4-64 GPUs)",
+            run: chaos::run,
         },
         Experiment {
             id: "fleet",

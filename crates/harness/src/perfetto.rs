@@ -28,6 +28,7 @@ const PID_TENANTS: u32 = 1;
 const PID_SQUADS: u32 = 2;
 const PID_PARTITIONS: u32 = 3;
 const PID_ALLOC: u32 = 4;
+const PID_FLEET: u32 = 5;
 
 /// Formats a nanosecond instant as microseconds with three decimals.
 fn us(t: SimTime) -> String {
@@ -306,6 +307,61 @@ pub fn export_chrome_trace(events: &[TraceEvent]) -> String {
                     ),
                 );
             }
+            TraceEvent::DeviceFailed { at, gpu, permanent } => {
+                let kind = if *permanent { "died" } else { "hang" };
+                push(
+                    &mut out,
+                    &format!(
+                        "{{\"ph\":\"i\",\"s\":\"g\",\"pid\":{PID_FLEET},\"tid\":{gpu},\
+                         \"ts\":{},\"name\":\"gpu {gpu} {kind}\"}}",
+                        us(*at)
+                    ),
+                );
+            }
+            TraceEvent::TenantEvacuated {
+                at,
+                gpu,
+                app,
+                in_flight,
+                queued,
+            } => {
+                push(
+                    &mut out,
+                    &format!(
+                        "{{\"ph\":\"i\",\"s\":\"t\",\"pid\":{PID_FLEET},\"tid\":{gpu},\
+                         \"ts\":{},\"name\":\"evacuate tenant {app}\",\
+                         \"args\":{{\"in_flight\":{in_flight},\"queued\":{queued}}}}}",
+                        us(*at)
+                    ),
+                );
+            }
+            TraceEvent::TenantRestored {
+                at,
+                gpu,
+                app,
+                recovery_ns,
+            } => {
+                push(
+                    &mut out,
+                    &format!(
+                        "{{\"ph\":\"i\",\"s\":\"t\",\"pid\":{PID_FLEET},\"tid\":{gpu},\
+                         \"ts\":{},\"name\":\"restore tenant {app}\",\
+                         \"args\":{{\"recovery_ns\":{recovery_ns}}}}}",
+                        us(*at)
+                    ),
+                );
+            }
+            TraceEvent::MigrationFailed { at, app, reason } => {
+                let why = migration_reason(*reason);
+                push(
+                    &mut out,
+                    &format!(
+                        "{{\"ph\":\"i\",\"s\":\"g\",\"pid\":{PID_FLEET},\"tid\":0,\
+                         \"ts\":{},\"name\":\"tenant {app} stranded: {why}\"}}",
+                        us(*at)
+                    ),
+                );
+            }
         }
     }
 
@@ -336,6 +392,7 @@ pub fn export_chrome_trace(events: &[TraceEvent]) -> String {
         (PID_SQUADS, "Squads"),
         (PID_PARTITIONS, "SM partitions"),
         (PID_ALLOC, "SM allocation"),
+        (PID_FLEET, "Fleet"),
     ] {
         push(
             &mut out,
@@ -365,6 +422,14 @@ fn mode_name(code: u8) -> &'static str {
         0 => "semi-spatial",
         1 => "strict-spatial",
         _ => "temporal",
+    }
+}
+
+fn migration_reason(code: u8) -> &'static str {
+    match code {
+        0 => "no capacity",
+        1 => "source dead",
+        _ => "unknown",
     }
 }
 

@@ -196,6 +196,7 @@ pub fn run_validated(
                     .collect(),
             ),
             fairness_spread: None,
+            max_recovery_ns: None,
         };
         TraceValidator::new(config).validate(&events).assert_clean();
     }

@@ -94,6 +94,7 @@ pub fn export_and_validate(
         num_sms,
         iso_targets: iso_targets.map(|t| t.iter().map(|d| d.as_nanos() as f64).collect()),
         fairness_spread: None,
+        max_recovery_ns: None,
     };
     let report = TraceValidator::new(config).validate(events);
     if !report.is_clean() {

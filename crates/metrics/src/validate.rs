@@ -24,6 +24,21 @@
 //!    target) stays bounded. Only checked when isolated targets are
 //!    supplied and the trace contains request completions.
 //!
+//! Fleet-recovery traces (streams containing device-failure or
+//! evacuation events, as synthesized by `cluster::run_chaos`) are
+//! additionally held to the migration invariants of DESIGN.md §5i:
+//!
+//! 7. **Evacuation closure** — every `TenantEvacuated` is matched by a
+//!    later `TenantRestored` or a typed `MigrationFailed`; nothing is
+//!    evacuated twice without closing, restored without being evacuated,
+//!    or left open at end of trace.
+//! 8. **Bounded recovery** — when [`ValidatorConfig::max_recovery_ns`]
+//!    is set, every restoration's recovery time stays within it.
+//! 9. **No request lost** — every arrival completes unless its tenant
+//!    was reported stranded by a typed `MigrationFailed`.
+//! 10. **End-to-end tenant FIFO** — each tenant's completions occur in
+//!     request order, across any number of migrations.
+//!
 //! The validator is pure: it never mutates the trace and has no
 //! dependency on the scheduler, so any stream — live, golden, or
 //! replayed from JSONL — can be checked.
@@ -52,6 +67,10 @@ pub struct ValidatorConfig {
     /// Maximum allowed max/min spread of normalized progress; defaults to
     /// [`DEFAULT_FAIRNESS_SPREAD`].
     pub fairness_spread: Option<f64>,
+    /// Bound on time-to-recover for fleet-recovery traces: every
+    /// `TenantRestored` must report `recovery_ns` at or under this.
+    /// `None` skips the bound (the closure checks still run).
+    pub max_recovery_ns: Option<u64>,
 }
 
 impl ValidatorConfig {
@@ -62,6 +81,7 @@ impl ValidatorConfig {
             num_sms,
             iso_targets: None,
             fairness_spread: None,
+            max_recovery_ns: None,
         }
     }
 }
@@ -179,6 +199,17 @@ impl TraceValidator {
         // fairness check.
         let mut arrivals: HashMap<(u32, u64), SimTime> = HashMap::new();
         let mut latencies: HashMap<u32, (f64, u64)> = HashMap::new();
+        // Fleet-recovery state: the migration invariants (7–10) bind only
+        // when the trace carries fleet events.
+        let mut saw_fleet = false;
+        // app -> evacuation instant, open until restored or typed-failed.
+        let mut evacuated: HashMap<u32, SimTime> = HashMap::new();
+        // Tenants reported stranded (exempt from the no-loss check).
+        let mut stranded: Vec<u32> = Vec::new();
+        // app -> last completed request id, for the end-to-end FIFO check
+        // (buffered: only binding for fleet-recovery traces).
+        let mut last_done: HashMap<u32, u64> = HashMap::new();
+        let mut fifo_violations: Vec<Violation> = Vec::new();
 
         let mut i = 0usize;
         while i < events.len() {
@@ -346,6 +377,65 @@ impl TraceValidator {
                         e.0 += at.duration_since(t0).as_nanos() as f64;
                         e.1 += 1;
                     }
+                    match last_done.get(app) {
+                        Some(&prev) if *req <= prev => fifo_violations.push(Violation {
+                            at,
+                            invariant: "tenant_fifo",
+                            detail: format!(
+                                "app {}: request {} completed after request {}",
+                                app, req, prev
+                            ),
+                        }),
+                        _ => {
+                            last_done.insert(*app, *req);
+                        }
+                    }
+                }
+                TraceEvent::DeviceFailed { .. } => {
+                    saw_fleet = true;
+                }
+                TraceEvent::TenantEvacuated { app, .. } => {
+                    saw_fleet = true;
+                    if let Some(open) = evacuated.insert(*app, at) {
+                        violations.push(Violation {
+                            at,
+                            invariant: "evacuation_closure",
+                            detail: format!(
+                                "app {} evacuated again while its evacuation at {} ns is open",
+                                app,
+                                open.as_nanos()
+                            ),
+                        });
+                    }
+                }
+                TraceEvent::TenantRestored {
+                    app, recovery_ns, ..
+                } => {
+                    saw_fleet = true;
+                    if evacuated.remove(app).is_none() {
+                        violations.push(Violation {
+                            at,
+                            invariant: "evacuation_closure",
+                            detail: format!("app {} restored without an open evacuation", app),
+                        });
+                    }
+                    if let Some(bound) = self.config.max_recovery_ns {
+                        if *recovery_ns > bound {
+                            violations.push(Violation {
+                                at,
+                                invariant: "recovery_bound",
+                                detail: format!(
+                                    "app {} took {} ns to recover, bound is {} ns",
+                                    app, recovery_ns, bound
+                                ),
+                            });
+                        }
+                    }
+                }
+                TraceEvent::MigrationFailed { app, .. } => {
+                    saw_fleet = true;
+                    evacuated.remove(app);
+                    stranded.push(*app);
                 }
                 _ => {}
             }
@@ -371,6 +461,46 @@ impl TraceValidator {
                 }
             }
             i += 1;
+        }
+
+        // Migration invariants bind only for fleet-recovery traces: an
+        // ordinary horizon-reached run legitimately ends with uncompleted
+        // requests and no evacuations.
+        if saw_fleet {
+            violations.extend(fifo_violations);
+            let mut open_evacs: Vec<(u32, SimTime)> =
+                evacuated.iter().map(|(&a, &t)| (a, t)).collect();
+            open_evacs.sort_unstable();
+            for (app, open) in open_evacs {
+                violations.push(Violation {
+                    at: open,
+                    invariant: "evacuation_closure",
+                    detail: format!(
+                        "app {} evacuated at {} ns but never restored or typed-failed",
+                        app,
+                        open.as_nanos()
+                    ),
+                });
+            }
+            let mut lost: Vec<(u32, u64, SimTime)> = arrivals
+                .iter()
+                .filter(|((app, _), _)| !stranded.contains(app))
+                .map(|(&(app, req), &t0)| (app, req, t0))
+                .collect();
+            lost.sort_unstable();
+            for (app, req, t0) in lost {
+                violations.push(Violation {
+                    at: t0,
+                    invariant: "request_lost",
+                    detail: format!(
+                        "app {} request {} arrived at {} ns but never completed \
+                         (tenant was not reported stranded)",
+                        app,
+                        req,
+                        t0.as_nanos()
+                    ),
+                });
+            }
         }
 
         // Fairness: normalized progress spread over completed requests.
@@ -620,6 +750,7 @@ mod tests {
             num_sms: 108,
             iso_targets: Some(vec![100.0, 100.0]),
             fairness_spread: Some(10.0),
+            max_recovery_ns: None,
         };
         let r = TraceValidator::new(cfg.clone()).validate(&ev);
         assert_eq!(r.violations.len(), 1);
@@ -631,6 +762,157 @@ mod tests {
             ..cfg
         };
         TraceValidator::new(loose).validate(&ev).assert_clean();
+    }
+
+    fn arrival(at: u64, app: u32, req: u64) -> TraceEvent {
+        TraceEvent::RequestArrival {
+            at: t(at),
+            app,
+            req,
+        }
+    }
+
+    fn req_done(at: u64, app: u32, req: u64) -> TraceEvent {
+        TraceEvent::RequestDone {
+            at: t(at),
+            app,
+            req,
+        }
+    }
+
+    fn evacuate(at: u64, gpu: u32, app: u32) -> TraceEvent {
+        TraceEvent::TenantEvacuated {
+            at: t(at),
+            gpu,
+            app,
+            in_flight: 1,
+            queued: 0,
+        }
+    }
+
+    fn restore(at: u64, gpu: u32, app: u32, recovery_ns: u64) -> TraceEvent {
+        TraceEvent::TenantRestored {
+            at: t(at),
+            gpu,
+            app,
+            recovery_ns,
+        }
+    }
+
+    #[test]
+    fn clean_migration_trace_passes() {
+        let ev = vec![
+            arrival(0, 0, 0),
+            TraceEvent::DeviceFailed {
+                at: t(50),
+                gpu: 0,
+                permanent: true,
+            },
+            evacuate(50, 0, 0),
+            restore(80, 1, 0, 30),
+            req_done(200, 0, 0),
+        ];
+        validator(108).validate(&ev).assert_clean();
+    }
+
+    #[test]
+    fn unclosed_evacuation_is_flagged() {
+        let ev = vec![evacuate(50, 0, 0)];
+        let r = validator(108).validate(&ev);
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.violations[0].invariant, "evacuation_closure");
+
+        // Restored-without-evacuation is the dual.
+        let ev = vec![restore(80, 1, 0, 30)];
+        let r = validator(108).validate(&ev);
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.violations[0].invariant, "evacuation_closure");
+
+        // A typed migration failure also closes the evacuation.
+        let ev = vec![
+            evacuate(50, 0, 0),
+            TraceEvent::MigrationFailed {
+                at: t(50),
+                app: 0,
+                reason: 0,
+            },
+        ];
+        validator(108).validate(&ev).assert_clean();
+    }
+
+    #[test]
+    fn recovery_bound_is_enforced_when_configured() {
+        let ev = vec![evacuate(50, 0, 0), restore(5_050, 1, 0, 5_000)];
+        let cfg = ValidatorConfig {
+            max_recovery_ns: Some(1_000),
+            ..ValidatorConfig::structural(108)
+        };
+        let r = TraceValidator::new(cfg).validate(&ev);
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.violations[0].invariant, "recovery_bound");
+
+        // Without the bound, only closure is checked.
+        validator(108).validate(&ev).assert_clean();
+    }
+
+    #[test]
+    fn lost_request_is_flagged_unless_tenant_is_stranded() {
+        // App 0's request never completes and app 0 was not stranded.
+        let ev = vec![
+            arrival(0, 0, 0),
+            TraceEvent::DeviceFailed {
+                at: t(50),
+                gpu: 0,
+                permanent: true,
+            },
+        ];
+        let r = validator(108).validate(&ev);
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.violations[0].invariant, "request_lost");
+
+        // Stranded tenants are exempt (their loss is typed).
+        let ev = vec![
+            arrival(0, 0, 0),
+            TraceEvent::DeviceFailed {
+                at: t(50),
+                gpu: 0,
+                permanent: true,
+            },
+            TraceEvent::MigrationFailed {
+                at: t(50),
+                app: 0,
+                reason: 0,
+            },
+        ];
+        validator(108).validate(&ev).assert_clean();
+
+        // Without fleet events the check does not bind (horizon runs
+        // legitimately end with open requests).
+        let ev = vec![arrival(0, 0, 0)];
+        validator(108).validate(&ev).assert_clean();
+    }
+
+    #[test]
+    fn tenant_fifo_binds_only_for_fleet_traces() {
+        let reordered = vec![
+            arrival(0, 0, 0),
+            arrival(0, 0, 1),
+            req_done(100, 0, 1),
+            req_done(200, 0, 0),
+        ];
+        // No fleet events: tolerated.
+        validator(108).validate(&reordered).assert_clean();
+
+        // Same stream in a fleet-recovery trace: flagged.
+        let mut fleet = vec![TraceEvent::DeviceFailed {
+            at: t(0),
+            gpu: 0,
+            permanent: false,
+        }];
+        fleet.extend(reordered);
+        let r = validator(108).validate(&fleet);
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.violations[0].invariant, "tenant_fifo");
     }
 
     #[test]

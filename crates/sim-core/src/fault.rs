@@ -7,7 +7,7 @@
 //! `(seed, spec)` pair always yields a byte-identical fault schedule and —
 //! because the simulator itself is deterministic — a byte-identical run.
 //!
-//! Four fault classes are modeled (see DESIGN.md "Fault model"):
+//! Six fault classes are modeled (see DESIGN.md "Fault model"):
 //!
 //! * **Stragglers** — an individual kernel runs `straggler_factor`× its
 //!   profiled duration (decided per launch with `straggler_prob`).
@@ -18,6 +18,16 @@
 //!   victim application fails and must be re-submitted by the host.
 //! * **DMA stalls** — during a scheduled window the copy engine's bandwidth
 //!   is divided by `dma_slow_factor`.
+//! * **GPU failures** — a whole device dies permanently at a scheduled
+//!   instant; its tenants must be evacuated by a fleet controller.
+//! * **GPU hangs** — a device freezes for a scheduled window and comes
+//!   back; pending work rides out the outage on the same device.
+//!
+//! The GPU-level classes are *fleet* faults: a single-device simulation
+//! ignores them, and the cluster chaos runner (`cluster::chaos`) consumes
+//! the schedules. Their RNG streams are forked after every device-level
+//! stream, so enabling GPU faults never perturbs the straggler, drift,
+//! crash, or DMA schedules of the same seed.
 //!
 //! [`FaultPlan::none`] is the identity plan: installing it draws nothing
 //! from any RNG and leaves the simulation bit-for-bit unchanged.
@@ -54,6 +64,20 @@ pub struct FaultSpec {
     pub dma_stall_len: SimDuration,
     /// Copy-bandwidth divisor while a stall is active (`> 1.0` slows).
     pub dma_slow_factor: f64,
+    /// Number of GPUs in the fleet. GPU-fault victims are drawn per device
+    /// index in `0..num_gpus`; device-level plans may leave this 0.
+    pub num_gpus: u32,
+    /// Number of permanent device failures to schedule (at most one per
+    /// device survives deduplication).
+    pub gpu_fail_count: u32,
+    /// Half-open window `[start, end)` failure instants are drawn from.
+    pub gpu_fail_window: (SimTime, SimTime),
+    /// Number of transient device hangs to schedule.
+    pub gpu_hang_count: u32,
+    /// Half-open window `[start, end)` hang onsets are drawn from.
+    pub gpu_hang_window: (SimTime, SimTime),
+    /// Length of each device hang.
+    pub gpu_hang_len: SimDuration,
 }
 
 impl Default for FaultSpec {
@@ -70,8 +94,36 @@ impl Default for FaultSpec {
             dma_stall_window: (SimTime::ZERO, SimTime::ZERO),
             dma_stall_len: SimDuration::ZERO,
             dma_slow_factor: 1.0,
+            num_gpus: 0,
+            gpu_fail_count: 0,
+            gpu_fail_window: (SimTime::ZERO, SimTime::ZERO),
+            gpu_hang_count: 0,
+            gpu_hang_window: (SimTime::ZERO, SimTime::ZERO),
+            gpu_hang_len: SimDuration::ZERO,
         }
     }
+}
+
+/// A scheduled permanent device failure: at `at`, GPU `gpu` dies and never
+/// comes back; a fleet controller must evacuate its tenants.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GpuFailEvent {
+    /// Instant the device dies.
+    pub at: SimTime,
+    /// Fleet device index.
+    pub gpu: u32,
+}
+
+/// A scheduled transient device hang: in `[at, until)` GPU `gpu` freezes;
+/// at `until` it restarts and pending work can resume on it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GpuHangEvent {
+    /// Hang onset.
+    pub at: SimTime,
+    /// Instant the device comes back.
+    pub until: SimTime,
+    /// Fleet device index.
+    pub gpu: u32,
 }
 
 /// A scheduled context crash: at `at`, every live kernel of application
@@ -110,6 +162,8 @@ pub struct FaultPlan {
     drift: Vec<f64>,
     crashes: Vec<CrashEvent>,
     dma_stalls: Vec<DmaStallEvent>,
+    gpu_failures: Vec<GpuFailEvent>,
+    gpu_hangs: Vec<GpuHangEvent>,
     /// Online stream for per-launch straggler decisions.
     rng: SimRng,
 }
@@ -126,6 +180,8 @@ impl FaultPlan {
             drift: Vec::new(),
             crashes: Vec::new(),
             dma_stalls: Vec::new(),
+            gpu_failures: Vec::new(),
+            gpu_hangs: Vec::new(),
             rng: SimRng::new(0),
         }
     }
@@ -178,13 +234,51 @@ impl FaultPlan {
             .collect();
         dma_stalls.sort_by_key(|s| s.at);
 
+        // The online straggler stream keeps its historical fork position:
+        // everything below is forked *after* it, so plans that only add
+        // GPU-level faults replay the exact same device-level schedule.
+        let straggler_rng = master.fork(0x57A6_61E5);
+
+        // Permanent device failures: at most one per device (a dead GPU
+        // cannot die again), keeping the earliest draw per victim.
+        let mut fail_rng = master.fork(0x06FA_DEAD);
+        let mut gpu_failures: Vec<GpuFailEvent> = (0..spec.gpu_fail_count)
+            .filter(|_| spec.num_gpus > 0)
+            .map(|_| {
+                let at = draw_instant(&mut fail_rng, spec.gpu_fail_window);
+                let gpu = fail_rng.next_below(u64::from(spec.num_gpus)) as u32;
+                GpuFailEvent { at, gpu }
+            })
+            .collect();
+        gpu_failures.sort_by_key(|f| f.at);
+        let mut seen = vec![false; spec.num_gpus as usize];
+        gpu_failures.retain(|f| !std::mem::replace(&mut seen[f.gpu as usize], true));
+
+        // Transient device hangs, time-sorted.
+        let mut hang_rng = master.fork(0x06FA_4A16);
+        let mut gpu_hangs: Vec<GpuHangEvent> = (0..spec.gpu_hang_count)
+            .filter(|_| spec.num_gpus > 0)
+            .map(|_| {
+                let at = draw_instant(&mut hang_rng, spec.gpu_hang_window);
+                let gpu = hang_rng.next_below(u64::from(spec.num_gpus)) as u32;
+                GpuHangEvent {
+                    at,
+                    until: at + spec.gpu_hang_len,
+                    gpu,
+                }
+            })
+            .collect();
+        gpu_hangs.sort_by_key(|h| h.at);
+
         FaultPlan {
             straggler_prob: spec.straggler_prob,
             straggler_factor: spec.straggler_factor.max(1.0),
             drift,
             crashes,
             dma_stalls,
-            rng: master.fork(0x57A6_61E5),
+            gpu_failures,
+            gpu_hangs,
+            rng: straggler_rng,
         }
     }
 
@@ -194,6 +288,8 @@ impl FaultPlan {
         self.straggler_prob <= 0.0
             && self.crashes.is_empty()
             && self.dma_stalls.is_empty()
+            && self.gpu_failures.is_empty()
+            && self.gpu_hangs.is_empty()
             && self.drift.iter().all(|&f| f == 1.0)
     }
 
@@ -220,6 +316,17 @@ impl FaultPlan {
     /// The time-sorted DMA-stall schedule.
     pub fn dma_stalls(&self) -> &[DmaStallEvent] {
         &self.dma_stalls
+    }
+
+    /// The time-sorted permanent device-failure schedule (at most one
+    /// entry per device).
+    pub fn gpu_failures(&self) -> &[GpuFailEvent] {
+        &self.gpu_failures
+    }
+
+    /// The time-sorted transient device-hang schedule.
+    pub fn gpu_hangs(&self) -> &[GpuHangEvent] {
+        &self.gpu_hangs
     }
 
     /// The systematic drift factor for `app` (1.0 if the app is unknown or
@@ -256,6 +363,12 @@ mod tests {
             dma_stall_window: (SimTime::ZERO, SimTime::from_millis(40)),
             dma_stall_len: SimDuration::from_millis(2),
             dma_slow_factor: 8.0,
+            num_gpus: 6,
+            gpu_fail_count: 3,
+            gpu_fail_window: (SimTime::from_millis(2), SimTime::from_millis(30)),
+            gpu_hang_count: 4,
+            gpu_hang_window: (SimTime::from_millis(1), SimTime::from_millis(45)),
+            gpu_hang_len: SimDuration::from_millis(5),
         }
     }
 
@@ -286,6 +399,8 @@ mod tests {
         assert!(p.is_none());
         assert!(p.crashes().is_empty());
         assert!(p.dma_stalls().is_empty());
+        assert!(p.gpu_failures().is_empty());
+        assert!(p.gpu_hangs().is_empty());
         for app in 0..8 {
             assert_eq!(p.work_multiplier(app), 1.0);
         }
@@ -309,6 +424,69 @@ mod tests {
             assert!(s.at >= spec.dma_stall_window.0 && s.at < spec.dma_stall_window.1);
             assert_eq!(s.until, s.at + spec.dma_stall_len);
             assert!(s.factor >= 1.0);
+        }
+        for w in plan.gpu_failures().windows(2) {
+            assert!(w[0].at <= w[1].at, "failure schedule must be time-sorted");
+        }
+        for f in plan.gpu_failures() {
+            assert!(f.at >= spec.gpu_fail_window.0 && f.at < spec.gpu_fail_window.1);
+            assert!(f.gpu < spec.num_gpus);
+        }
+        for h in plan.gpu_hangs() {
+            assert!(h.at >= spec.gpu_hang_window.0 && h.at < spec.gpu_hang_window.1);
+            assert_eq!(h.until, h.at + spec.gpu_hang_len);
+            assert!(h.gpu < spec.num_gpus);
+        }
+    }
+
+    #[test]
+    fn gpu_failures_are_deduped_per_device() {
+        let spec = FaultSpec {
+            num_gpus: 2,
+            gpu_fail_count: 16,
+            gpu_fail_window: (SimTime::from_millis(1), SimTime::from_millis(100)),
+            ..FaultSpec::default()
+        };
+        let plan = FaultPlan::build(5, &spec);
+        assert!(plan.gpu_failures().len() <= 2, "one death per device");
+        let mut gpus: Vec<u32> = plan.gpu_failures().iter().map(|f| f.gpu).collect();
+        gpus.sort_unstable();
+        gpus.dedup();
+        assert_eq!(gpus.len(), plan.gpu_failures().len());
+        // Dedup keeps the earliest instant per device: the schedule is
+        // still time-sorted and each survivor is the minimum of its draws.
+        for w in plan.gpu_failures().windows(2) {
+            assert!(w[0].at <= w[1].at);
+        }
+    }
+
+    #[test]
+    fn gpu_faults_do_not_perturb_device_level_streams() {
+        // Same seed, same device-level knobs; only the GPU-level knobs
+        // differ. Every device-level schedule (drift, crashes, stalls) and
+        // the online straggler stream must be byte-identical.
+        let device_only = demo_spec();
+        let device_only = FaultSpec {
+            num_gpus: 0,
+            gpu_fail_count: 0,
+            gpu_fail_window: (SimTime::ZERO, SimTime::ZERO),
+            gpu_hang_count: 0,
+            gpu_hang_window: (SimTime::ZERO, SimTime::ZERO),
+            gpu_hang_len: SimDuration::ZERO,
+            ..device_only
+        };
+        let mut a = FaultPlan::build(42, &device_only);
+        let mut b = FaultPlan::build(42, &demo_spec());
+        assert!(!b.gpu_failures().is_empty() || !b.gpu_hangs().is_empty());
+        assert_eq!(a.crashes(), b.crashes());
+        assert_eq!(a.dma_stalls(), b.dma_stalls());
+        for app in 0..4 {
+            assert_eq!(a.drift_factor(app), b.drift_factor(app));
+        }
+        for app in 0..4 {
+            for _ in 0..256 {
+                assert_eq!(a.work_multiplier(app), b.work_multiplier(app));
+            }
         }
     }
 

@@ -30,7 +30,7 @@ pub mod trace;
 pub mod wheel;
 
 pub use event::EventQueue;
-pub use fault::{CrashEvent, DmaStallEvent, FaultPlan, FaultSpec};
+pub use fault::{CrashEvent, DmaStallEvent, FaultPlan, FaultSpec, GpuFailEvent, GpuHangEvent};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};
 pub use trace::{BufferSink, JsonlSink, RingSink, TraceEvent, TraceSink, TraceSquadEntry};

@@ -214,6 +214,51 @@ pub enum TraceEvent {
         /// Kernel index within the tenant's profile.
         kernel: u32,
     },
+    /// A fleet device died permanently or froze transiently (chaos runner).
+    DeviceFailed {
+        /// Fault instant.
+        at: SimTime,
+        /// Fleet device index.
+        gpu: u32,
+        /// True for a permanent failure, false for a transient hang.
+        permanent: bool,
+    },
+    /// A tenant's pending work was drained off a quiesced device.
+    TenantEvacuated {
+        /// Evacuation instant (the fault barrier).
+        at: SimTime,
+        /// Source device.
+        gpu: u32,
+        /// Tenant index (fleet-level).
+        app: u32,
+        /// 1 when a request was in flight at the barrier (its squads were
+        /// abandoned with typed errors), else 0.
+        in_flight: u32,
+        /// Requests preserved from the FIFO queue (excluding undelivered
+        /// future arrivals).
+        queued: u32,
+    },
+    /// An evacuated tenant resumed service on a device.
+    TenantRestored {
+        /// First instant the tenant's checkpointed work is serviceable.
+        at: SimTime,
+        /// Target device (equals the source for a hang ride-through).
+        gpu: u32,
+        /// Tenant index (fleet-level).
+        app: u32,
+        /// Recovery time: `at` minus the fault instant, in nanoseconds.
+        recovery_ns: u64,
+    },
+    /// An evacuated tenant could not be re-placed.
+    MigrationFailed {
+        /// Decision instant.
+        at: SimTime,
+        /// Tenant index (fleet-level).
+        app: u32,
+        /// Typed reason code: 0 = no surviving GPU has capacity,
+        /// 1 = source device already dead.
+        reason: u8,
+    },
 }
 
 impl TraceEvent {
@@ -235,7 +280,11 @@ impl TraceEvent {
             | TraceEvent::ConfigChosen { at, .. }
             | TraceEvent::SquadRetired { at, .. }
             | TraceEvent::ModeShift { at, .. }
-            | TraceEvent::RetrySubmitted { at, .. } => *at,
+            | TraceEvent::RetrySubmitted { at, .. }
+            | TraceEvent::DeviceFailed { at, .. }
+            | TraceEvent::TenantEvacuated { at, .. }
+            | TraceEvent::TenantRestored { at, .. }
+            | TraceEvent::MigrationFailed { at, .. } => *at,
         }
     }
 
@@ -258,6 +307,10 @@ impl TraceEvent {
             TraceEvent::SquadRetired { .. } => "squad_retired",
             TraceEvent::ModeShift { .. } => "mode_shift",
             TraceEvent::RetrySubmitted { .. } => "retry_submitted",
+            TraceEvent::DeviceFailed { .. } => "device_failed",
+            TraceEvent::TenantEvacuated { .. } => "tenant_evacuated",
+            TraceEvent::TenantRestored { .. } => "tenant_restored",
+            TraceEvent::MigrationFailed { .. } => "migration_failed",
         }
     }
 
@@ -356,6 +409,35 @@ impl TraceEvent {
             }
             TraceEvent::RetrySubmitted { app, kernel, .. } => {
                 let _ = write!(out, ",\"app\":{app},\"kernel\":{kernel}");
+            }
+            TraceEvent::DeviceFailed { gpu, permanent, .. } => {
+                let _ = write!(out, ",\"gpu\":{gpu},\"permanent\":{permanent}");
+            }
+            TraceEvent::TenantEvacuated {
+                gpu,
+                app,
+                in_flight,
+                queued,
+                ..
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"gpu\":{gpu},\"app\":{app},\"in_flight\":{in_flight},\"queued\":{queued}"
+                );
+            }
+            TraceEvent::TenantRestored {
+                gpu,
+                app,
+                recovery_ns,
+                ..
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"gpu\":{gpu},\"app\":{app},\"recovery_ns\":{recovery_ns}"
+                );
+            }
+            TraceEvent::MigrationFailed { app, reason, .. } => {
+                let _ = write!(out, ",\"app\":{app},\"reason\":{reason}");
             }
         }
         out.push('}');

@@ -129,6 +129,7 @@ fn fault_spec() -> FaultSpec {
         dma_stall_window: (SimTime::ZERO, SimTime::from_secs(5)),
         dma_stall_len: SimDuration::from_millis(200),
         dma_slow_factor: 4.0,
+        ..FaultSpec::default()
     }
 }
 

@@ -177,6 +177,7 @@ fn all_systems_pass_shared_invariants() {
             num_sms: spec.num_sms,
             iso_targets: Some(r.iso_targets.iter().map(|d| d.as_nanos() as f64).collect()),
             fairness_spread: None,
+            max_recovery_ns: None,
         };
         let report = TraceValidator::new(config).validate(&events);
         assert!(
@@ -300,6 +301,7 @@ fn fault_spec() -> FaultSpec {
         dma_stall_window: (SimTime::ZERO, SimTime::from_secs(5)),
         dma_stall_len: SimDuration::from_millis(200),
         dma_slow_factor: 4.0,
+        ..FaultSpec::default()
     }
 }
 
