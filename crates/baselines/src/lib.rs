@@ -11,14 +11,17 @@
 //! | UNBOUND  | full-GPU contexts, hardware arbitration | [`StaticShareDriver`] with [`ShareMode::Unbound`] |
 //! | REEF+    | batched launching + even MPS partitioning | [`ReefPlusDriver`] |
 //! | ZICO     | memory-coordinated tick-tock iteration sharing (training) | [`ZicoDriver`] |
+//! | TALLY    | priority tenant unimpeded, best-effort kernels throttled | [`TallyDriver`] |
 
 pub mod common;
 pub mod reef;
 pub mod static_share;
+pub mod tally;
 pub mod temporal;
 pub mod zico;
 
 pub use reef::ReefPlusDriver;
 pub use static_share::{mig_slice_sms, ShareMode, StaticShareDriver};
+pub use tally::TallyDriver;
 pub use temporal::TemporalDriver;
 pub use zico::ZicoDriver;

@@ -51,7 +51,13 @@ fn quick() -> bool {
 /// A warmed engine with two contending default-context queues and a
 /// registered one-entry kernel table.
 fn engine_setup() -> (Gpu, Vec<QueueId>, KernelTableId) {
-    let mut gpu = Gpu::new(GpuSpec::a100(), HostCosts::free());
+    engine_setup_with(GpuSpec::a100())
+}
+
+/// [`engine_setup`] under an explicit spec (the per-resource channel model
+/// reuses the same harness).
+fn engine_setup_with(spec: GpuSpec) -> (Gpu, Vec<QueueId>, KernelTableId) {
+    let mut gpu = Gpu::new(spec, HostCosts::free());
     gpu.set_slot_recycling(true);
     let queues: Vec<QueueId> = (0..2)
         .map(|_| {
@@ -59,7 +65,8 @@ fn engine_setup() -> (Gpu, Vec<QueueId>, KernelTableId) {
             gpu.create_queue(ctx).expect("queue")
         })
         .collect();
-    let desc = KernelDesc::compute("k", SimDuration::from_micros(5), 54, 0.2);
+    let desc = KernelDesc::compute("k", SimDuration::from_micros(5), 54, 0.2)
+        .with_demand(gpu_sim::ChannelDemand::new(0.2, 0.3, 0.4, 0.1));
     let table = gpu.register_kernel_table(vec![desc].into());
     (gpu, queues, table)
 }
@@ -81,6 +88,17 @@ fn engine_batch(gpu: &mut Gpu, queues: &[QueueId], table: KernelTableId, n: usiz
 /// arena (slots, event heap, queue rings) with one batch, then count.
 fn engine_allocs_per_kernel(n: usize) -> f64 {
     let (mut gpu, queues, table) = engine_setup();
+    engine_batch(&mut gpu, &queues, table, 4096); // warmup
+    let before = bench::alloc_count();
+    engine_batch(&mut gpu, &queues, table, n);
+    (bench::alloc_count() - before) as f64 / n as f64
+}
+
+/// [`engine_allocs_per_kernel`] under the per-resource channel model: the
+/// 4-channel pressure gather runs on stack arrays and must stay
+/// allocation-free too.
+fn engine_allocs_per_kernel_per_resource(n: usize) -> f64 {
+    let (mut gpu, queues, table) = engine_setup_with(GpuSpec::a100_per_resource());
     engine_batch(&mut gpu, &queues, table, 4096); // warmup
     let before = bench::alloc_count();
     engine_batch(&mut gpu, &queues, table, n);
@@ -228,6 +246,15 @@ fn main() {
         );
     }
 
+    let engine_pr = engine_allocs_per_kernel_per_resource(engine_n);
+    println!("engine steady-state allocs/kernel (per-resource model): {engine_pr:.4}");
+    if counting {
+        assert!(
+            engine_pr == 0.0,
+            "per-resource hot loop must stay allocation-free in steady state (got {engine_pr:.4}/kernel)"
+        );
+    }
+
     let (batch, reps) = if quick() { (10_000, 5) } else { (10_000, 20) };
     let kps = engine_kernels_per_sec(batch, reps);
     println!(
@@ -301,7 +328,7 @@ fn main() {
         return;
     }
     let json = format!(
-        "{{\n  \"bench\": \"alloc_stats\",\n  \"regenerate\": \"cargo bench -p bench --bench alloc_stats --features count-alloc\",\n  \"count_alloc\": {counting},\n  \"engine\": {{\n    \"kernels\": {engine_n},\n    \"allocs_per_kernel\": {engine:.4},\n    \"allocs_per_kernel_before\": {BEFORE_ENGINE:.4},\n    \"table_launch_kernels_per_sec\": {kps:.0}\n  }},\n  \"lanes\": {{\n    \"lanes\": 4,\n    \"kernels\": {},\n    \"allocs_per_kernel_seq\": {lane_seq:.4},\n    \"allocs_per_kernel_par\": {lane_par:.4},\n    \"allocs_per_kernel_par_threaded\": {lane_threaded:.4}\n  }},\n  \"bless\": {{\n    \"allocs_per_kernel_bless\": {bless_marginal:.4},\n    \"allocs_per_kernel_before\": {BEFORE_BLESS:.4},\n    \"improvement_factor\": {:.1},\n    \"runs\": [[{a1}, {k1}], [{a2}, {k2}]]\n  }}\n}}\n",
+        "{{\n  \"bench\": \"alloc_stats\",\n  \"regenerate\": \"cargo bench -p bench --bench alloc_stats --features count-alloc\",\n  \"count_alloc\": {counting},\n  \"engine\": {{\n    \"kernels\": {engine_n},\n    \"allocs_per_kernel\": {engine:.4},\n    \"allocs_per_kernel_per_resource\": {engine_pr:.4},\n    \"allocs_per_kernel_before\": {BEFORE_ENGINE:.4},\n    \"table_launch_kernels_per_sec\": {kps:.0}\n  }},\n  \"lanes\": {{\n    \"lanes\": 4,\n    \"kernels\": {},\n    \"allocs_per_kernel_seq\": {lane_seq:.4},\n    \"allocs_per_kernel_par\": {lane_par:.4},\n    \"allocs_per_kernel_par_threaded\": {lane_threaded:.4}\n  }},\n  \"bless\": {{\n    \"allocs_per_kernel_bless\": {bless_marginal:.4},\n    \"allocs_per_kernel_before\": {BEFORE_BLESS:.4},\n    \"improvement_factor\": {:.1},\n    \"runs\": [[{a1}, {k1}], [{a2}, {k2}]]\n  }}\n}}\n",
         lane_n * 4,
         BEFORE_BLESS / bless_marginal.max(1e-9),
     );

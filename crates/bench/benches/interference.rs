@@ -1,0 +1,122 @@
+//! Interference-model microbenchmark: steady-state engine throughput under
+//! the scalar interference model vs the per-resource channel model, plus
+//! the regression gate keeping the channel hot loop within 15% of scalar.
+//!
+//! Run with `cargo bench -p bench --bench interference` to rewrite
+//! `BENCH_interference.json` at the repo root; set `BENCH_QUICK=1` for the
+//! CI smoke variant, which compares against the checked-in snapshot and
+//! fails on regression instead of rewriting it.
+//!
+//! Absolute kernels/s figures are machine-dependent; the gate is on the
+//! per-resource/scalar *ratio*, which is stable across hosts.
+
+use std::time::Instant;
+
+use gpu_sim::{
+    ChannelDemand, CtxKind, Gpu, GpuSpec, HostCosts, KernelDesc, KernelTableId, QueueId,
+};
+use sim_core::SimDuration;
+
+/// The per-resource hot loop must retain at least this fraction of the
+/// scalar model's throughput (the 4-channel gather/max adds work to every
+/// reallocation, but only O(channels) of it).
+const RATIO_FLOOR: f64 = 0.85;
+
+/// Quick-mode slack below the checked-in ratio before the gate fails.
+const GATE_SLACK: f64 = 0.10;
+
+fn quick() -> bool {
+    std::env::var_os("BENCH_QUICK").is_some()
+}
+
+/// A warmed engine under `spec` with two contending default-context queues
+/// and a one-entry kernel table whose kernel presses on all four channels.
+fn setup(spec: GpuSpec) -> (Gpu, Vec<QueueId>, KernelTableId) {
+    let mut gpu = Gpu::new(spec, HostCosts::free());
+    gpu.set_slot_recycling(true);
+    let queues: Vec<QueueId> = (0..2)
+        .map(|_| {
+            let ctx = gpu.create_context(CtxKind::Default).expect("ctx");
+            gpu.create_queue(ctx).expect("queue")
+        })
+        .collect();
+    let desc = KernelDesc::compute("k", SimDuration::from_micros(5), 54, 0.4)
+        .with_demand(ChannelDemand::new(0.2, 0.3, 0.4, 0.1));
+    let table = gpu.register_kernel_table(vec![desc].into());
+    (gpu, queues, table)
+}
+
+/// Launches `n` table kernels across the two queues, draining every 8 —
+/// the steady-state hot loop (two co-resident kernels per reallocation).
+fn batch(gpu: &mut Gpu, queues: &[QueueId], table: KernelTableId, n: usize) {
+    for i in 0..n {
+        let q = queues[i % queues.len()];
+        gpu.launch_table(q, table, 0, i as u64).expect("launch");
+        if i % 8 == 7 {
+            gpu.drain();
+        }
+    }
+    gpu.drain();
+}
+
+/// Best-of-`reps` engine throughput in kernels/second under `spec`.
+fn kernels_per_sec(spec: GpuSpec, n: usize, reps: usize) -> f64 {
+    let (mut gpu, queues, table) = setup(spec);
+    batch(&mut gpu, &queues, table, 4096); // warmup
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        batch(&mut gpu, &queues, table, n);
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    n as f64 / best
+}
+
+/// Extracts the number following `"key":` from a flat JSON snapshot.
+fn json_number(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = text.find(&needle)? + needle.len();
+    let rest = text[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn main() {
+    let (n, reps) = if quick() { (10_000, 5) } else { (20_000, 20) };
+    let scalar = kernels_per_sec(GpuSpec::a100(), n, reps);
+    let per_resource = kernels_per_sec(GpuSpec::a100_per_resource(), n, reps);
+    let ratio = per_resource / scalar;
+    println!(
+        "engine throughput: scalar {:.2}M kernels/s, per-resource {:.2}M kernels/s (ratio {ratio:.3})",
+        scalar / 1e6,
+        per_resource / 1e6
+    );
+    assert!(
+        ratio >= RATIO_FLOOR,
+        "per-resource model costs too much: {ratio:.3} of scalar throughput (floor {RATIO_FLOOR})"
+    );
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_interference.json");
+    if quick() {
+        // CI smoke: gate against the checked-in snapshot; never rewrite it.
+        let Ok(snapshot) = std::fs::read_to_string(path) else {
+            panic!("BENCH_interference.json missing; regenerate with `cargo bench -p bench --bench interference`");
+        };
+        let base = json_number(&snapshot, "per_resource_over_scalar")
+            .expect("per_resource_over_scalar in BENCH_interference.json");
+        assert!(
+            ratio >= base - GATE_SLACK,
+            "interference-model regression: ratio now {ratio:.3} vs checked-in {base:.3} (-{GATE_SLACK} slack)"
+        );
+        println!("interference gate passed: {ratio:.3} >= {base:.3} - {GATE_SLACK}");
+        return;
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"interference\",\n  \"regenerate\": \"cargo bench -p bench --bench interference\",\n  \"kernels\": {n},\n  \"scalar_kernels_per_sec\": {scalar:.0},\n  \"per_resource_kernels_per_sec\": {per_resource:.0},\n  \"per_resource_over_scalar\": {ratio:.3}\n}}\n"
+    );
+    std::fs::write(path, json).expect("write BENCH_interference.json");
+    println!("wrote {path}");
+}

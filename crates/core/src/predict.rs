@@ -18,6 +18,7 @@ use sim_core::SimDuration;
 
 use crate::deploy::DeployedApp;
 use crate::squad::Squad;
+use gpu_sim::{Channel, ChannelDemand, ChannelModel, ChannelParams, NUM_CHANNELS};
 use profiler::PARTITIONS;
 
 /// The execution configuration selected for one squad.
@@ -485,10 +486,359 @@ pub fn determine_config_memo(
     choice
 }
 
+// ---------------------------------------------------------------------------
+// Channel-aware estimators (DESIGN.md §5j).
+//
+// Under `ChannelModel::PerResource` the engine slows co-running kernels by
+// the bottleneck max of per-channel contention curves; the two estimators
+// below feed that same signal into the determiner so `determine_config`
+// sees channel-aware estimates. Under `ChannelModel::Scalar` every
+// `_model` entry point delegates to the original function, bit-for-bit —
+// so scalar deployments (the default) are untouched.
+// ---------------------------------------------------------------------------
+
+/// Mean per-channel demand of one squad entry's *compute* kernels (the
+/// demand vector the entry presses on shared channels while its squad
+/// runs). Entries with no compute kernels press on nothing.
+fn entry_mean_demand(app: &DeployedApp, kernels: &[usize]) -> ChannelDemand {
+    let mut sum = [0.0f64; NUM_CHANNELS];
+    let mut n = 0u32;
+    for &k in kernels {
+        let desc = &app.profile.kernels[k];
+        if desc.kind.is_compute() {
+            for (s, d) in sum.iter_mut().zip(&desc.demand.0) {
+                *s += d;
+            }
+            n += 1;
+        }
+    }
+    if n > 0 {
+        for s in &mut sum {
+            *s /= n as f64;
+        }
+    }
+    ChannelDemand(sum)
+}
+
+/// Eq. 1 with per-resource channels: each entry's stacked duration is
+/// inflated by the cross-partition contention it suffers on *shared*
+/// channels (L2, DRAM-BW, PCIe). The compute channel is zeroed: SM
+/// partitioning is exactly the mechanism that removes compute-issue
+/// contention, which is why SP squads exist at all.
+pub fn predict_interference_free_channels(
+    squad: &Squad,
+    apps: &[DeployedApp],
+    partitions: &[u32],
+    params: &ChannelParams,
+) -> SimDuration {
+    assert_eq!(
+        squad.entries.len(),
+        partitions.len(),
+        "one partition count per squad entry"
+    );
+    let total_parts: u32 = partitions.iter().sum::<u32>().max(1);
+    let mut traffic = [0.0f64; NUM_CHANNELS];
+    let mut worst = SimDuration::ZERO;
+    // First pass: aggregate traffic from every entry's mean demand,
+    // weighted by its share of the GPU.
+    for (entry, &parts) in squad.entries.iter().zip(partitions) {
+        let share = parts as f64 / total_parts as f64;
+        let mean = entry_mean_demand(&apps[entry.app], &entry.kernels);
+        for (t, d) in traffic.iter_mut().zip(&mean.0) {
+            *t += d * share;
+        }
+    }
+    // Hard SM partitions isolate the compute channel.
+    traffic[Channel::Compute as usize] = 0.0;
+    for (entry, &parts) in squad.entries.iter().zip(partitions) {
+        assert!(parts >= 1 && (parts as usize) <= PARTITIONS);
+        let part_idx = parts as usize - 1;
+        let share = parts as f64 / total_parts as f64;
+        let mean = entry_mean_demand(&apps[entry.app], &entry.kernels);
+        let slow = params.slowdown(&mean, share, &traffic);
+        let total = stacked_duration(&apps[entry.app], part_idx, &entry.kernels).mul_f64(slow);
+        worst = worst.max(total);
+    }
+    worst
+}
+
+/// Eq. 2 with per-resource channels: each overlap row accumulates
+/// per-channel traffic from its kernels' demand vectors (shares from the
+/// profiled natural demand, normalized down when the row oversubscribes
+/// the GPU) and every kernel's row duration is inflated by its own
+/// bottleneck-channel slowdown.
+pub fn predict_workload_equivalence_channels(
+    squad: &Squad,
+    apps: &[DeployedApp],
+    num_sms: u32,
+    params: &ChannelParams,
+) -> SimDuration {
+    let q = squad
+        .entries
+        .iter()
+        .map(|e| e.kernels.len())
+        .max()
+        .unwrap_or(0);
+    let mut total = SimDuration::ZERO;
+    for i in 0..q {
+        let mut demand_frac = 0.0;
+        for e in &squad.entries {
+            if let Some(&k) = e.kernels.get(i) {
+                demand_frac += apps[e.app].profile.d_frac[k];
+            }
+        }
+        // When the row wants more than the whole GPU, shares shrink
+        // proportionally (the hardware cannot grant more than 100%).
+        let scale = if demand_frac > 1.0 {
+            1.0 / demand_frac
+        } else {
+            1.0
+        };
+        let mut traffic = [0.0f64; NUM_CHANNELS];
+        for e in &squad.entries {
+            if let Some(&k) = e.kernels.get(i) {
+                let profile = &apps[e.app].profile;
+                if profile.kernels[k].kind.is_compute() {
+                    let share = profile.d_frac[k] * scale;
+                    for (t, d) in traffic.iter_mut().zip(&profile.kernels[k].demand.0) {
+                        *t += d * share;
+                    }
+                }
+            }
+        }
+        let demand_sms = (demand_frac * num_sms as f64).clamp(1.0, num_sms.max(1) as f64);
+        for e in &squad.entries {
+            if let Some(&k) = e.kernels.get(i) {
+                let profile = &apps[e.app].profile;
+                let d = if profile.kernels[k].kind.is_compute() {
+                    let share = profile.d_frac[k] * scale;
+                    let slow = params.slowdown(&profile.kernels[k].demand, share, &traffic);
+                    profile.duration_at_sms(k, demand_sms).mul_f64(slow)
+                } else {
+                    profile.kernel_duration(PARTITIONS - 1, k)
+                };
+                total += d;
+            }
+        }
+    }
+    total
+}
+
+/// Model-dispatching Eq. 1: scalar delegates to
+/// [`predict_interference_free`] unchanged.
+pub fn predict_interference_free_model(
+    squad: &Squad,
+    apps: &[DeployedApp],
+    partitions: &[u32],
+    model: &ChannelModel,
+) -> SimDuration {
+    match model {
+        ChannelModel::Scalar => predict_interference_free(squad, apps, partitions),
+        ChannelModel::PerResource(p) => {
+            predict_interference_free_channels(squad, apps, partitions, p)
+        }
+    }
+}
+
+/// Model-dispatching Eq. 2: scalar delegates to
+/// [`predict_workload_equivalence`] unchanged.
+pub fn predict_workload_equivalence_model(
+    squad: &Squad,
+    apps: &[DeployedApp],
+    num_sms: u32,
+    model: &ChannelModel,
+) -> SimDuration {
+    match model {
+        ChannelModel::Scalar => predict_workload_equivalence(squad, apps, num_sms),
+        ChannelModel::PerResource(p) => {
+            predict_workload_equivalence_channels(squad, apps, num_sms, p)
+        }
+    }
+}
+
+/// [`determine_config`] under an explicit interference model: scalar
+/// delegates to the original search (bit-identical, pruning intact);
+/// per-resource evaluates candidates with the channel-aware estimators.
+///
+/// The per-resource SP search is exhaustive up to
+/// [`EXACT_SEARCH_MAX_APPS`] — the branch-and-bound cut is *not* applied
+/// because the cross-partition slowdown breaks the stacked-duration lower
+/// bound — and falls back to the proportional-seed hill climb beyond
+/// that, mirroring the scalar path's shape.
+pub fn determine_config_model(
+    squad: &Squad,
+    apps: &[DeployedApp],
+    num_sms: u32,
+    model: &ChannelModel,
+) -> ConfigChoice {
+    match model {
+        ChannelModel::Scalar => determine_config(squad, apps, num_sms),
+        ChannelModel::PerResource(p) => determine_config_channels(squad, apps, num_sms, p),
+    }
+}
+
+fn determine_config_channels(
+    squad: &Squad,
+    apps: &[DeployedApp],
+    num_sms: u32,
+    params: &ChannelParams,
+) -> ConfigChoice {
+    let k = squad.entries.len();
+    assert!(
+        k <= PARTITIONS,
+        "a squad cannot have more participants ({k}) than SM partitions ({PARTITIONS})"
+    );
+    if k == 0 {
+        return ConfigChoice {
+            config: ExecConfig::Nsp,
+            predicted: SimDuration::ZERO,
+            evaluated: 0,
+            pruned: 0,
+        };
+    }
+    let nsp = predict_workload_equivalence_channels(squad, apps, num_sms, params);
+    if k == 1 {
+        return ConfigChoice {
+            config: ExecConfig::Nsp,
+            predicted: nsp,
+            evaluated: 1,
+            pruned: 0,
+        };
+    }
+
+    let stacked: Vec<Vec<SimDuration>> = squad
+        .entries
+        .iter()
+        .map(|e| {
+            (0..PARTITIONS)
+                .map(|p| stacked_duration(&apps[e.app], p, &e.kernels))
+                .collect()
+        })
+        .collect();
+    let means: Vec<ChannelDemand> = squad
+        .entries
+        .iter()
+        .map(|e| entry_mean_demand(&apps[e.app], &e.kernels))
+        .collect();
+
+    // Channel-aware SP evaluation sharing the precomputed stacks: the
+    // same math as `predict_interference_free_channels`, O(K) per
+    // candidate.
+    let eval_sp = |parts: &[u32]| -> SimDuration {
+        let total_parts: u32 = parts.iter().sum::<u32>().max(1);
+        let mut traffic = [0.0f64; NUM_CHANNELS];
+        for (mean, &p) in means.iter().zip(parts) {
+            let share = p as f64 / total_parts as f64;
+            for (t, d) in traffic.iter_mut().zip(&mean.0) {
+                *t += d * share;
+            }
+        }
+        traffic[Channel::Compute as usize] = 0.0;
+        let mut worst = SimDuration::ZERO;
+        for (i, &p) in parts.iter().enumerate() {
+            let share = p as f64 / total_parts as f64;
+            let slow = params.slowdown(&means[i], share, &traffic);
+            worst = worst.max(stacked[i][p as usize - 1].mul_f64(slow));
+        }
+        worst
+    };
+
+    let mut evaluated = 1; // NSP
+    let mut best_sp: Option<(Vec<u32>, SimDuration)> = None;
+    let consider =
+        |parts: &[u32], dur: SimDuration, best: &mut Option<(Vec<u32>, SimDuration)>| match best {
+            Some((_, d)) if *d <= dur => {}
+            _ => *best = Some((parts.to_vec(), dur)),
+        };
+
+    if k <= EXACT_SEARCH_MAX_APPS {
+        let mut parts = vec![1u32; k];
+        enumerate_compositions(PARTITIONS as u32, k, &mut parts, 0, &mut |p| {
+            evaluated += 1;
+            consider(p, eval_sp(p), &mut best_sp);
+        });
+    } else {
+        let quotas: Vec<f64> = squad.entries.iter().map(|e| apps[e.app].quota).collect();
+        let mut parts = proportional_partitions(&quotas, PARTITIONS as u32);
+        let mut dur = eval_sp(&parts);
+        evaluated += 1;
+        consider(&parts, dur, &mut best_sp);
+        while let Some((bottleneck, _)) = parts
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (i, stacked[i][p as usize - 1]))
+            .max_by_key(|&(_, d)| d)
+        {
+            let donor = (0..k)
+                .filter(|&i| i != bottleneck && parts[i] > 1)
+                .min_by_key(|&i| stacked[i][parts[i] as usize - 2]);
+            let Some(donor) = donor else { break };
+            parts[donor] -= 1;
+            parts[bottleneck] += 1;
+            let new_dur = eval_sp(&parts);
+            evaluated += 1;
+            if new_dur >= dur {
+                break;
+            }
+            dur = new_dur;
+            consider(&parts, dur, &mut best_sp);
+        }
+    }
+
+    match best_sp {
+        Some((parts, dur)) if dur < nsp => ConfigChoice {
+            config: ExecConfig::Sp { partitions: parts },
+            predicted: dur,
+            evaluated,
+            pruned: 0,
+        },
+        _ => ConfigChoice {
+            config: ExecConfig::Nsp,
+            predicted: nsp,
+            evaluated,
+            pruned: 0,
+        },
+    }
+}
+
+/// [`determine_config_memo`] under an explicit interference model. The
+/// memo key does not encode the model: a memo belongs to one driver on
+/// one deployment, whose spec (and thus model) is fixed for its lifetime,
+/// so entries cannot collide across models.
+pub fn determine_config_memo_model(
+    memo: &mut ConfigMemo,
+    squad: &Squad,
+    apps: &[DeployedApp],
+    num_sms: u32,
+    model: &ChannelModel,
+) -> ConfigChoice {
+    let signature = squad
+        .entries
+        .iter()
+        .map(|e| contiguous_range(&e.kernels).map(|(start, end)| (e.app, start, end - start)))
+        .collect::<Option<Vec<_>>>();
+    let Some(sig) = signature else {
+        memo.misses += 1;
+        return determine_config_model(squad, apps, num_sms, model);
+    };
+    let key: MemoKey = (num_sms, sig);
+    if let Some(choice) = memo.map.get(&key) {
+        memo.hits += 1;
+        return choice.clone();
+    }
+    memo.misses += 1;
+    let choice = determine_config_model(squad, apps, num_sms, model);
+    if memo.map.len() >= MEMO_CAPACITY {
+        memo.map.clear();
+    }
+    memo.map.insert(key, choice.clone());
+    choice
+}
+
 /// Reference enumerator of compositions of `total` into `k` positive
-/// parts, in the lexicographic order [`SpSearch`] visits them. Retained
-/// as the specification the pruned search's unit tests check against.
-#[cfg_attr(not(test), allow(dead_code))]
+/// parts, in the lexicographic order [`SpSearch`] visits them. Doubles as
+/// the specification the pruned search's unit tests check against and as
+/// the exhaustive walk of the channel-aware determiner.
 fn enumerate_compositions(
     total: u32,
     k: usize,
@@ -811,5 +1161,140 @@ mod tests {
         let choice = determine_config(&Squad::default(), &apps, 108);
         assert_eq!(choice.config, ExecConfig::Nsp);
         assert_eq!(choice.evaluated, 0);
+    }
+
+    // -- channel-aware estimators (DESIGN.md §5j) ---------------------------
+
+    /// Every `_model` entry point under `ChannelModel::Scalar` is a pure
+    /// passthrough: identical results, identical search accounting.
+    #[test]
+    fn scalar_model_dispatch_is_bit_exact() {
+        let apps = vec![
+            deploy(ModelKind::NasNet, 0.5),
+            deploy(ModelKind::ResNet50, 0.5),
+        ];
+        let squad = squad_of(&apps, 10);
+        let model = ChannelModel::Scalar;
+        assert_eq!(
+            predict_interference_free_model(&squad, &apps, &[9, 9], &model),
+            predict_interference_free(&squad, &apps, &[9, 9]),
+        );
+        assert_eq!(
+            predict_workload_equivalence_model(&squad, &apps, 108, &model),
+            predict_workload_equivalence(&squad, &apps, 108),
+        );
+        let dispatched = determine_config_model(&squad, &apps, 108, &model);
+        let direct = determine_config(&squad, &apps, 108);
+        assert_eq!(dispatched.config, direct.config);
+        assert_eq!(dispatched.predicted, direct.predicted);
+        assert_eq!(dispatched.evaluated, direct.evaluated);
+        assert_eq!(dispatched.pruned, direct.pruned);
+    }
+
+    /// Eq. 1 zeroes the compute channel (SM partitioning is exactly the
+    /// mechanism that removes compute-issue contention), so a parameter
+    /// set whose only live channel is Compute reduces to the plain
+    /// max-of-stacks — while the calibrated A100 curves, which press on
+    /// DRAM-BW where profiled kernels actually have demand, inflate it.
+    #[test]
+    fn sp_prediction_isolates_compute_channel() {
+        let apps = vec![
+            deploy(ModelKind::Vgg11, 0.5),
+            deploy(ModelKind::ResNet50, 0.5),
+        ];
+        let squad = squad_of(&apps, 5);
+        let compute_only = ChannelParams::matched_scalar(1.5, 0.30, 2.0, Channel::Compute);
+        let plain = predict_interference_free(&squad, &apps, &[9, 9]);
+        assert_eq!(
+            predict_interference_free_channels(&squad, &apps, &[9, 9], &compute_only),
+            plain,
+        );
+        let calibrated =
+            predict_interference_free_channels(&squad, &apps, &[9, 9], &ChannelParams::a100());
+        assert!(calibrated > plain, "{calibrated:?} vs {plain:?}");
+    }
+
+    /// Channel-aware Eq. 2 only ever *adds* contention inflation on top of
+    /// the scalar row model (per-kernel slowdown is >= 1), so it dominates
+    /// the scalar estimate on every squad shape.
+    #[test]
+    fn channel_workload_equivalence_dominates_scalar() {
+        let kinds = [ModelKind::NasNet, ModelKind::Bert, ModelKind::Vgg11];
+        let apps: Vec<DeployedApp> = kinds.iter().map(|&m| deploy(m, 1.0 / 3.0)).collect();
+        for per_app in [3, 8, 14] {
+            let squad = squad_of(&apps, per_app);
+            let chan =
+                predict_workload_equivalence_channels(&squad, &apps, 108, &ChannelParams::a100());
+            let scalar = predict_workload_equivalence(&squad, &apps, 108);
+            assert!(chan >= scalar, "per_app={per_app}: {chan:?} < {scalar:?}");
+        }
+    }
+
+    /// The per-resource determiner returns a well-formed choice: full
+    /// partition coverage for SP, a positive prediction, and the same
+    /// candidate space as the scalar exhaustive walk (`pruned` stays 0 —
+    /// the stacked-duration bound is invalid under slowdown inflation, so
+    /// nothing is cut).
+    #[test]
+    fn channel_determiner_is_well_formed() {
+        let apps = vec![deploy(ModelKind::NasNet, 0.5), deploy(ModelKind::Bert, 0.5)];
+        let squad = squad_of(&apps, 25);
+        let model = ChannelModel::PerResource(ChannelParams::a100());
+        let choice = determine_config_model(&squad, &apps, 108, &model);
+        assert!(choice.predicted > SimDuration::ZERO);
+        assert_eq!(choice.pruned, 0);
+        assert_eq!(choice.evaluated, 18); // NSP + C(17, 1) SP splits
+        if let ExecConfig::Sp { partitions } = &choice.config {
+            assert_eq!(partitions.len(), 2);
+            assert_eq!(partitions.iter().sum::<u32>(), 18);
+            assert!(partitions.iter().all(|&p| p >= 1));
+        }
+    }
+
+    /// The channel determiner hill-climbs past `EXACT_SEARCH_MAX_APPS`
+    /// instead of enumerating, mirroring the scalar path's shape.
+    #[test]
+    fn channel_determiner_hill_climbs_many_apps() {
+        let apps: Vec<DeployedApp> = (0..8)
+            .map(|i| {
+                deploy(
+                    if i % 2 == 0 {
+                        ModelKind::ResNet50
+                    } else {
+                        ModelKind::Vgg11
+                    },
+                    0.125,
+                )
+            })
+            .collect();
+        let squad = squad_of(&apps, 4);
+        let model = ChannelModel::PerResource(ChannelParams::a100());
+        let choice = determine_config_model(&squad, &apps, 108, &model);
+        if let ExecConfig::Sp { partitions } = &choice.config {
+            assert_eq!(partitions.len(), 8);
+            assert_eq!(partitions.iter().sum::<u32>(), 18);
+        }
+        assert!(choice.evaluated < 1000, "hill climbing stays cheap");
+    }
+
+    /// The memoized model dispatcher caches per-resource choices and
+    /// returns them verbatim on recurring squad signatures.
+    #[test]
+    fn memo_model_caches_channel_choices() {
+        let apps = vec![deploy(ModelKind::NasNet, 0.5), deploy(ModelKind::Bert, 0.5)];
+        let squad = squad_of(&apps, 10);
+        let model = ChannelModel::PerResource(ChannelParams::a100());
+        let mut memo = ConfigMemo::new();
+        let first = determine_config_memo_model(&mut memo, &squad, &apps, 108, &model);
+        assert_eq!(memo.misses, 1);
+        assert_eq!(memo.hits, 0);
+        let second = determine_config_memo_model(&mut memo, &squad, &apps, 108, &model);
+        assert_eq!(memo.hits, 1);
+        assert_eq!(first.config, second.config);
+        assert_eq!(first.predicted, second.predicted);
+        // And the uncached search agrees with what the memo stored.
+        let direct = determine_config_model(&squad, &apps, 108, &model);
+        assert_eq!(first.config, direct.config);
+        assert_eq!(first.predicted, direct.predicted);
     }
 }

@@ -33,7 +33,7 @@ use sim_core::{SimDuration, SimTime};
 use crate::deploy::DeployedApp;
 use crate::error::SchedError;
 use crate::params::BlessParams;
-use crate::predict::{determine_config_memo, ConfigChoice, ConfigMemo, ExecConfig};
+use crate::predict::{determine_config_memo_model, ConfigChoice, ConfigMemo, ExecConfig};
 use crate::squad::{generate_squad_into, scheduling_cost, ActiveRequest, Squad, SquadScratch};
 use gpu_sim::KernelTableId;
 
@@ -443,7 +443,13 @@ impl BlessDriver {
                 pruned: 0,
             }
         } else {
-            determine_config_memo(&mut self.memo, &squad, &self.apps, gpu.spec().num_sms)
+            determine_config_memo_model(
+                &mut self.memo,
+                &squad,
+                &self.apps,
+                gpu.spec().num_sms,
+                &gpu.spec().channel_model,
+            )
         };
 
         // Balance the squad: trim trailing kernels from entries whose

@@ -4,7 +4,7 @@
 //! aggressors of increasing memory pressure. These helpers build the
 //! synthetic victim/aggressor kernels for that experiment.
 
-use gpu_sim::KernelDesc;
+use gpu_sim::{Channel, ChannelDemand, KernelDesc};
 use sim_core::SimDuration;
 
 /// A victim kernel occupying `sms` SMs for `duration` with the given
@@ -32,6 +32,26 @@ pub fn compute_bound(duration: SimDuration, sms: u32) -> KernelDesc {
 /// A pathologically memory-bound kernel (streaming, intensity 1.0).
 pub fn memory_bound(duration: SimDuration, sms: u32) -> KernelDesc {
     KernelDesc::compute("micro.membound", duration, sms, 1.0)
+}
+
+/// A victim kernel with an explicit per-channel demand vector (for the
+/// per-resource interference experiments, Fig. 9c). The scalar
+/// `mem_intensity` is kept at the DRAM-BW component so the same kernel is
+/// meaningful under `ChannelModel::Scalar`.
+pub fn channel_victim(duration: SimDuration, sms: u32, demand: ChannelDemand) -> KernelDesc {
+    KernelDesc::compute("micro.cvictim", duration, sms, demand.get(Channel::DramBw))
+        .with_demand(demand)
+}
+
+/// A long-running aggressor with an explicit per-channel demand vector.
+pub fn channel_aggressor(sms: u32, demand: ChannelDemand) -> KernelDesc {
+    KernelDesc::compute(
+        "micro.caggressor",
+        SimDuration::from_millis(50),
+        sms,
+        demand.get(Channel::DramBw),
+    )
+    .with_demand(demand)
 }
 
 #[cfg(test)]

@@ -29,6 +29,7 @@ use sim_core::trace::{TraceEvent, TraceSink};
 use sim_core::{DynEventQueue, EventQueueKind, FaultPlan, SimDuration, SimTime};
 
 use crate::alloc::{allocate_sms_into, CtxGroup, KernelDemand};
+use crate::channel::{Channel, ChannelModel, NUM_CHANNELS};
 use crate::kernel::{KernelDesc, KernelKind, KernelTableId};
 use crate::spec::{GpuSpec, HostCosts, HwPolicy};
 
@@ -1488,10 +1489,20 @@ impl Gpu {
     /// All intermediate vectors come from `self.scratch` so steady-state
     /// reallocation performs no heap allocation.
     fn reallocate_scoped(&mut self, do_compute: bool, do_dma: bool) {
+        // Under a per-resource model with DMA→PCIe coupling, running DMA
+        // streams feed the PCIe channel, so a DMA transition can change
+        // compute slowdowns: widen the scope. The scalar model (and the
+        // decoupled collapse twin, weight 0) keeps the exact narrow
+        // scoping, so skipping stays bit-identical there.
+        let do_compute = do_compute || (do_dma && self.spec.channel_model.couples_dma_to_compute());
         self.settle(self.now);
         self.epoch += 1;
 
-        // Gather running compute kernels and running memcpys.
+        // Gather running compute kernels and running memcpys. Memcpy
+        // streams are counted unconditionally (integer bump, free): the
+        // per-resource PCIe channel needs the count even when the DMA
+        // side itself is clean.
+        let mut memcpy_streams: u32 = 0;
         let mut compute = std::mem::take(&mut self.scratch.compute);
         let mut h2d = std::mem::take(&mut self.scratch.h2d);
         let mut d2h = std::mem::take(&mut self.scratch.d2h);
@@ -1507,11 +1518,13 @@ impl Gpu {
                         }
                     }
                     KernelKind::MemcpyH2D { .. } => {
+                        memcpy_streams += 1;
                         if do_dma {
                             h2d.push(slot);
                         }
                     }
                     KernelKind::MemcpyD2H { .. } => {
+                        memcpy_streams += 1;
                         if do_dma {
                             d2h.push(slot);
                         }
@@ -1551,47 +1564,59 @@ impl Gpu {
                 HwPolicy::GreedySticky => self.sticky_allocate(&compute, &groups, &mut alloc),
             }
 
-            // Interference: each kernel is slowed by the memory traffic of
-            // its co-runners, proportionally to the co-runners' active SM
-            // share and partly to the victim's own memory intensity.
-            let total_traffic: f64 = compute
-                .iter()
-                .zip(&alloc)
-                .map(|(&slot, &a)| {
-                    self.instances[slot].desc.mem_intensity * (a / self.spec.num_sms as f64)
-                })
-                .sum();
+            // Interference: each kernel is slowed by the traffic of its
+            // co-runners, proportionally to the co-runners' active SM
+            // share and partly to the victim's own demand. Under the
+            // scalar model there is one "memory traffic" scalar; under
+            // the per-resource model each channel accumulates traffic
+            // separately and channels compose by bottleneck max
+            // (DESIGN.md §5j). Both paths use fixed-size stack state only.
+            match self.spec.channel_model {
+                ChannelModel::Scalar => {
+                    let total_traffic: f64 = compute
+                        .iter()
+                        .zip(&alloc)
+                        .map(|(&slot, &a)| {
+                            self.instances[slot].desc.mem_intensity * (a / self.spec.num_sms as f64)
+                        })
+                        .sum();
 
-            for (i, &slot) in compute.iter().enumerate() {
-                let a = alloc[i];
-                let inst = &self.instances[slot];
-                let own = inst.desc.mem_intensity * (a / self.spec.num_sms as f64);
-                let pressure = (total_traffic - own).max(0.0);
-                let sensitivity = self.spec.interference_base
-                    + (1.0 - self.spec.interference_base) * inst.desc.mem_intensity;
-                let slowdown = (1.0 + self.spec.interference_alpha * pressure * sensitivity)
-                    .min(self.spec.interference_cap);
-                let new_rate = if a > 0.0 { a / slowdown } else { 0.0 };
-                let unchanged = (self.instances[slot].rate - new_rate).abs() < 1e-12
-                    && self.instances[slot].rate > 0.0;
-                let inst = &mut self.instances[slot];
-                let alloc_changed = inst.alloc_sms != a;
-                inst.alloc_sms = a;
-                inst.rate = new_rate;
-                if !unchanged {
-                    // Rate changed (or the kernel just started/stalled):
-                    // reschedule its completion. Kernels whose rate is
-                    // untouched keep their already-scheduled event.
-                    self.push_completion(slot);
+                    for (i, &slot) in compute.iter().enumerate() {
+                        let a = alloc[i];
+                        let inst = &self.instances[slot];
+                        let own = inst.desc.mem_intensity * (a / self.spec.num_sms as f64);
+                        let pressure = (total_traffic - own).max(0.0);
+                        let sensitivity = self.spec.interference_base
+                            + (1.0 - self.spec.interference_base) * inst.desc.mem_intensity;
+                        let slowdown = (1.0
+                            + self.spec.interference_alpha * pressure * sensitivity)
+                            .min(self.spec.interference_cap);
+                        let new_rate = if a > 0.0 { a / slowdown } else { 0.0 };
+                        self.apply_compute_rate(slot, a, new_rate);
+                    }
                 }
-                if alloc_changed && self.trace.is_some() {
-                    let seq = self.instances[slot].trace_seq;
-                    if seq != 0 {
-                        self.trace_emit(TraceEvent::SmAlloc {
-                            at: self.now,
-                            seq,
-                            sms: a,
-                        });
+                ChannelModel::PerResource(params) => {
+                    let mut traffic = [0.0f64; NUM_CHANNELS];
+                    for (&slot, &a) in compute.iter().zip(&alloc) {
+                        let share = a / self.spec.num_sms as f64;
+                        let d = &self.instances[slot].desc.demand.0;
+                        for (t, dv) in traffic.iter_mut().zip(d) {
+                            *t += dv * share;
+                        }
+                    }
+                    // Running DMA streams press on the PCIe channel.
+                    if params.dma_pcie_weight > 0.0 && memcpy_streams > 0 {
+                        traffic[Channel::Pcie as usize] +=
+                            params.dma_pcie_weight * memcpy_streams as f64;
+                    }
+
+                    for (i, &slot) in compute.iter().enumerate() {
+                        let a = alloc[i];
+                        let share = a / self.spec.num_sms as f64;
+                        let slowdown =
+                            params.slowdown(&self.instances[slot].desc.demand, share, &traffic);
+                        let new_rate = if a > 0.0 { a / slowdown } else { 0.0 };
+                        self.apply_compute_rate(slot, a, new_rate);
                     }
                 }
             }
@@ -1625,6 +1650,36 @@ impl Gpu {
         self.scratch.compute = compute;
         self.scratch.h2d = h2d;
         self.scratch.d2h = d2h;
+    }
+
+    /// Commits one compute kernel's allocation and interference-adjusted
+    /// rate: reschedules its completion when the rate actually changed
+    /// and emits the `SmAlloc` trace event when the allocation moved.
+    /// Shared, op-for-op, by both interference models so the scalar path
+    /// stays bit-identical to the pre-channel engine.
+    fn apply_compute_rate(&mut self, slot: usize, a: f64, new_rate: f64) {
+        let unchanged =
+            (self.instances[slot].rate - new_rate).abs() < 1e-12 && self.instances[slot].rate > 0.0;
+        let inst = &mut self.instances[slot];
+        let alloc_changed = inst.alloc_sms != a;
+        inst.alloc_sms = a;
+        inst.rate = new_rate;
+        if !unchanged {
+            // Rate changed (or the kernel just started/stalled):
+            // reschedule its completion. Kernels whose rate is
+            // untouched keep their already-scheduled event.
+            self.push_completion(slot);
+        }
+        if alloc_changed && self.trace.is_some() {
+            let seq = self.instances[slot].trace_seq;
+            if seq != 0 {
+                self.trace_emit(TraceEvent::SmAlloc {
+                    at: self.now,
+                    seq,
+                    sms: a,
+                });
+            }
+        }
     }
 
     /// Block-granular greedy allocation (the default hardware model):
@@ -2217,10 +2272,112 @@ mod tests {
         run_all(&mut gpu);
         let fa = gpu.kernel_finished_at(a).unwrap();
         let fb = gpu.kernel_finished_at(b).unwrap();
-        assert!(fa > SimTime::from_micros(100), "{fa:?}");
-        assert!(fb > SimTime::from_micros(100), "{fb:?}");
-        // And the cap keeps it under 2x.
-        assert!(fa < SimTime::from_micros(200), "{fa:?}");
+        // Pin the exact scalar-model value so refactors can't drift it:
+        // own traffic = 0.9·(54/108) = 0.45, pressure = 0.45,
+        // sensitivity = 0.30 + 0.70·0.9 = 0.93, so the slowdown is
+        // 1 + 1.5·0.45·0.93 = 1.62775 and 100 µs stretches to 162 775 ns.
+        assert_eq!(fa, SimTime::from_nanos(162_775), "{fa:?}");
+        assert_eq!(fb, SimTime::from_nanos(162_775), "{fb:?}");
+    }
+
+    #[test]
+    fn per_channel_collapse_pins_the_same_slowdown() {
+        // Mirror of `interference_slows_memory_hungry_pairs` under the
+        // per-resource collapse twin: all demand on the DRAM-BW channel
+        // with the matched curve must reproduce 162 775 ns exactly.
+        let mut gpu = Gpu::new(
+            GpuSpec::a100().collapse_twin(crate::Channel::DramBw),
+            HostCosts::free(),
+        );
+        let ctx = gpu.create_context(CtxKind::Default).unwrap();
+        let q1 = gpu.create_queue(ctx).unwrap();
+        let q2 = gpu.create_queue(ctx).unwrap();
+        let a = gpu
+            .launch(
+                q1,
+                KernelDesc::compute("a", SimDuration::from_micros(100), 54, 0.9),
+                0,
+            )
+            .unwrap();
+        let b = gpu
+            .launch(
+                q2,
+                KernelDesc::compute("b", SimDuration::from_micros(100), 54, 0.9),
+                1,
+            )
+            .unwrap();
+        run_all(&mut gpu);
+        assert_eq!(
+            gpu.kernel_finished_at(a),
+            Some(SimTime::from_nanos(162_775))
+        );
+        assert_eq!(
+            gpu.kernel_finished_at(b),
+            Some(SimTime::from_nanos(162_775))
+        );
+    }
+
+    #[test]
+    fn disjoint_channels_interfere_only_through_the_base_floor() {
+        // Under the per-resource model, kernels pressing on *different*
+        // channels only feel each other through the demand-independent
+        // base floor — strictly weaker than same-channel contention.
+        // This is the decomposition the scalar model cannot express: to
+        // it both pairs look identical (mem_intensity 0.9 each).
+        let pair = |da: crate::ChannelDemand, db: crate::ChannelDemand| {
+            let mut gpu = Gpu::new(GpuSpec::a100_per_resource(), HostCosts::free());
+            let ctx = gpu.create_context(CtxKind::Default).unwrap();
+            let q1 = gpu.create_queue(ctx).unwrap();
+            let q2 = gpu.create_queue(ctx).unwrap();
+            let a =
+                KernelDesc::compute("a", SimDuration::from_micros(100), 54, 0.9).with_demand(da);
+            let b =
+                KernelDesc::compute("b", SimDuration::from_micros(100), 54, 0.9).with_demand(db);
+            let a = gpu.launch(q1, a, 0).unwrap();
+            gpu.launch(q2, b, 1).unwrap();
+            run_all(&mut gpu);
+            gpu.kernel_finished_at(a).unwrap()
+        };
+        let on = |ch| crate::ChannelDemand::collapsed(ch, 0.9);
+        let same_channel = pair(on(crate::Channel::DramBw), on(crate::Channel::DramBw));
+        let cross_channel = pair(on(crate::Channel::L2), on(crate::Channel::DramBw));
+        let no_demand = pair(crate::ChannelDemand::ZERO, crate::ChannelDemand::ZERO);
+        assert!(
+            cross_channel > SimTime::from_micros(100),
+            "{cross_channel:?}"
+        );
+        assert!(
+            cross_channel < same_channel,
+            "{cross_channel:?} vs {same_channel:?}"
+        );
+        // Zero demand on every channel -> zero pressure -> exactly no
+        // interference.
+        assert_eq!(no_demand, SimTime::from_micros(100));
+    }
+
+    #[test]
+    fn dma_streams_press_on_the_pcie_channel() {
+        // A PCIe-hungry compute kernel is slowed by a concurrent DMA
+        // stream under the calibrated per-resource model, and untouched
+        // by it under the scalar model.
+        let kernel = KernelDesc::compute("pcie", SimDuration::from_micros(100), 54, 0.0)
+            .with_demand(crate::ChannelDemand::collapsed(crate::Channel::Pcie, 1.0));
+        let run = |spec: GpuSpec| {
+            let mut gpu = Gpu::new(spec, HostCosts::free());
+            let ctx = gpu.create_context(CtxKind::Default).unwrap();
+            let q1 = gpu.create_queue(ctx).unwrap();
+            let q2 = gpu.create_queue(ctx).unwrap();
+            let a = gpu.launch(q1, kernel.clone(), 0).unwrap();
+            // 5 MB at 25 GB/s = 200 us: the transfer outlives the kernel.
+            gpu.launch(q2, KernelDesc::memcpy_h2d("dma", 5_000_000), 1)
+                .unwrap();
+            run_all(&mut gpu);
+            gpu.kernel_finished_at(a).unwrap()
+        };
+        let scalar = run(GpuSpec::a100());
+        let per_resource = run(GpuSpec::a100_per_resource());
+        assert_eq!(scalar, SimTime::from_micros(100));
+        assert!(per_resource > scalar, "{per_resource:?}");
     }
 
     #[test]

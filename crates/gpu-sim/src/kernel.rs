@@ -17,6 +17,8 @@ use std::sync::Arc;
 
 use sim_core::SimDuration;
 
+use crate::channel::{Channel, ChannelDemand};
+
 /// Identifier of a kernel table registered with
 /// [`crate::Gpu::register_kernel_table`]: an interned `Arc<[KernelDesc]>`
 /// (typically one application's profiled kernel sequence) that launch
@@ -77,8 +79,14 @@ pub struct KernelDesc {
     /// compute kernels.
     pub max_sms: u32,
     /// Memory-bandwidth intensity in `[0, 1]`; drives the interference
-    /// model when kernels co-run.
+    /// model when kernels co-run under [`crate::ChannelModel::Scalar`].
     pub mem_intensity: f64,
+    /// Per-channel resource demand; drives the interference model under
+    /// [`crate::ChannelModel::PerResource`]. The constructors collapse
+    /// `mem_intensity` onto [`Channel::DramBw`], which keeps the default
+    /// per-resource behaviour equivalent to the scalar model; use
+    /// [`KernelDesc::with_demand`] for richer vectors.
+    pub demand: ChannelDemand,
 }
 
 impl KernelDesc {
@@ -105,6 +113,7 @@ impl KernelDesc {
             work: full_speed_duration.as_nanos() as f64 * max_sms as f64,
             max_sms,
             mem_intensity,
+            demand: ChannelDemand::collapsed(Channel::DramBw, mem_intensity),
         }
     }
 
@@ -128,6 +137,7 @@ impl KernelDesc {
             work: 0.0,
             max_sms: 0,
             mem_intensity: 0.0,
+            demand: ChannelDemand::ZERO,
         }
     }
 
@@ -139,7 +149,16 @@ impl KernelDesc {
             work: 0.0,
             max_sms: 0,
             mem_intensity: 0.0,
+            demand: ChannelDemand::ZERO,
         }
+    }
+
+    /// This kernel with an explicit per-channel demand vector (only
+    /// meaningful under [`crate::ChannelModel::PerResource`]; the scalar
+    /// model keeps reading `mem_intensity`).
+    pub fn with_demand(mut self, demand: ChannelDemand) -> Self {
+        self.demand = demand;
+        self
     }
 
     /// Isolated (interference-free) duration on an allocation of `sms` SMs.
@@ -231,5 +250,26 @@ mod tests {
         let d = SimDuration::from_nanos(12_345);
         let k = KernelDesc::compute("k", d, 33, 0.7);
         assert_eq!(k.full_speed_duration(PCIE), d);
+    }
+
+    #[test]
+    fn default_demand_collapses_mem_intensity_onto_dram() {
+        let k = KernelDesc::compute("k", SimDuration::from_micros(10), 8, 0.6);
+        assert_eq!(k.demand.get(Channel::DramBw), 0.6);
+        assert_eq!(k.demand.get(Channel::Compute), 0.0);
+        assert_eq!(k.demand.get(Channel::L2), 0.0);
+        assert_eq!(k.demand.get(Channel::Pcie), 0.0);
+        assert_eq!(
+            KernelDesc::memcpy_h2d("h2d", 1024).demand,
+            ChannelDemand::ZERO
+        );
+    }
+
+    #[test]
+    fn with_demand_overrides_the_default_vector() {
+        let d = ChannelDemand::new(0.2, 0.5, 0.3, 0.1);
+        let k = KernelDesc::compute("k", SimDuration::from_micros(10), 8, 0.6).with_demand(d);
+        assert_eq!(k.demand, d);
+        assert_eq!(k.mem_intensity, 0.6);
     }
 }

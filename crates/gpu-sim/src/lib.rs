@@ -12,7 +12,8 @@
 //! * in-order device queues (CUDA-stream semantics) with cross-queue
 //!   concurrency,
 //! * a memory-bandwidth interference model calibrated to the paper's
-//!   Fig. 9 measurements,
+//!   Fig. 9 measurements, with an opt-in four-channel per-resource
+//!   variant ([`channel`]),
 //! * PCIe DMA engines for memcpy kernels, and
 //! * a host timeline with the §6.9 costs (3 µs launches, 20 µs squad sync,
 //!   50 µs context-switch vacuum, per-kernel scheduling costs).
@@ -36,12 +37,14 @@
 //! ```
 
 pub mod alloc;
+pub mod channel;
 pub mod engine;
 pub mod kernel;
 pub mod lanes;
 pub mod sim;
 pub mod spec;
 
+pub use channel::{Channel, ChannelDemand, ChannelModel, ChannelParams, NUM_CHANNELS};
 pub use engine::{
     CtxId, CtxKind, DeviceCheckpoint, FailedKernel, FaultCounters, Gpu, GpuError, InstState,
     KernelHandle, QueueId, StepOutput, TimelineSegment,

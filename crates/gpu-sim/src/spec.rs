@@ -2,6 +2,8 @@
 
 use sim_core::SimDuration;
 
+use crate::channel::{Channel, ChannelModel, ChannelParams};
+
 /// How the hardware scheduler divides SMs among concurrently runnable
 /// kernels.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -64,6 +66,13 @@ pub struct GpuSpec {
     /// measured inefficiency that makes NSP squads slower than spatially
     /// partitioned ones (Fig. 7, Fig. 17).
     pub contended_dispatch_gap: SimDuration,
+    /// Interference-model switch (DESIGN.md §5j). The default,
+    /// [`ChannelModel::Scalar`], is byte-identical to the original
+    /// single-scalar model driven by `interference_alpha`/`_base`/`_cap`
+    /// above; [`ChannelModel::PerResource`] replaces it with the
+    /// four-channel contended-resource model driven by each kernel's
+    /// [`crate::ChannelDemand`] vector.
+    pub channel_model: ChannelModel,
 }
 
 impl GpuSpec {
@@ -80,6 +89,7 @@ impl GpuSpec {
             hw_policy: HwPolicy::GreedySticky,
             dispatch_min_fraction: 0.45,
             contended_dispatch_gap: SimDuration::from_micros(4),
+            channel_model: ChannelModel::Scalar,
         }
     }
 
@@ -89,6 +99,41 @@ impl GpuSpec {
         GpuSpec {
             num_sms,
             ..Self::a100()
+        }
+    }
+
+    /// A100 with the calibrated four-channel interference model
+    /// ([`ChannelParams::a100`]) instead of the scalar one.
+    pub fn a100_per_resource() -> Self {
+        GpuSpec {
+            channel_model: ChannelModel::PerResource(ChannelParams::a100()),
+            ..Self::a100()
+        }
+    }
+
+    /// This spec with a different interference model.
+    pub fn with_channel_model(mut self, model: ChannelModel) -> Self {
+        self.channel_model = model;
+        self
+    }
+
+    /// The per-resource *collapse twin* of this spec: the same hardware
+    /// with [`ChannelModel::PerResource`] whose `ch` channel carries this
+    /// spec's scalar α/base/cap curve and every other channel is inert
+    /// ([`ChannelParams::matched_scalar`]). With all kernel demand
+    /// collapsed onto `ch`, the twin simulates bit-identically to the
+    /// scalar spec — the property pinned by
+    /// `tests/channel_differential.rs`.
+    pub fn collapse_twin(&self, ch: Channel) -> Self {
+        let params = ChannelParams::matched_scalar(
+            self.interference_alpha,
+            self.interference_base,
+            self.interference_cap,
+            ch,
+        );
+        GpuSpec {
+            channel_model: ChannelModel::PerResource(params),
+            ..self.clone()
         }
     }
 }
@@ -177,5 +222,40 @@ mod tests {
         let spec = GpuSpec::a100_with_sms(14);
         assert_eq!(spec.num_sms, 14);
         assert_eq!(spec.memory_mib, GpuSpec::a100().memory_mib);
+    }
+
+    #[test]
+    fn default_channel_model_is_scalar() {
+        assert!(GpuSpec::a100().channel_model.is_scalar());
+        assert!(GpuSpec::a100_with_sms(54).channel_model.is_scalar());
+    }
+
+    #[test]
+    fn collapse_twin_carries_the_scalar_curve() {
+        let spec = GpuSpec::a100();
+        let twin = spec.collapse_twin(Channel::DramBw);
+        match &twin.channel_model {
+            ChannelModel::PerResource(p) => {
+                let c = Channel::DramBw as usize;
+                assert_eq!(p.alpha[c], spec.interference_alpha);
+                assert_eq!(p.base[c], spec.interference_base);
+                assert_eq!(p.cap[c], spec.interference_cap);
+                assert_eq!(p.dma_pcie_weight, 0.0);
+                for other in 0..crate::NUM_CHANNELS {
+                    if other != c {
+                        assert_eq!(p.alpha[other], 0.0);
+                        assert_eq!(p.cap[other], 1.0);
+                    }
+                }
+            }
+            ChannelModel::Scalar => panic!("twin must be per-resource"),
+        }
+        assert_eq!(twin.num_sms, spec.num_sms);
+    }
+
+    #[test]
+    fn per_resource_a100_couples_dma() {
+        let spec = GpuSpec::a100_per_resource();
+        assert!(spec.channel_model.couples_dma_to_compute());
     }
 }

@@ -9,7 +9,7 @@
 
 use dnn_models::micro;
 use dnn_models::{ModelKind, Phase};
-use gpu_sim::{CtxKind, Gpu, GpuSpec, HostCosts};
+use gpu_sim::{Channel, ChannelDemand, CtxKind, Gpu, GpuSpec, HostCosts};
 use metrics::Table;
 use sim_core::{SimDuration, SimTime};
 use workloads::{pair_workload, PaperWorkload};
@@ -64,6 +64,95 @@ pub fn run_a() -> Vec<Table> {
     }
     t.note("paper: slowdown ratio no larger than 2 even against a highly memory-intensive kernel");
     vec![t]
+}
+
+/// Per-channel pair slowdown: victim and aggressor press with explicit
+/// demand vectors under whatever channel model `spec` carries.
+pub fn channel_kernel_slowdown(
+    victim: ChannelDemand,
+    aggressor: ChannelDemand,
+    spec: &GpuSpec,
+) -> f64 {
+    let mut gpu = Gpu::new(spec.clone(), HostCosts::free());
+    let ctx = crate::require_ok(gpu.create_context(CtxKind::Default), "create context");
+    let q1 = crate::require_ok(gpu.create_queue(ctx), "create queue");
+    let q2 = crate::require_ok(gpu.create_queue(ctx), "create queue");
+    let base = SimDuration::from_micros(500);
+    let half = spec.num_sms / 2;
+    let v = crate::require_ok(
+        gpu.launch(q1, micro::channel_victim(base, half, victim), 0),
+        "launch",
+    );
+    crate::require_ok(
+        gpu.launch(q2, micro::channel_aggressor(half, aggressor), 1),
+        "launch",
+    );
+    while gpu.kernel_finished_at(v).is_none() {
+        if gpu.step().is_none() && gpu.peek_event_time().is_none() {
+            break;
+        }
+    }
+    let t = crate::require(gpu.kernel_finished_at(v), "victim finished");
+    t.duration_since(SimTime::ZERO).as_nanos() as f64 / base.as_nanos() as f64
+}
+
+/// Regenerates Fig. 9(c): the per-resource decomposition of Fig. 9(a).
+/// Each cell co-locates a victim pressing 0.5 on one channel with an
+/// aggressor pressing 1.0 on another, under the calibrated
+/// [`GpuSpec::a100_per_resource`] model; the diagonal (same channel)
+/// dominates every off-diagonal cell of its row, which only feels the
+/// base-floor coupling.
+pub fn run_c() -> Vec<Table> {
+    let spec = GpuSpec::a100_per_resource();
+    let mut t = Table::new(
+        "Fig. 9(c): per-channel interference decomposition (victim 0.5 vs aggressor 1.0)",
+        &[
+            "aggressor channel",
+            "compute victim",
+            "l2 victim",
+            "dram victim",
+            "pcie victim",
+        ],
+    );
+    for aggr_ch in Channel::ALL {
+        let mut row = vec![aggr_ch.name().to_string()];
+        for victim_ch in Channel::ALL {
+            let s = channel_kernel_slowdown(
+                ChannelDemand::collapsed(victim_ch, 0.5),
+                ChannelDemand::collapsed(aggr_ch, 1.0),
+                &spec,
+            );
+            row.push(format!("{s:.3}"));
+        }
+        t.row(&row);
+    }
+    t.note("diagonal = same-channel contention; off-diagonal = base-floor coupling only");
+
+    // Collapse equality: the per-resource model with all demand on one
+    // channel carrying the scalar curve reproduces the scalar model to the
+    // last bit (the differential-twin invariant, DESIGN.md §5j).
+    let scalar = GpuSpec::a100();
+    let twin = scalar.collapse_twin(Channel::DramBw);
+    let mut eq = Table::new(
+        "Fig. 9(c) cont.: collapse-twin equality against the scalar model",
+        &["victim mem", "scalar slowdown", "twin slowdown", "equal"],
+    );
+    for mem in [0.0, 0.5, 1.0] {
+        let s = kernel_slowdown(mem, 1.0, &scalar);
+        let c = channel_kernel_slowdown(
+            ChannelDemand::collapsed(Channel::DramBw, mem),
+            ChannelDemand::collapsed(Channel::DramBw, 1.0),
+            &twin,
+        );
+        eq.row(&[
+            format!("{mem:.1}"),
+            format!("{s:.6}"),
+            format!("{c:.6}"),
+            if s == c { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    eq.note("equality is exact (bit-identical float sequences), not a tolerance");
+    vec![t, eq]
 }
 
 /// The Fig. 9(b) model set: R50, VGG, AlexNet, BERT.
@@ -140,6 +229,91 @@ mod tests {
             prev = s;
         }
         assert!(prev > 1.2, "worst case should be substantial: {prev}");
+    }
+
+    #[test]
+    fn fig9c_same_channel_dominates_cross_channel() {
+        let spec = GpuSpec::a100_per_resource();
+        for ch in [Channel::L2, Channel::DramBw] {
+            let same = channel_kernel_slowdown(
+                ChannelDemand::collapsed(ch, 0.5),
+                ChannelDemand::collapsed(ch, 1.0),
+                &spec,
+            );
+            let cross_ch = if ch == Channel::L2 {
+                Channel::DramBw
+            } else {
+                Channel::L2
+            };
+            let cross = channel_kernel_slowdown(
+                ChannelDemand::collapsed(cross_ch, 0.5),
+                ChannelDemand::collapsed(ch, 1.0),
+                &spec,
+            );
+            assert!(same > cross, "{ch:?}: same {same:.3} vs cross {cross:.3}");
+            assert!(cross > 1.0, "base floor still couples: {cross:.3}");
+        }
+    }
+
+    /// Satellite of the per-resource model: on the Fig. 9(a) calibration
+    /// grid with demand *split* across L2 and DRAM-BW, the channel-aware
+    /// closed form predicts the engine-measured slowdown at least as well
+    /// as the scalar closed form (which only sees the lumped intensity
+    /// and cannot tell the channels apart).
+    #[test]
+    fn fig9c_channel_predictor_error_no_worse_than_scalar() {
+        use gpu_sim::{ChannelParams, NUM_CHANNELS};
+        let spec = GpuSpec::a100_per_resource();
+        let params = ChannelParams::a100();
+        let split = |m: f64| ChannelDemand::new(0.0, m / 2.0, m / 2.0, 0.0);
+        for victim_mem in [0.3, 0.5, 0.7, 0.9] {
+            for aggr_mem in [0.5, 1.0] {
+                let vd = split(victim_mem);
+                let ad = split(aggr_mem);
+                let measured = channel_kernel_slowdown(vd, ad, &spec);
+
+                // Channel closed form: the same per-channel pressure math
+                // the engine runs (both kernels at half the device).
+                let mut traffic = [0.0f64; NUM_CHANNELS];
+                for d in [&vd, &ad] {
+                    for (t, dv) in traffic.iter_mut().zip(&d.0) {
+                        *t += dv * 0.5;
+                    }
+                }
+                let chan_pred = params.slowdown(&vd, 0.5, &traffic);
+
+                // Scalar closed form on the lumped intensities.
+                let total = victim_mem * 0.5 + aggr_mem * 0.5;
+                let pressure = (total - victim_mem * 0.5).max(0.0);
+                let sens = spec.interference_base + (1.0 - spec.interference_base) * victim_mem;
+                let scalar_pred =
+                    (1.0 + spec.interference_alpha * pressure * sens).min(spec.interference_cap);
+
+                let chan_err = (chan_pred - measured).abs();
+                let scalar_err = (scalar_pred - measured).abs();
+                assert!(
+                    chan_err <= scalar_err + 1e-9,
+                    "victim {victim_mem} aggr {aggr_mem}: channel err {chan_err:.4} \
+                     (pred {chan_pred:.4}) vs scalar err {scalar_err:.4} \
+                     (pred {scalar_pred:.4}), measured {measured:.4}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fig9c_collapse_twin_matches_scalar_exactly() {
+        let scalar = GpuSpec::a100();
+        let twin = scalar.collapse_twin(Channel::DramBw);
+        for mem in [0.0, 0.5, 1.0] {
+            let s = kernel_slowdown(mem, 1.0, &scalar);
+            let c = channel_kernel_slowdown(
+                ChannelDemand::collapsed(Channel::DramBw, mem),
+                ChannelDemand::collapsed(Channel::DramBw, 1.0),
+                &twin,
+            );
+            assert_eq!(s.to_bits(), c.to_bits(), "mem {mem}: {s} vs {c}");
+        }
     }
 
     #[test]

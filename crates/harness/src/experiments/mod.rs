@@ -21,6 +21,7 @@ pub mod overhead;
 pub mod predictor;
 pub mod slo;
 pub mod substrate;
+pub mod system_comparison;
 pub mod table1;
 pub mod traces;
 
@@ -58,6 +59,16 @@ pub fn registry() -> Vec<Experiment> {
             id: "fig9b",
             describes: "Fig. 9(b): application-level interference in mutual pairs",
             run: fig9::run_b,
+        },
+        Experiment {
+            id: "fig9c",
+            describes: "Fig. 9(c): per-channel interference decomposition + collapse-twin equality",
+            run: fig9::run_c,
+        },
+        Experiment {
+            id: "system_comparison",
+            describes: "§6.1: all systems (incl. Tally) on the Azure-like trace, validator-checked",
+            run: system_comparison::run,
         },
         Experiment {
             id: "fig10",

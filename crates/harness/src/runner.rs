@@ -1,6 +1,8 @@
 //! Uniform experiment runner: any system × any workload → a request log.
 
-use baselines::{ReefPlusDriver, ShareMode, StaticShareDriver, TemporalDriver, ZicoDriver};
+use baselines::{
+    ReefPlusDriver, ShareMode, StaticShareDriver, TallyDriver, TemporalDriver, ZicoDriver,
+};
 use bless::{BlessDriver, BlessParams, DeployedApp};
 use dnn_models::gen::CALIBRATION_PCIE;
 use gpu_sim::{
@@ -29,6 +31,8 @@ pub enum System {
     ReefPlus,
     /// Unbounded sharing with tick-tock staggering (training).
     Zico,
+    /// Priority tenant unimpeded; best-effort kernels throttled (Tally).
+    Tally,
     /// Each app alone on its quota partition (the latency target).
     Iso,
 }
@@ -44,6 +48,7 @@ impl System {
             System::Unbound => "UNBOUND",
             System::ReefPlus => "REEF+",
             System::Zico => "ZICO",
+            System::Tally => "TALLY",
             System::Iso => "ISO",
         }
     }
@@ -270,6 +275,7 @@ fn run_system_capture(
             |d: StaticShareDriver| d.log
         ),
         System::ReefPlus => run!(ReefPlusDriver::new(apps), |d: ReefPlusDriver| d.tenants.log),
+        System::Tally => run!(TallyDriver::new(apps), |d: TallyDriver| d.tenants.log),
         System::Zico => {
             // Tick-tock: the second tenant trails by half an iteration and
             // rounds are memory-coordinated (iteration barriers).

@@ -23,7 +23,7 @@ fn workload(seed: u64) -> workloads::WorkloadSet {
 #[test]
 fn every_system_conserves_requests() {
     let spec = GpuSpec::a100();
-    let mut systems = vec![System::Iso, System::Zico];
+    let mut systems = vec![System::Iso, System::Zico, System::Tally];
     systems.extend(System::inference_set());
     for sys in systems {
         let r = run_validated(&sys, &workload(1), &spec, SimTime::from_secs(300), None);
@@ -132,6 +132,69 @@ fn bless_vs_gslice_is_seed_robust() {
         }
     }
     assert_eq!(wins, 5, "BLESS must beat GSLICE on every seed");
+}
+
+/// The Azure-like burst mix: sparse arrivals with bursts, the shape where
+/// priority isolation matters most (and where temporal slicing makes the
+/// priority tenant wait out whole slices).
+fn burst_workload(seed: u64) -> workloads::WorkloadSet {
+    pair_workload(
+        cache::model(ModelKind::Vgg11, Phase::Inference),
+        cache::model(ModelKind::ResNet50, Phase::Inference),
+        (0.5, 0.5),
+        PaperWorkload::TraceAzure,
+        0,
+        SimTime::from_secs(2),
+        seed,
+    )
+}
+
+#[test]
+fn tally_priority_tail_beats_temporal_on_bursts() {
+    // Tally's contract: the priority tenant (app 0) never waits on
+    // best-effort work beyond the throttled slice, so its tail latency is
+    // no worse than under round-robin temporal slicing. `run_validated`
+    // also machine-checks both traces against the scheduler invariants.
+    let spec = GpuSpec::a100();
+    let horizon = SimTime::from_secs(300);
+    let tally = run_validated(&System::Tally, &burst_workload(7), &spec, horizon, None);
+    let temporal = run_validated(&System::Temporal, &burst_workload(7), &spec, horizon, None);
+    assert_eq!(tally.outcome, RunOutcome::Completed);
+    let p99 = |r: &harness::runner::RunResult| r.log.stats(0).p99.expect("priority app ran");
+    assert!(
+        p99(&tally) <= p99(&temporal),
+        "priority p99 {:?} vs temporal {:?}",
+        p99(&tally),
+        p99(&temporal)
+    );
+}
+
+#[test]
+fn tally_loses_no_best_effort_request() {
+    // Throttling is not starvation: every best-effort request arriving
+    // during priority bursts still completes.
+    let spec = GpuSpec::a100();
+    for seed in [8, 9] {
+        let ws = burst_workload(seed);
+        let arrived: Vec<usize> = (0..2)
+            .map(|app| {
+                ws.initial_arrivals()
+                    .iter()
+                    .filter(|a| a.app == app)
+                    .count()
+            })
+            .collect();
+        let r = run_validated(&System::Tally, &ws, &spec, SimTime::from_secs(300), None);
+        assert_eq!(r.outcome, RunOutcome::Completed, "seed {seed}");
+        for app in 0..2 {
+            assert!(
+                r.log.completed_count(app) >= arrived[app],
+                "seed {seed} app {app}: {} completed of {} initial arrivals",
+                r.log.completed_count(app),
+                arrived[app]
+            );
+        }
+    }
 }
 
 #[test]
