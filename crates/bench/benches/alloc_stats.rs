@@ -16,14 +16,16 @@
 
 use std::time::Instant;
 
+use cluster::ClusterOptions;
 use dnn_models::ModelKind;
 use gpu_sim::{
     CtxKind, EventQueueKind, Gpu, GpuSpec, HostCosts, KernelDesc, KernelTableId, LaneEngine,
     MergedOutput, QueueId,
 };
 use harness::cache;
+use harness::experiments::fleet10k;
 use harness::runner::System;
-use sim_core::SimDuration;
+use sim_core::{SimDuration, SimTime};
 use workloads::PaperWorkload;
 
 /// Measured marginal allocs/kernel for single-GPU BLESS before the
@@ -188,6 +190,45 @@ fn lane_allocs_per_kernel(n: usize, par: bool, workers: usize) -> f64 {
     (bench::alloc_count() - before) as f64 / (n * queues.len()) as f64
 }
 
+/// Total allocations for one streamed fleet run at the given size and
+/// worker count (workload construction and profiling excluded).
+fn cluster_stream_allocs(gpus: usize, workers: usize) -> u64 {
+    let (ws, profiles) = fleet10k::workload(gpus, 2);
+    let spec = fleet10k::gpu_spec();
+    let horizon = SimTime::ZERO + fleet10k::TRACE_SPAN + fleet10k::TRACE_SPAN;
+    let before = bench::alloc_count();
+    let summary = cluster::run_cluster_stream(
+        &ws,
+        profiles,
+        gpus,
+        &spec,
+        &bless::BlessParams::default(),
+        horizon,
+        &ClusterOptions {
+            parallel: workers > 1,
+            workers: Some(workers),
+            ..ClusterOptions::default()
+        },
+    )
+    .expect("fleet placement");
+    std::hint::black_box(summary.digest);
+    bench::alloc_count() - before
+}
+
+/// Marginal allocations per GPU-step for the streamed fleet runner, for
+/// the sequential fold and the sharded worker pool. Two fleet sizes
+/// cancel per-run setup (thread spawns, shard deques, accumulator
+/// arrays); the sharded marginal minus the sequential marginal is the
+/// steady-state cost of the sharding machinery itself — work-stealing
+/// dispatch plus streaming aggregation — which must be allocation-free
+/// per GPU.
+fn cluster_marginals(n1: usize, n2: usize) -> (f64, f64) {
+    let d = (n2 - n1) as f64;
+    let seq = (cluster_stream_allocs(n2, 1) - cluster_stream_allocs(n1, 1)) as f64 / d;
+    let sharded = (cluster_stream_allocs(n2, 2) - cluster_stream_allocs(n1, 2)) as f64 / d;
+    (seq, sharded)
+}
+
 /// (total allocations, simulated kernels) for one single-GPU BLESS run.
 fn bless_run(requests: usize) -> (u64, u64) {
     let spec = GpuSpec::a100();
@@ -288,6 +329,26 @@ fn main() {
         );
     }
 
+    // Sharded fleet runner: warm once (lazy globals, profile interning),
+    // then compare per-GPU marginals of the sequential fold and the
+    // 2-worker sharded pool. The difference is the sharding machinery's
+    // own steady-state cost and must be zero allocations per GPU-step.
+    let (c1, c2) = if quick() { (4, 12) } else { (8, 24) };
+    std::hint::black_box(cluster_stream_allocs(c1, 2)); // warmup
+    let (cluster_seq, cluster_sharded) = cluster_marginals(c1, c2);
+    let shard_overhead = cluster_sharded - cluster_seq;
+    println!(
+        "fleet runner allocs/GPU-step: seq-fold {cluster_seq:.1}, sharded {cluster_sharded:.1}, \
+         sharding overhead {shard_overhead:.4}"
+    );
+    if counting {
+        assert!(
+            shard_overhead <= 0.0,
+            "sharded fleet runner must add 0 steady-state allocs/GPU-step over the sequential \
+             fold (got {shard_overhead:.4}: seq {cluster_seq:.1} vs sharded {cluster_sharded:.1})"
+        );
+    }
+
     // Marginal allocations per kernel: two runs differing only in request
     // count; the delta cancels per-run setup (driver, profiles, logs).
     let (a1, k1) = bless_run(8);
@@ -328,7 +389,7 @@ fn main() {
         return;
     }
     let json = format!(
-        "{{\n  \"bench\": \"alloc_stats\",\n  \"regenerate\": \"cargo bench -p bench --bench alloc_stats --features count-alloc\",\n  \"count_alloc\": {counting},\n  \"engine\": {{\n    \"kernels\": {engine_n},\n    \"allocs_per_kernel\": {engine:.4},\n    \"allocs_per_kernel_per_resource\": {engine_pr:.4},\n    \"allocs_per_kernel_before\": {BEFORE_ENGINE:.4},\n    \"table_launch_kernels_per_sec\": {kps:.0}\n  }},\n  \"lanes\": {{\n    \"lanes\": 4,\n    \"kernels\": {},\n    \"allocs_per_kernel_seq\": {lane_seq:.4},\n    \"allocs_per_kernel_par\": {lane_par:.4},\n    \"allocs_per_kernel_par_threaded\": {lane_threaded:.4}\n  }},\n  \"bless\": {{\n    \"allocs_per_kernel_bless\": {bless_marginal:.4},\n    \"allocs_per_kernel_before\": {BEFORE_BLESS:.4},\n    \"improvement_factor\": {:.1},\n    \"runs\": [[{a1}, {k1}], [{a2}, {k2}]]\n  }}\n}}\n",
+        "{{\n  \"bench\": \"alloc_stats\",\n  \"regenerate\": \"cargo bench -p bench --bench alloc_stats --features count-alloc\",\n  \"count_alloc\": {counting},\n  \"engine\": {{\n    \"kernels\": {engine_n},\n    \"allocs_per_kernel\": {engine:.4},\n    \"allocs_per_kernel_per_resource\": {engine_pr:.4},\n    \"allocs_per_kernel_before\": {BEFORE_ENGINE:.4},\n    \"table_launch_kernels_per_sec\": {kps:.0}\n  }},\n  \"lanes\": {{\n    \"lanes\": 4,\n    \"kernels\": {},\n    \"allocs_per_kernel_seq\": {lane_seq:.4},\n    \"allocs_per_kernel_par\": {lane_par:.4},\n    \"allocs_per_kernel_par_threaded\": {lane_threaded:.4}\n  }},\n  \"cluster\": {{\n    \"gpus\": [{c1}, {c2}],\n    \"allocs_per_gpu_seq\": {cluster_seq:.1},\n    \"allocs_per_gpu_sharded\": {cluster_sharded:.1},\n    \"sharding_overhead_per_gpu\": {shard_overhead:.4}\n  }},\n  \"bless\": {{\n    \"allocs_per_kernel_bless\": {bless_marginal:.4},\n    \"allocs_per_kernel_before\": {BEFORE_BLESS:.4},\n    \"improvement_factor\": {:.1},\n    \"runs\": [[{a1}, {k1}], [{a2}, {k2}]]\n  }}\n}}\n",
         lane_n * 4,
         BEFORE_BLESS / bless_marginal.max(1e-9),
     );

@@ -18,6 +18,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use dnn_models::{ModelKind, Phase};
 use gpu_sim::GpuSpec;
 use harness::cache;
+use harness::experiments::fleet10k;
 use harness::squadlab::slice_squad;
 use profiler::SharedProfile;
 use sim_core::{FaultSpec, SimDuration, SimTime};
@@ -91,6 +92,102 @@ struct ChaosRow {
     faulted_ms: f64,
     migrations: usize,
     stranded: usize,
+}
+
+struct Fleet10kRun {
+    workers: usize,
+    secs: f64,
+    gpus_per_sec: f64,
+}
+
+struct Fleet10k {
+    gpus: usize,
+    tenants: usize,
+    arrived_requests: u64,
+    digest: u64,
+    runs: Vec<Fleet10kRun>,
+    base64_gpus_per_sec: f64,
+    scale_ratio_vs_64: f64,
+    ff_slowdown: f64,
+    ca_slowdown: f64,
+}
+
+/// The 10k-GPU acceptance gates: a seeded ~1M-request diurnal fleet
+/// streamed at workers 1/2/4 with byte-identical summaries, throughput
+/// within 0.8× of the 64-GPU rate (no superlinear degradation), and
+/// contention-aware placement strictly below first-fit on predicted
+/// bottleneck slowdown. `BENCH_QUICK=1` shrinks the fleet (the CI smoke
+/// keeps the determinism and contention gates; the scale-ratio gate only
+/// means something at full scale).
+fn bench_fleet10k() -> Fleet10k {
+    let (gpus, reqs) = if quick() {
+        (fleet10k::QUICK_GPUS, fleet10k::QUICK_REQS_PER_TENANT)
+    } else {
+        (fleet10k::FULL_GPUS, fleet10k::FULL_REQS_PER_TENANT)
+    };
+    let (ws, profiles) = fleet10k::workload(gpus, reqs);
+    let mut runs = Vec::new();
+    let mut first = None;
+    let mut best_secs = f64::INFINITY;
+    for workers in [1usize, 2, 4] {
+        let (summary, secs) = fleet10k::streamed_run(&ws, &profiles, gpus, workers);
+        println!(
+            "fleet10k: {gpus} gpus, workers {workers}: {secs:.2}s, digest {:#018x}",
+            summary.digest
+        );
+        best_secs = best_secs.min(secs);
+        runs.push(Fleet10kRun {
+            workers,
+            secs,
+            gpus_per_sec: gpus as f64 / secs,
+        });
+        match &first {
+            None => first = Some(summary),
+            Some(base) => assert_eq!(
+                base, &summary,
+                "gate: streamed fleet summary must be byte-identical at any worker count"
+            ),
+        }
+    }
+    let summary = first.unwrap_or_else(|| unreachable!("three runs recorded"));
+
+    // 64-GPU reference rate under the same per-tenant load, best of the
+    // same worker counts.
+    let (ws64, profiles64) = fleet10k::workload(64, reqs);
+    let mut base_secs = f64::INFINITY;
+    for workers in [1usize, 2, 4] {
+        let (_, secs) = fleet10k::streamed_run(&ws64, &profiles64, 64, workers);
+        base_secs = base_secs.min(secs);
+    }
+    let gps = gpus as f64 / best_secs;
+    let base_gps = 64.0 / base_secs;
+    let ratio = gps / base_gps;
+    if !quick() {
+        assert!(
+            ratio >= 0.8,
+            "gate: gpus_per_sec at {gpus} GPUs degraded superlinearly: \
+             {gps:.1} vs {base_gps:.1} at 64 GPUs (ratio {ratio:.3} < 0.8)"
+        );
+    }
+
+    let (ff_slowdown, ca_slowdown) = fleet10k::policy_slowdowns(gpus, gpus);
+    assert!(
+        ca_slowdown < ff_slowdown,
+        "gate: contention-aware placement must strictly lower predicted fleet slowdown \
+         (ff={ff_slowdown:.4}, ca={ca_slowdown:.4})"
+    );
+
+    Fleet10k {
+        gpus,
+        tenants: 2 * gpus,
+        arrived_requests: summary.arrived_requests,
+        digest: summary.digest,
+        runs,
+        base64_gpus_per_sec: base_gps,
+        scale_ratio_vs_64: ratio,
+        ff_slowdown,
+        ca_slowdown,
+    }
 }
 
 struct DeterminerRow {
@@ -328,7 +425,7 @@ fn bench_determiner(c: &mut Criterion, rows: &mut Vec<DeterminerRow>) {
     g.finish();
 }
 
-fn write_json(fleet: &[FleetRow], det: &[DeterminerRow], chaos: &[ChaosRow]) {
+fn write_json(fleet: &[FleetRow], det: &[DeterminerRow], chaos: &[ChaosRow], f10k: &Fleet10k) {
     let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut out = String::from("{\n");
     out.push_str("  \"bench\": \"cluster_scale\",\n");
@@ -389,6 +486,39 @@ fn write_json(fleet: &[FleetRow], det: &[DeterminerRow], chaos: &[ChaosRow]) {
         ));
     }
     out.push_str("  ],\n");
+    // The 10k-GPU acceptance section: all three gates are asserted by the
+    // bench before this snapshot is written, so a checked-in file implies
+    // they passed on the generating machine.
+    out.push_str("  \"fleet10k\": {\n");
+    out.push_str(&format!(
+        "    \"gpus\": {}, \"tenants\": {}, \"arrived_requests\": {},\n",
+        f10k.gpus, f10k.tenants, f10k.arrived_requests
+    ));
+    out.push_str(&format!("    \"digest\": \"{:#018x}\",\n", f10k.digest));
+    out.push_str("    \"runs\": [\n");
+    for (i, r) in f10k.runs.iter().enumerate() {
+        out.push_str(&format!(
+            "      {{\"workers\": {}, \"secs\": {:.3}, \"gpus_per_sec\": {:.1}}}{}\n",
+            r.workers,
+            r.secs,
+            r.gpus_per_sec,
+            if i + 1 < f10k.runs.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("    ],\n");
+    out.push_str(&format!(
+        "    \"base64_gpus_per_sec\": {:.1}, \"scale_ratio_vs_64\": {:.3},\n",
+        f10k.base64_gpus_per_sec, f10k.scale_ratio_vs_64
+    ));
+    out.push_str(&format!(
+        "    \"ff_predicted_slowdown\": {:.4}, \"ca_predicted_slowdown\": {:.4},\n",
+        f10k.ff_slowdown, f10k.ca_slowdown
+    ));
+    out.push_str(&format!(
+        "    \"gates\": {{\"digest_identical_w124\": true, \"scale_ratio_ge_0.8\": {}, \"contention_strictly_lower\": true}}\n",
+        if quick() { "\"not gated in quick mode\"" } else { "true" }
+    ));
+    out.push_str("  },\n");
     out.push_str("  \"determiner\": [\n");
     for (i, r) in det.iter().enumerate() {
         out.push_str(&format!(
@@ -418,7 +548,8 @@ fn bench(c: &mut Criterion) {
     bench_fleet(c, &mut fleet_rows);
     bench_chaos(c, &mut chaos_rows);
     bench_determiner(c, &mut det_rows);
-    write_json(&fleet_rows, &det_rows, &chaos_rows);
+    let f10k = bench_fleet10k();
+    write_json(&fleet_rows, &det_rows, &chaos_rows, &f10k);
 }
 
 criterion_group!(benches, bench);

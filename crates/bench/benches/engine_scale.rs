@@ -175,7 +175,11 @@ impl EngineRow {
 
 fn bench_engine(c: &mut Criterion, rows: &mut Vec<EngineRow>) {
     let lane_counts: &[usize] = if quick() { &[1, 4] } else { &[1, 2, 4] };
-    let volumes: &[usize] = if quick() { &[32] } else { &[64, 256] };
+    // 2560/queue is the 10× row: fleet-replay event volume, where the
+    // per-queue population is deep enough for the wheel's O(1) filing to
+    // show up in `wheel_vs_heap` (the shallow rows are heap territory —
+    // see `EventQueueKind::WHEEL_DEPTH_THRESHOLD`).
+    let volumes: &[usize] = if quick() { &[32] } else { &[64, 256, 2560] };
     let samples = if quick() { 3 } else { 7 };
 
     let mut g = c.benchmark_group("engine_scale");

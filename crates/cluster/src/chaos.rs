@@ -58,7 +58,7 @@ use sim_core::trace::TraceEvent;
 use sim_core::{FaultPlan, FaultSpec, SimDuration, SimTime};
 use workloads::{ArrivalPattern, TenantSpec, WorkloadSet};
 
-use crate::placement::{place, Placement, PlacementError, PlacementRequest};
+use crate::placement::{place, CapacityIndex, Placement, PlacementError, PlacementRequest};
 
 /// The class of device fault that interrupted a tenant.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -492,22 +492,48 @@ pub fn run_chaos<P: Into<SharedProfile>>(
                     evacuees.into_iter().filter(Evacuee::has_work).collect();
                 movers.sort_by_key(|e| (ladder_rank(e.mode), e.tenant));
                 let mut staged: Vec<Vec<Evacuee>> = (0..slots.len()).map(|_| Vec::new()).collect();
+                // Index the surviving fleet once per failure: leaf `h` is
+                // host `h`'s provisioned quota folded in member order
+                // (dead devices are infinite, so no query selects them),
+                // and each staged migrant commits incrementally — the
+                // same float fold [`MigrationPolicy::choose_target`]
+                // recomputes from a cloned snapshot, minus the
+                // O(fleet × tenants) rebuild per casualty. Targets are
+                // byte-identical: the index walks hosts in the same
+                // ascending order with the same capacity threshold, and
+                // the admission check below sees the same member set.
+                let used: Vec<f64> = slots
+                    .iter()
+                    .map(|s| match s {
+                        Some(s) => s.tenants.iter().map(|&t| requests[t].quota).sum(),
+                        None => f64::INFINITY,
+                    })
+                    .collect();
+                let mut index = CapacityIndex::from_used(&used);
+                let mut profiles: Vec<&ProfiledApp> = Vec::new();
                 for e in movers {
-                    let hosts: Vec<Option<Vec<PlacementRequest>>> = slots
-                        .iter()
-                        .enumerate()
-                        .map(|(h, s)| {
-                            s.as_ref().map(|s| {
-                                s.tenants
-                                    .iter()
-                                    .chain(staged[h].iter().map(|m| &m.tenant))
-                                    .map(|&t| requests[t].clone())
-                                    .collect()
-                            })
-                        })
-                        .collect();
-                    match policy.choose_target(e.tenant, &requests[e.tenant], &hosts) {
-                        Ok(h) => staged[h].push(e),
+                    let migrant = &requests[e.tenant];
+                    let mut from = 0;
+                    let mut chosen: Result<usize, PlacementError> =
+                        Err(PlacementError::NoCapacity { app: e.tenant });
+                    while let Some(h) = index.first_fit_from(from, migrant.quota) {
+                        profiles.clear();
+                        if let Some(s) = &slots[h] {
+                            profiles.extend(s.tenants.iter().map(|&t| &*requests[t].profile));
+                        }
+                        profiles.extend(staged[h].iter().map(|m| &*requests[m.tenant].profile));
+                        profiles.push(&migrant.profile);
+                        if admit(&profiles, policy.memory_mib, &policy.admission).is_ok() {
+                            chosen = Ok(h);
+                            break;
+                        }
+                        from = h + 1;
+                    }
+                    match chosen {
+                        Ok(h) => {
+                            index.commit(h, migrant.quota);
+                            staged[h].push(e);
+                        }
                         Err(reason) => {
                             if opts.capture_trace {
                                 fleet_events.push(TraceEvent::MigrationFailed {
@@ -1057,6 +1083,81 @@ mod tests {
             );
         }
     }
+
+    /// The recovery schedule — who moved where, when work resumed, who
+    /// was stranded, and the resulting fleet log — pinned to a golden
+    /// digest at worker counts 1/2/4. Catches both nondeterminism in the
+    /// worker pool and any behavioral drift in the index-backed
+    /// evacuation path (which must match the linear
+    /// [`MigrationPolicy::choose_target`] scan byte-for-byte).
+    #[test]
+    fn recovery_schedule_digest_is_pinned_at_any_worker_count() {
+        let (spec, ws, profiles) = fixture(&[0.45; 6]);
+        let fspec = fault_spec(2, 2);
+        let params = BlessParams::default();
+        let digest_of = |run: &ChaosRun| {
+            let mut f = metrics::Fnv::new();
+            f.write_u64(run.migrations.len() as u64);
+            for m in &run.migrations {
+                f.write_u64(m.tenant as u64);
+                f.write_u64(m.from as u64);
+                f.write_u64(m.to as u64);
+                f.write_u64(u64::from(matches!(m.kind, FaultKind::Failure)));
+                f.write_u64(m.at.as_nanos());
+                f.write_u64(m.resumed_at.as_nanos());
+                f.write_u64(u64::from(m.in_flight));
+                f.write_u64(u64::from(m.queued));
+                f.write_u64(u64::from(m.future));
+            }
+            f.write_u64(run.stranded.len() as u64);
+            for s in &run.stranded {
+                f.write_u64(s.tenant as u64);
+                f.write_u64(s.gpu as u64);
+                f.write_u64(s.at.as_nanos());
+                f.write_u64(s.lost_requests as u64);
+            }
+            f.write_u64(run.log.digest());
+            f.finish()
+        };
+        let mut digests = Vec::new();
+        for workers in [1usize, 2, 4] {
+            let run = run_chaos(
+                &ws,
+                profiles.clone(),
+                4,
+                &spec,
+                &params,
+                horizon(),
+                42,
+                &fspec,
+                &ChaosOptions {
+                    parallel: workers > 1,
+                    workers: Some(workers),
+                    ..ChaosOptions::default()
+                },
+            )
+            .unwrap();
+            assert!(
+                !run.migrations.is_empty() || !run.stranded.is_empty(),
+                "fixture must exercise recovery"
+            );
+            digests.push(digest_of(&run));
+        }
+        assert!(
+            digests.iter().all(|&d| d == digests[0]),
+            "recovery schedule varies with worker count: {digests:x?}"
+        );
+        assert_eq!(
+            digests[0], GOLDEN_RECOVERY_DIGEST,
+            "recovery schedule drifted from the pinned golden \
+             (got {:#018x}); placement or migration behavior changed",
+            digests[0]
+        );
+    }
+
+    /// Golden for [`recovery_schedule_digest_is_pinned_at_any_worker_count`]:
+    /// seed-42 faults over the 6×0.45-quota fixture on a 4-GPU fleet.
+    const GOLDEN_RECOVERY_DIGEST: u64 = 0x6e6a_8965_7b82_5356;
 
     #[test]
     fn faults_on_unplaced_devices_are_skipped_with_typed_reason() {

@@ -29,5 +29,11 @@ pub use chaos::{
     run_chaos, ChaosOptions, ChaosRun, FaultKind, MigrationPolicy, MigrationRecord, SkippedFault,
     StrandedTenant,
 };
-pub use placement::{place, Placement, PlacementError, PlacementRequest};
-pub use run::{run_cluster, run_cluster_opts, run_cluster_seq, ClusterOptions, ClusterRun, GpuRun};
+pub use placement::{
+    place, place_linear, place_with, predicted_fleet_slowdown, ContentionOpts, Placement,
+    PlacementError, PlacementPolicy, PlacementRequest,
+};
+pub use run::{
+    run_cluster, run_cluster_opts, run_cluster_seq, run_cluster_stream, ClusterOptions, ClusterRun,
+    FleetSummary, GpuRun,
+};

@@ -3,24 +3,34 @@
 //!
 //! GPUs are mutually independent once placed — each gets its own
 //! [`Gpu`], [`BlessDriver`], arrival stream, and (optionally) trace sink —
-//! so the fleet is simulated on a pool of worker threads
-//! ([`run_cluster`]), with results merged in placement order. The merged
+//! so the fleet is simulated on *sharded* worker threads: each worker
+//! owns a fixed contiguous GPU range (a shard) and drains it
+//! front-to-back, stealing from the tail of other shards once its own is
+//! dry (DESIGN.md §5k). Results land in a preallocated per-GPU slot
+//! arena, so the placement-order merge is a pure move and the merged
 //! [`ClusterRun`] is byte-identical to the sequential twin
-//! ([`run_cluster_seq`]), which exists for the differential determinism
-//! test and for single-core hosts.
+//! ([`run_cluster_seq`]) at any worker count.
+//!
+//! At fleet scale, materializing every [`GpuRun`] is the memory
+//! bottleneck, not the simulation: [`run_cluster_stream`] folds each
+//! GPU's result into a [`FleetSummary`] the moment it finishes and drops
+//! the per-GPU buffers, keeping resident memory O(workers) instead of
+//! O(fleet) while the summary (including its request-log digest) stays
+//! byte-identical across worker counts.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, PoisonError};
 
 use bless::{BlessDriver, BlessParams, DeployedApp};
 use gpu_sim::{BufferSink, Gpu, GpuSpec, HostCosts, RequestArrival, RunOutcome, Simulation};
-use metrics::{RequestLog, ShareMode};
+use metrics::{Fnv, RequestLog, ShareMode};
 use profiler::SharedProfile;
 use sim_core::trace::TraceEvent;
 use sim_core::SimTime;
 use workloads::{ArrivalPattern, TenantSpec, WorkloadSet};
 
-use crate::placement::{place, Placement, PlacementError, PlacementRequest};
+use crate::placement::{place_with, Placement, PlacementError, PlacementPolicy, PlacementRequest};
 
 /// Result of one GPU's run within the cluster.
 #[derive(Debug)]
@@ -99,6 +109,11 @@ pub struct ClusterOptions {
     /// mechanism a migration uses to carry ladder state). `None` deploys
     /// everyone semi-spatial as usual.
     pub initial_modes: Option<Vec<ShareMode>>,
+    /// How tenants are matched to GPUs during placement
+    /// ([`PlacementPolicy::FirstFit`] by default;
+    /// [`PlacementPolicy::ContentionAware`] scores candidates by
+    /// predicted bottleneck-channel overlap).
+    pub placement_policy: PlacementPolicy,
 }
 
 impl Default for ClusterOptions {
@@ -109,6 +124,7 @@ impl Default for ClusterOptions {
             workers: None,
             lane_sharding: true,
             initial_modes: None,
+            placement_policy: PlacementPolicy::FirstFit,
         }
     }
 }
@@ -198,22 +214,15 @@ pub fn run_cluster_opts<P: Into<SharedProfile>>(
             quota: t.quota,
         })
         .collect();
-    let placement = place(
+    let placement = place_with(
         &requests,
         fleet_size,
         spec.memory_mib,
         &profiler::AdmissionPolicy::default(),
+        &opts.placement_policy,
     )?;
 
-    let workers = if opts.parallel {
-        opts.workers
-            .or_else(|| std::thread::available_parallelism().ok().map(|n| n.get()))
-            .unwrap_or(1)
-            .clamp(1, placement.gpus_used.max(1))
-    } else {
-        1
-    };
-
+    let workers = worker_count(opts, placement.gpus_used);
     let gpus = if workers <= 1 || placement.gpus_used <= 1 {
         (0..placement.gpus_used)
             .map(|g| run_one_gpu(g, &placement, ws, &requests, spec, params, horizon, opts))
@@ -227,11 +236,109 @@ pub fn run_cluster_opts<P: Into<SharedProfile>>(
     Ok(ClusterRun { placement, gpus })
 }
 
-/// Simulates the fleet on `workers` scoped threads pulling GPU indices
-/// from a shared counter, then merges results back into placement order.
-/// Each GPU's simulation is self-contained (its own device, driver,
-/// arrival stream, and sink), so the merge is a pure reordering — the
-/// output is byte-identical to the sequential loop.
+/// Resolves [`ClusterOptions`] into an effective worker count for a fleet
+/// of `gpus` devices.
+fn worker_count(opts: &ClusterOptions, gpus: usize) -> usize {
+    if opts.parallel {
+        opts.workers
+            .or_else(|| std::thread::available_parallelism().ok().map(|n| n.get()))
+            .unwrap_or(1)
+            .clamp(1, gpus.max(1))
+    } else {
+        1
+    }
+}
+
+/// Fixed GPU-range shards with tail stealing.
+///
+/// Shard `s` owns the contiguous range `[s·chunk, (s+1)·chunk)` and
+/// drains it front-to-back; a worker whose shard runs dry steals from the
+/// *tail* of the next non-empty shard, so stolen work is the work the
+/// owner would have reached last. Contiguous ranges keep each worker's
+/// slot-arena writes clustered; stealing absorbs load imbalance from
+/// heterogeneous tenancies without perturbing the output (results are
+/// keyed by GPU index, never by completion order).
+struct ShardPool {
+    queues: Vec<Mutex<VecDeque<usize>>>,
+}
+
+impl ShardPool {
+    fn new(gpus: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let chunk = gpus.div_ceil(shards);
+        let queues = (0..shards)
+            .map(|s| {
+                let lo = (s * chunk).min(gpus);
+                let hi = ((s + 1) * chunk).min(gpus);
+                Mutex::new((lo..hi).collect())
+            })
+            .collect();
+        ShardPool { queues }
+    }
+
+    /// Next GPU for worker `shard`: its own shard's head, else a steal
+    /// from the tail of the nearest non-empty shard, else `None` (all
+    /// work claimed; no new work is ever produced, so `None` is final).
+    fn next(&self, shard: usize) -> Option<usize> {
+        if let Some(g) = self.queues[shard]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .pop_front()
+        {
+            return Some(g);
+        }
+        let n = self.queues.len();
+        for off in 1..n {
+            let victim = (shard + off) % n;
+            if let Some(g) = self.queues[victim]
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .pop_back()
+            {
+                return Some(g);
+            }
+        }
+        None
+    }
+}
+
+/// Simulates the fleet on `workers` sharded threads, handing each
+/// finished [`GpuRun`] to `consume` (on the worker thread that produced
+/// it). Both fleet paths build on this: the materializing path's consumer
+/// moves the run into its slot arena; the streaming path's folds it into
+/// a [`FleetSummary`] and drops it.
+#[allow(clippy::too_many_arguments)]
+fn run_gpus_sharded<F>(
+    placement: &Placement,
+    ws: &WorkloadSet,
+    requests: &[PlacementRequest],
+    spec: &GpuSpec,
+    params: &BlessParams,
+    horizon: SimTime,
+    opts: &ClusterOptions,
+    workers: usize,
+    consume: &F,
+) where
+    F: Fn(GpuRun) + Sync,
+{
+    let pool = ShardPool::new(placement.gpus_used, workers);
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let pool = &pool;
+            scope.spawn(move || {
+                while let Some(g) = pool.next(w) {
+                    consume(run_one_gpu(
+                        g, placement, ws, requests, spec, params, horizon, opts,
+                    ));
+                }
+            });
+        }
+    });
+}
+
+/// Materializing fleet run: every GPU's result lands in a preallocated
+/// per-GPU slot, so the placement-order merge is a pure move — the output
+/// is byte-identical to the sequential loop at any worker count.
 #[allow(clippy::too_many_arguments)]
 fn run_gpus_parallel(
     placement: &Placement,
@@ -243,28 +350,239 @@ fn run_gpus_parallel(
     opts: &ClusterOptions,
     workers: usize,
 ) -> Vec<GpuRun> {
-    let next = AtomicUsize::new(0);
-    let done: Mutex<Vec<GpuRun>> = Mutex::new(Vec::with_capacity(placement.gpus_used));
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let g = next.fetch_add(1, Ordering::Relaxed);
-                if g >= placement.gpus_used {
-                    break;
-                }
-                let run = run_one_gpu(g, placement, ws, requests, spec, params, horizon, opts);
-                done.lock()
-                    .unwrap_or_else(PoisonError::into_inner)
-                    .push(run);
-            });
+    let slots: Vec<Mutex<Option<GpuRun>>> =
+        (0..placement.gpus_used).map(|_| Mutex::new(None)).collect();
+    run_gpus_sharded(
+        placement,
+        ws,
+        requests,
+        spec,
+        params,
+        horizon,
+        opts,
+        workers,
+        &|run: GpuRun| {
+            let g = run.gpu;
+            *slots[g].lock().unwrap_or_else(PoisonError::into_inner) = Some(run);
+        },
+    );
+    // A panicking worker propagates out of the scope above, so every slot
+    // holds exactly one result here.
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(g, slot)| {
+            slot.into_inner()
+                .unwrap_or_else(PoisonError::into_inner)
+                .unwrap_or_else(|| panic!("gpu {g} produced no result"))
+        })
+        .collect()
+}
+
+/// Streaming summary of a fleet run — everything the fleet-scale
+/// experiments need, at O(1) size per GPU (two words: digest and
+/// utilization) instead of a materialized [`GpuRun`].
+///
+/// All fields are byte-stable across worker counts: counters are exact
+/// integer sums (commutative), and the two order-sensitive folds (the
+/// fleet digest and the utilization mean) run over per-GPU slots in GPU
+/// index order after the workers join.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FleetSummary {
+    /// The placement that was simulated.
+    pub placement: Placement,
+    /// GPUs whose simulation completed every request.
+    pub completed_gpus: usize,
+    /// Requests that arrived fleet-wide.
+    pub arrived_requests: u64,
+    /// Requests that completed fleet-wide.
+    pub completed_requests: u64,
+    /// Exact sum of completed-request latencies, in nanoseconds.
+    pub latency_sum_ns: u64,
+    /// Worst completed-request latency, in nanoseconds.
+    pub max_latency_ns: u64,
+    /// Mean per-GPU utilization (folded in GPU order).
+    pub mean_utilization: f64,
+    /// FNV-1a fold of every GPU's request-log digest, in GPU order —
+    /// byte-identical to hashing the sequential run's logs.
+    pub digest: u64,
+}
+
+impl FleetSummary {
+    /// Mean completed-request latency in milliseconds, if any completed.
+    pub fn mean_latency_ms(&self) -> Option<f64> {
+        if self.completed_requests == 0 {
+            return None;
         }
-    });
-    // A panicking worker propagates out of the scope above, so every GPU
-    // has exactly one result here; placement order restores determinism.
-    let mut gpus = done.into_inner().unwrap_or_else(PoisonError::into_inner);
-    gpus.sort_by_key(|r| r.gpu);
-    debug_assert_eq!(gpus.len(), placement.gpus_used);
-    gpus
+        Some(self.latency_sum_ns as f64 / self.completed_requests as f64 / 1e6)
+    }
+
+    /// True when every GPU completed all its requests.
+    pub fn all_completed(&self) -> bool {
+        self.completed_gpus == self.placement.gpus_used
+    }
+}
+
+/// The shared fold target of [`run_cluster_stream`]: commutative atomic
+/// counters plus per-GPU word slots for the order-sensitive parts.
+struct FleetAccumulator {
+    digests: Vec<AtomicU64>,
+    utilization_bits: Vec<AtomicU64>,
+    completed_gpus: AtomicUsize,
+    arrived: AtomicU64,
+    completed: AtomicU64,
+    latency_ns: AtomicU64,
+    max_latency_ns: AtomicU64,
+}
+
+impl FleetAccumulator {
+    fn new(gpus: usize) -> Self {
+        FleetAccumulator {
+            digests: (0..gpus).map(|_| AtomicU64::new(0)).collect(),
+            utilization_bits: (0..gpus).map(|_| AtomicU64::new(0)).collect(),
+            completed_gpus: AtomicUsize::new(0),
+            arrived: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            latency_ns: AtomicU64::new(0),
+            max_latency_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Folds one GPU's result in; the caller drops the run (and its log,
+    /// trace, and tenant buffers) immediately after.
+    fn fold(&self, run: &GpuRun) {
+        let mut arrived = 0u64;
+        let mut completed = 0u64;
+        let mut latency = 0u64;
+        let mut max_latency = 0u64;
+        for app in 0..run.tenants.len() {
+            for r in run.log.records(app) {
+                arrived += 1;
+                if let Some(l) = r.latency() {
+                    completed += 1;
+                    latency += l.as_nanos();
+                    max_latency = max_latency.max(l.as_nanos());
+                }
+            }
+        }
+        self.arrived.fetch_add(arrived, Ordering::Relaxed);
+        self.completed.fetch_add(completed, Ordering::Relaxed);
+        self.latency_ns.fetch_add(latency, Ordering::Relaxed);
+        self.max_latency_ns
+            .fetch_max(max_latency, Ordering::Relaxed);
+        if run.outcome == RunOutcome::Completed {
+            self.completed_gpus.fetch_add(1, Ordering::Relaxed);
+        }
+        self.digests[run.gpu].store(run.log.digest(), Ordering::Relaxed);
+        self.utilization_bits[run.gpu].store(run.utilization.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Final GPU-order folds, after all workers joined.
+    fn finish(self, placement: Placement) -> FleetSummary {
+        let mut h = Fnv::new();
+        let mut util_sum = 0.0f64;
+        for (d, u) in self.digests.iter().zip(&self.utilization_bits) {
+            h.write_u64(d.load(Ordering::Relaxed));
+            util_sum += f64::from_bits(u.load(Ordering::Relaxed));
+        }
+        let gpus = self.digests.len();
+        FleetSummary {
+            placement,
+            completed_gpus: self.completed_gpus.into_inner(),
+            arrived_requests: self.arrived.into_inner(),
+            completed_requests: self.completed.into_inner(),
+            latency_sum_ns: self.latency_ns.into_inner(),
+            max_latency_ns: self.max_latency_ns.into_inner(),
+            mean_utilization: if gpus > 0 {
+                util_sum / gpus as f64
+            } else {
+                0.0
+            },
+            digest: h.finish(),
+        }
+    }
+}
+
+/// [`run_cluster_opts`] for fleets too big to materialize: each GPU's
+/// result folds into a [`FleetSummary`] the moment it finishes and its
+/// buffers are freed, so resident memory stays O(workers) GPU results
+/// (plus two words per GPU) instead of O(fleet). The summary — including
+/// its fleet digest — is byte-identical across worker counts and to
+/// summarizing a materialized [`run_cluster_seq`] run.
+///
+/// Trace capture is refused (a fleet-wide trace is exactly the O(fleet)
+/// buffer this path exists to avoid); use [`run_cluster_opts`] for that.
+///
+/// # Panics
+///
+/// Panics if `opts.capture_trace` is set.
+pub fn run_cluster_stream<P: Into<SharedProfile>>(
+    ws: &WorkloadSet,
+    profiles: Vec<P>,
+    fleet_size: usize,
+    spec: &GpuSpec,
+    params: &BlessParams,
+    horizon: SimTime,
+    opts: &ClusterOptions,
+) -> Result<FleetSummary, PlacementError> {
+    assert!(
+        !opts.capture_trace,
+        "run_cluster_stream cannot capture traces; use run_cluster_opts"
+    );
+    if ws.tenants.is_empty() {
+        return Err(PlacementError::EmptyWorkload);
+    }
+    if ws.len() != profiles.len() {
+        return Err(PlacementError::ProfileCountMismatch {
+            profiles: profiles.len(),
+            tenants: ws.len(),
+        });
+    }
+    if let Some(modes) = &opts.initial_modes {
+        assert_eq!(
+            modes.len(),
+            ws.len(),
+            "initial_modes needs one entry per tenant"
+        );
+    }
+    let requests: Vec<PlacementRequest> = profiles
+        .into_iter()
+        .zip(&ws.tenants)
+        .map(|(p, t)| PlacementRequest {
+            profile: p.into(),
+            quota: t.quota,
+        })
+        .collect();
+    let placement = place_with(
+        &requests,
+        fleet_size,
+        spec.memory_mib,
+        &profiler::AdmissionPolicy::default(),
+        &opts.placement_policy,
+    )?;
+
+    let acc = FleetAccumulator::new(placement.gpus_used);
+    let workers = worker_count(opts, placement.gpus_used);
+    if workers <= 1 || placement.gpus_used <= 1 {
+        for g in 0..placement.gpus_used {
+            acc.fold(&run_one_gpu(
+                g, &placement, ws, &requests, spec, params, horizon, opts,
+            ));
+        }
+    } else {
+        run_gpus_sharded(
+            &placement,
+            ws,
+            &requests,
+            spec,
+            params,
+            horizon,
+            opts,
+            workers,
+            &|run: GpuRun| acc.fold(&run),
+        );
+    }
+    Ok(acc.finish(placement))
 }
 
 /// Simulates one GPU's tenants to completion — the unit of work both the
@@ -755,6 +1073,74 @@ mod tests {
         .unwrap();
         assert_eq!(run.gpus[0].lanes, 1);
         assert!(run.all_completed());
+    }
+
+    #[test]
+    fn streaming_summary_matches_materialized_run_at_any_worker_count() {
+        let (spec, ws, profiles) = four_tenant_fixture();
+        let horizon = SimTime::from_secs(60);
+        let params = BlessParams::default();
+        // Ground truth: the materialized sequential run, folded by hand.
+        let seq = run_cluster_seq(&ws, profiles.clone(), 4, &spec, &params, horizon).unwrap();
+        let mut h = Fnv::new();
+        for g in &seq.gpus {
+            h.write_u64(g.log.digest());
+        }
+        let want_digest = h.finish();
+
+        let mut summaries = Vec::new();
+        for workers in [1usize, 2, 4] {
+            let opts = ClusterOptions {
+                workers: Some(workers),
+                ..ClusterOptions::default()
+            };
+            let s = run_cluster_stream(&ws, profiles.clone(), 4, &spec, &params, horizon, &opts)
+                .unwrap();
+            assert_eq!(s.digest, want_digest, "workers={workers}");
+            assert_eq!(s.placement, seq.placement);
+            assert!(s.all_completed());
+            summaries.push(s);
+        }
+        // The whole summary — not just the digest — is byte-stable.
+        assert_eq!(summaries[0], summaries[1]);
+        assert_eq!(summaries[0], summaries[2]);
+        // And the commutative counters agree with the materialized logs.
+        let arrived: u64 = seq
+            .gpus
+            .iter()
+            .map(|g| {
+                (0..g.tenants.len())
+                    .map(|a| g.log.records(a).len() as u64)
+                    .sum::<u64>()
+            })
+            .sum();
+        assert_eq!(summaries[0].arrived_requests, arrived);
+        assert_eq!(summaries[0].completed_requests, arrived);
+        assert!(summaries[0].mean_latency_ms().is_some());
+    }
+
+    #[test]
+    fn contention_aware_fleet_runs_end_to_end() {
+        let (spec, ws, profiles) = four_tenant_fixture();
+        let opts = ClusterOptions {
+            placement_policy: PlacementPolicy::contention_aware(),
+            ..ClusterOptions::default()
+        };
+        let run = run_cluster_opts(
+            &ws,
+            profiles,
+            4,
+            &spec,
+            &BlessParams::default(),
+            SimTime::from_secs(60),
+            &opts,
+        )
+        .unwrap();
+        assert!(run.all_completed());
+        // Every tenant still lands somewhere valid.
+        for t in 0..4 {
+            assert!(run.tenant_mean_ms(t).is_some());
+        }
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Property tests on the placement controller.
 
-use cluster::{place, PlacementRequest};
+use cluster::{place, place_linear, place_with, PlacementPolicy, PlacementRequest};
 use dnn_models::{AppModel, ModelKind, Phase};
 use gpu_sim::GpuSpec;
 use profiler::{AdmissionPolicy, ProfiledApp, SharedProfile};
@@ -80,6 +80,56 @@ proptest! {
         if let Ok(p1) = place(&reqs, fleet, 40 * 1024, &policy) {
             let p2 = place(&reqs, fleet + 1, 40 * 1024, &policy).expect("larger fleet fits");
             prop_assert_eq!(p1, p2);
+        }
+    }
+
+    /// Differential twin: the segment-tree capacity index must reproduce
+    /// the retired linear scan exactly — same packing on success, same
+    /// typed error on rejection — for any request mix and fleet size.
+    #[test]
+    fn prop_indexed_first_fit_matches_linear_scan(
+        specs in proptest::collection::vec((0usize..4, 1u32..=10), 1..40),
+        fleet in 1usize..32,
+    ) {
+        let reqs: Vec<PlacementRequest> = specs
+            .iter()
+            .map(|&(m, q)| PlacementRequest {
+                profile: profiles()[m].clone(),
+                quota: q as f64 / 10.0,
+            })
+            .collect();
+        let policy = AdmissionPolicy::default();
+        let indexed = place(&reqs, fleet, 40 * 1024, &policy);
+        let linear = place_linear(&reqs, fleet, 40 * 1024, &policy);
+        prop_assert_eq!(indexed, linear);
+    }
+
+    /// Contention-aware placement is a pure function of its inputs
+    /// (identical packing on repeated runs — the scoring loop has no
+    /// hidden iteration-order dependence) and every packing it accepts is
+    /// sound under the same quota rule first-fit obeys.
+    #[test]
+    fn prop_contention_aware_is_deterministic_and_sound(
+        specs in proptest::collection::vec((0usize..4, 1u32..=10), 1..24),
+        fleet in 1usize..16,
+    ) {
+        let reqs: Vec<PlacementRequest> = specs
+            .iter()
+            .map(|&(m, q)| PlacementRequest {
+                profile: profiles()[m].clone(),
+                quota: q as f64 / 10.0,
+            })
+            .collect();
+        let policy = AdmissionPolicy::default();
+        let ca = PlacementPolicy::contention_aware();
+        let p1 = place_with(&reqs, fleet, 40 * 1024, &policy, &ca);
+        let p2 = place_with(&reqs, fleet, 40 * 1024, &policy, &ca);
+        prop_assert_eq!(&p1, &p2);
+        let Ok(p) = p1 else { return Ok(()) };
+        prop_assert!(p.assignments.iter().all(|&g| g < p.gpus_used));
+        for g in 0..p.gpus_used {
+            let quota: f64 = p.tenants_of(g).iter().map(|&i| reqs[i].quota).sum();
+            prop_assert!(quota <= 1.0 + 1e-9, "GPU {g} quota {quota}");
         }
     }
 }

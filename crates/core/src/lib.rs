@@ -48,6 +48,7 @@
 //! assert!(mean.as_millis_f64() < 18.0);
 //! ```
 
+pub mod demand;
 pub mod deploy;
 pub mod error;
 pub mod lanes;
@@ -56,6 +57,7 @@ pub mod predict;
 pub mod runtime;
 pub mod squad;
 
+pub use demand::aggregate_demand;
 pub use deploy::DeployedApp;
 pub use error::SchedError;
 pub use lanes::{LaneGroup, LaneHints, LaneKind};

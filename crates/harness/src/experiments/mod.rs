@@ -16,6 +16,7 @@ pub mod fig20;
 pub mod fig4b;
 pub mod fig9;
 pub mod fleet;
+pub mod fleet10k;
 pub mod graphs;
 pub mod overhead;
 pub mod predictor;
@@ -175,6 +176,12 @@ pub fn registry() -> Vec<Experiment> {
             describes:
                 "§4.2.2: multi-GPU fleet (placement + replicated runtimes, parallel simulation)",
             run: fleet::run,
+        },
+        Experiment {
+            id: "fleet10k",
+            describes:
+                "ROADMAP 2: 10k-GPU diurnal fleet via the sharded streaming runner (BENCH_QUICK shrinks it)",
+            run: fleet10k::run,
         },
     ]
 }

@@ -1,0 +1,98 @@
+//! FNV-1a digests over request logs.
+//!
+//! The workspace's golden tests pin simulator behaviour with 64-bit
+//! FNV-1a digests of the request stream. The streaming fleet aggregator
+//! (cluster crate) needs the same digest *inside* library code — each
+//! GPU's log is hashed and dropped, and only the per-GPU word survives —
+//! so the hasher lives here rather than being re-derived per test file.
+
+use crate::stats::RequestLog;
+
+/// 64-bit FNV-1a, the workspace's stock golden-digest hash.
+///
+/// Not a cryptographic hash; it exists to make two event streams
+/// comparable byte-for-byte across runs, hosts, and worker counts.
+#[derive(Clone, Copy, Debug)]
+pub struct Fnv(u64);
+
+impl Fnv {
+    /// The FNV-1a offset basis.
+    pub fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Folds one 64-bit word, byte by byte (little-endian).
+    pub fn write_u64(&mut self, x: u64) {
+        for b in x.to_le_bytes() {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// The digest so far.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv {
+    fn default() -> Self {
+        Fnv::new()
+    }
+}
+
+impl RequestLog {
+    /// FNV-1a digest of the full request stream: every app's records in
+    /// order, hashing `(app, req, arrival, completion)`. In-flight
+    /// requests hash a `0` completion sentinel (completed requests hash
+    /// `nanos + 1`, so "completed at t=0" and "never completed" differ).
+    ///
+    /// Any behavioural drift — one request reordered, one timestamp off
+    /// by a nanosecond — changes the digest.
+    pub fn digest(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.write_u64(self.apps() as u64);
+        for app in 0..self.apps() {
+            for r in self.records(app) {
+                h.write_u64(r.app as u64);
+                h.write_u64(r.req as u64);
+                h.write_u64(r.arrival.as_nanos());
+                h.write_u64(r.completion.map_or(0, |c| c.as_nanos() + 1));
+            }
+        }
+        h.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::SimTime;
+
+    #[test]
+    fn digest_is_stable_and_sensitive() {
+        let mut log = RequestLog::new(2);
+        log.arrived(0, 0, SimTime::from_millis(1));
+        log.arrived(1, 0, SimTime::from_millis(2));
+        log.completed(0, 0, SimTime::from_millis(5));
+        let d = log.digest();
+        assert_eq!(d, log.clone().digest(), "same log, same digest");
+
+        // One nanosecond of drift changes the digest.
+        let mut other = RequestLog::new(2);
+        other.arrived(0, 0, SimTime::from_millis(1));
+        other.arrived(1, 0, SimTime::from_millis(2));
+        other.completed(0, 0, SimTime::from_nanos(5_000_001));
+        assert_ne!(d, other.digest());
+    }
+
+    #[test]
+    fn completion_at_zero_differs_from_in_flight() {
+        let mut inflight = RequestLog::new(1);
+        inflight.arrived(0, 0, SimTime::ZERO);
+        let mut done = RequestLog::new(1);
+        done.arrived(0, 0, SimTime::ZERO);
+        done.completed(0, 0, SimTime::ZERO);
+        assert_ne!(inflight.digest(), done.digest());
+    }
+}

@@ -16,6 +16,7 @@
 //! experiment harness.
 
 pub mod cdf;
+pub mod digest;
 pub mod report;
 pub mod robustness;
 pub mod stats;
@@ -23,6 +24,7 @@ pub mod tracestats;
 pub mod validate;
 
 pub use cdf::Cdf;
+pub use digest::Fnv;
 pub use report::Table;
 pub use robustness::{DegradeTransition, RobustnessReport, ShareMode};
 pub use stats::{latency_deviation, LatencyStats, RequestLog, RequestRecord};

@@ -324,6 +324,48 @@ pub enum EventQueueKind {
     TimingWheel,
 }
 
+impl EventQueueKind {
+    /// Steady-state queue depth above which the wheel is selected.
+    ///
+    /// Two measurements bracket the choice. In isolation (the ignored
+    /// `print_queue_crossover` harness below: steady depth, near-future
+    /// deadlines) the wheel's O(1) push beats the heap's O(log n) sift
+    /// at every depth, by ~1.3× at 64 entries up to ~2.4× at 64k. But
+    /// end-to-end engine runs at *shallow* depths tell the opposite
+    /// story — BENCH_engine.json's `wheel_vs_heap` sits at 0.6–0.9 for
+    /// the lane workloads, whose queues hold only tens of entries —
+    /// because there queue ops are a sliver of each step and the wheel's
+    /// cascade state is pure cache pressure. The threshold therefore
+    /// stays conservative: only a queue seeded with thousands of entries
+    /// (a fleet GPU replaying a long arrival schedule, where depth makes
+    /// queue cost a first-order term) switches to the wheel. The
+    /// backends pop in bit-identical order, so a miscalibrated pick
+    /// costs only time, never determinism.
+    ///
+    /// Re-tune note (10× volume pass): the 64-slot/11-level geometry was
+    /// revisited at fleet event volumes and kept — 64 slots is what a
+    /// single `u64` occupancy mask can index with one `trailing_zeros`,
+    /// and a wider fan-out (256 slots, 8 levels) would need a 4-word
+    /// mask scan on exactly the hot path the mask exists to shorten.
+    pub const WHEEL_DEPTH_THRESHOLD: usize = 4096;
+
+    /// Picks the backend for an engine whose event queue is expected to
+    /// hold about `expected` concurrent entries: the four-ary heap below
+    /// [`Self::WHEEL_DEPTH_THRESHOLD`], the timing wheel at or above it.
+    ///
+    /// Depth here means *pending entries at one instant*, not total
+    /// events over a run — a fleet GPU replaying a long open-loop arrival
+    /// schedule seeds its whole schedule up front, so its arrival count
+    /// is the natural estimate.
+    pub fn for_depth(expected: usize) -> EventQueueKind {
+        if expected >= Self::WHEEL_DEPTH_THRESHOLD {
+            EventQueueKind::TimingWheel
+        } else {
+            EventQueueKind::FourAryHeap
+        }
+    }
+}
+
 /// An event queue whose backing structure is chosen at construction:
 /// either the four-ary heap or the timing wheel, behind one API.
 ///
@@ -520,6 +562,69 @@ mod tests {
         assert_eq!(q.pop(), Some((SimTime::from_nanos(1), "soon")));
         assert_eq!(q.pop(), Some((SimTime::from_nanos(u64::MAX - 1), "pre")));
         assert_eq!(q.pop(), Some((SimTime::from_nanos(u64::MAX), "max")));
+    }
+
+    #[test]
+    fn for_depth_switches_at_the_threshold() {
+        assert_eq!(EventQueueKind::for_depth(0), EventQueueKind::FourAryHeap);
+        assert_eq!(
+            EventQueueKind::for_depth(EventQueueKind::WHEEL_DEPTH_THRESHOLD - 1),
+            EventQueueKind::FourAryHeap
+        );
+        assert_eq!(
+            EventQueueKind::for_depth(EventQueueKind::WHEEL_DEPTH_THRESHOLD),
+            EventQueueKind::TimingWheel
+        );
+    }
+
+    /// Calibration harness for [`EventQueueKind::WHEEL_DEPTH_THRESHOLD`]:
+    /// holds each backend at a steady depth and measures push+pop pairs
+    /// with near-future deadlines (the engine's regime). Run with
+    /// `cargo test -p sim-core --release -- --ignored print_queue_crossover --nocapture`.
+    #[test]
+    #[ignore]
+    fn print_queue_crossover() {
+        fn measure(depth: usize, wheel: bool) -> f64 {
+            let ops = 2_000_000usize;
+            let mut rng_state = 0x5EED_u64;
+            let mut rng = move || {
+                rng_state ^= rng_state << 13;
+                rng_state ^= rng_state >> 7;
+                rng_state ^= rng_state << 17;
+                rng_state
+            };
+            let mut heap = EventQueue::new();
+            let mut wq = TimingWheelQueue::new();
+            let mut now = 0u64;
+            for _ in 0..depth {
+                let t = now + rng() % 1_000_000;
+                if wheel {
+                    wq.push(SimTime::from_nanos(t), 0u64);
+                } else {
+                    heap.push(SimTime::from_nanos(t), 0u64);
+                }
+            }
+            let start = std::time::Instant::now();
+            for _ in 0..ops {
+                let popped = if wheel { wq.pop() } else { heap.pop() };
+                if let Some((t, _)) = popped {
+                    now = t.as_nanos();
+                }
+                let t = now + 1 + rng() % 1_000_000;
+                if wheel {
+                    wq.push(SimTime::from_nanos(t), 0u64);
+                } else {
+                    heap.push(SimTime::from_nanos(t), 0u64);
+                }
+            }
+            start.elapsed().as_nanos() as f64 / ops as f64
+        }
+        println!("depth  heap_ns/op  wheel_ns/op");
+        for depth in [64, 256, 1024, 2048, 4096, 8192, 16384, 65536] {
+            let h = measure(depth, false);
+            let w = measure(depth, true);
+            println!("{depth:>6}  {h:>9.1}  {w:>10.1}");
+        }
     }
 
     #[test]
