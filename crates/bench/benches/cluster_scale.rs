@@ -495,13 +495,24 @@ fn write_json(fleet: &[FleetRow], det: &[DeterminerRow], chaos: &[ChaosRow], f10
         f10k.gpus, f10k.tenants, f10k.arrived_requests
     ));
     out.push_str(&format!("    \"digest\": \"{:#018x}\",\n", f10k.digest));
+    out.push_str(&format!("    \"host_workers\": {workers},\n"));
+    // Speedup baseline: the 1-worker run of the same sweep. On a 1-CPU
+    // host every multi-worker row is the sequential path plus pool
+    // overhead, so the ratio would misstate the machine — null instead
+    // (same honesty rule as the fleet rows above).
+    let base_secs = f10k.runs.iter().find(|r| r.workers == 1).map(|r| r.secs);
     out.push_str("    \"runs\": [\n");
     for (i, r) in f10k.runs.iter().enumerate() {
+        let speedup = match base_secs {
+            Some(base) if workers > 1 => format!("{:.2}", base / r.secs),
+            _ => "null".to_string(),
+        };
         out.push_str(&format!(
-            "      {{\"workers\": {}, \"secs\": {:.3}, \"gpus_per_sec\": {:.1}}}{}\n",
+            "      {{\"workers\": {}, \"secs\": {:.3}, \"gpus_per_sec\": {:.1}, \"speedup\": {}}}{}\n",
             r.workers,
             r.secs,
             r.gpus_per_sec,
+            speedup,
             if i + 1 < f10k.runs.len() { "," } else { "" }
         ));
     }

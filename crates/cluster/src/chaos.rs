@@ -24,6 +24,15 @@
 //!   drain-and-snapshot runs at onset, and the checkpoint replays on the
 //!   *same* device once the hang clears, after a modeled
 //!   [`ChaosOptions::restart_cost`].
+//! * **Planned pinned evacuation** — with
+//!   [`ChaosOptions::pinned_evacuation`] set, a periodic fleet-wide check
+//!   reads each device's drift watchdog and relocates tenants that have
+//!   sat at the bottom of the degradation ladder for too long onto a
+//!   *different* surviving device, where they restart at the top of the
+//!   ladder (see [`PinnedPolicy`]). This wires the single-GPU watchdog
+//!   into fleet-level migration: the same quiesce/checkpoint/replay
+//!   machinery a failure uses, but triggered by sustained interference
+//!   rather than by a fault.
 //!
 //! Recovery time is first-class: every interruption produces a
 //! [`MigrationRecord`] whose [`MigrationRecord::recovery`] is the gap
@@ -67,6 +76,39 @@ pub enum FaultKind {
     Failure,
     /// Transient device hang: the tenant resumed on the same GPU.
     Hang,
+    /// Planned evacuation: the drift watchdog reported the tenant pinned
+    /// at the bottom of the degradation ladder, so the fleet relocated it
+    /// (see [`PinnedPolicy`]).
+    Pinned,
+}
+
+/// Same-instant fault ordering: failures quiesce first, then hangs, then
+/// the planned pinned checks (which see the post-fault fleet).
+fn fault_rank(kind: FaultKind) -> u8 {
+    match kind {
+        FaultKind::Failure => 0,
+        FaultKind::Hang => 1,
+        FaultKind::Pinned => 2,
+    }
+}
+
+/// Watchdog-driven planned evacuation (the fleet-level consequence of the
+/// degradation ladder): a tenant the drift watchdog reports pinned at
+/// [`ShareMode::Temporal`] for [`PinnedPolicy::after_rounds`] consecutive
+/// rounds is moved to a *different* surviving device at the next periodic
+/// fleet check — the ladder has given up on sharing there, so relocating
+/// is the only remaining lever. Each tenant moves at most once per run; a
+/// mover restarts at the top of the ladder on its new device, and a mover
+/// no device can admit simply stays put (a planned evacuation never
+/// strands work). Requires a watchdog-enabled [`BlessParams`] deployment:
+/// [`BlessDriver::temporal_pinned_rounds`] never ticks otherwise.
+#[derive(Clone, Copy, Debug)]
+pub struct PinnedPolicy {
+    /// Consecutive watchdog rounds at [`ShareMode::Temporal`] before a
+    /// tenant becomes eligible for evacuation.
+    pub after_rounds: u32,
+    /// Virtual-time period of the fleet-wide pinned check.
+    pub check_every: SimDuration,
 }
 
 /// One completed recovery: a tenant relocated after a device failure, or
@@ -204,6 +246,14 @@ pub struct ChaosOptions {
     pub migration_cost: SimDuration,
     /// Modeled device restart time after a transient hang clears.
     pub restart_cost: SimDuration,
+    /// Per-fleet-tenant initial degradation-ladder positions, applied to
+    /// every runtime before its first arrival (`None` = each tenant starts
+    /// at [`ShareMode::SemiSpatial`], like a fresh driver). Lets drills
+    /// start tenants mid-ladder deterministically.
+    pub initial_modes: Option<Vec<ShareMode>>,
+    /// Watchdog-driven planned evacuation of pinned tenants (`None`
+    /// disables the periodic check).
+    pub pinned_evacuation: Option<PinnedPolicy>,
 }
 
 impl Default for ChaosOptions {
@@ -214,6 +264,8 @@ impl Default for ChaosOptions {
             workers: None,
             migration_cost: SimDuration::from_micros(250),
             restart_cost: SimDuration::from_micros(50),
+            initial_modes: None,
+            pinned_evacuation: None,
         }
     }
 }
@@ -408,7 +460,17 @@ pub fn run_chaos<P: Into<SharedProfile>>(
                 )
             })
             .collect();
-        let driver = BlessDriver::new(apps, params.clone());
+        let mut driver = BlessDriver::new(apps, params.clone());
+        if let Some(modes) = &opts.initial_modes {
+            assert_eq!(
+                modes.len(),
+                ws.len(),
+                "initial_modes must cover every fleet tenant"
+            );
+            for (a, &t) in tenants.iter().enumerate() {
+                driver.restore_share_mode(a, modes[t], 0);
+            }
+        }
         let gpu = Gpu::new(spec.clone(), HostCosts::paper());
         slots.push(Some(Slot {
             tenants,
@@ -440,14 +502,160 @@ pub fn run_chaos<P: Into<SharedProfile>>(
         }))
         .filter(|e| e.at <= horizon)
         .collect();
-    events.sort_by_key(|e| (e.at, matches!(e.kind, FaultKind::Hang), e.gpu));
+    // Periodic pinned checks join the same deterministic sequence.
+    if let Some(pp) = &opts.pinned_evacuation {
+        assert!(
+            pp.check_every.as_nanos() > 0,
+            "pinned_evacuation.check_every must be positive"
+        );
+        let mut at = SimTime::ZERO + pp.check_every;
+        while at <= horizon {
+            events.push(FaultEvent {
+                at,
+                gpu: 0, // fleet-wide check; the slot field is unused
+                kind: FaultKind::Pinned,
+                until: at,
+            });
+            at += pp.check_every;
+        }
+    }
+    events.sort_by_key(|e| (e.at, fault_rank(e.kind), e.gpu));
 
     let mut migrations: Vec<MigrationRecord> = Vec::new();
     let mut stranded: Vec<StrandedTenant> = Vec::new();
     let mut skipped: Vec<SkippedFault> = Vec::new();
     let mut fleet_events: Vec<TraceEvent> = Vec::new();
+    // One planned move per tenant per run: evacuating a tenant that stays
+    // pinned even on its new device would just thrash the fleet.
+    let mut pinned_moved = vec![false; ws.len()];
 
     for ev in events {
+        if matches!(ev.kind, FaultKind::Pinned) {
+            let Some(pp) = opts.pinned_evacuation.as_ref() else {
+                unreachable!("pinned checks are only scheduled with a policy")
+            };
+            // Advance every surviving device to the check barrier and read
+            // the drift watchdog's pinned counter — virtual-time state, so
+            // the outcome is independent of wall-clock interleaving and of
+            // the final-drain worker count.
+            let barrier = SimTime::from_nanos(ev.at.as_nanos().saturating_sub(1));
+            let mut sources: Vec<(usize, Vec<usize>)> = Vec::new();
+            for (g, s) in slots.iter_mut().enumerate() {
+                let Some(slot) = s else { continue };
+                slot.sim.run(barrier);
+                let eligible: Vec<usize> = slot
+                    .tenants
+                    .iter()
+                    .enumerate()
+                    .filter(|&(a, &t)| {
+                        !pinned_moved[t]
+                            && slot.sim.driver.temporal_pinned_rounds(a) >= pp.after_rounds
+                    })
+                    .map(|(a, _)| a)
+                    .collect();
+                if !eligible.is_empty() {
+                    sources.push((g, eligible));
+                }
+            }
+            // Devices whose watchdogs report pinned tenants are excluded
+            // as targets for this round: they are congested by definition,
+            // and targeting a not-yet-processed source would re-place onto
+            // a device about to be quiesced.
+            let source_set: Vec<usize> = sources.iter().map(|&(g, _)| g).collect();
+            for (g, eligible) in sources {
+                let slot = slots[g]
+                    .take()
+                    .unwrap_or_else(|| unreachable!("source was alive at the check"));
+                let evacuees = quiesce(slot, ev.at, &mut completions);
+                let mut stay: Vec<Evacuee> = Vec::new();
+                let mut movers: Vec<Evacuee> = Vec::new();
+                for (a, e) in evacuees.into_iter().enumerate() {
+                    if eligible.contains(&a) && e.has_work() {
+                        movers.push(e);
+                    } else {
+                        stay.push(e);
+                    }
+                }
+                // Re-place each pinned tenant on a *different* surviving
+                // device under the same first-fit rules a failure uses; a
+                // mover no device admits stays put — a planned evacuation
+                // never strands work.
+                let mut staged: Vec<Vec<Evacuee>> = (0..slots.len()).map(|_| Vec::new()).collect();
+                for mut e in movers {
+                    let migrant = PlacementRequest {
+                        profile: SharedProfile::clone(&requests[e.tenant].profile),
+                        quota: requests[e.tenant].quota,
+                    };
+                    let hosts: Vec<Option<Vec<PlacementRequest>>> = slots
+                        .iter()
+                        .enumerate()
+                        .map(|(h, s)| {
+                            if source_set.contains(&h) {
+                                return None; // no source device, ever
+                            }
+                            s.as_ref().map(|s| {
+                                s.tenants
+                                    .iter()
+                                    .copied()
+                                    .chain(staged[h].iter().map(|m| m.tenant))
+                                    .map(|t| PlacementRequest {
+                                        profile: SharedProfile::clone(&requests[t].profile),
+                                        quota: requests[t].quota,
+                                    })
+                                    .collect()
+                            })
+                        })
+                        .collect();
+                    match policy.choose_target(e.tenant, &migrant, &hosts) {
+                        Ok(h) => {
+                            // Fresh ladder start on the new device: the
+                            // whole point of the move is that sharing on
+                            // the old one kept the tenant at the bottom.
+                            e.mode = ShareMode::SemiSpatial;
+                            e.clean_squads = 0;
+                            pinned_moved[e.tenant] = true;
+                            staged[h].push(e);
+                        }
+                        Err(_) => stay.push(e),
+                    }
+                }
+                let resume = ev.at + opts.migration_cost;
+                for (h, migrants) in staged.into_iter().enumerate() {
+                    if migrants.is_empty() {
+                        continue;
+                    }
+                    let target = slots[h]
+                        .take()
+                        .unwrap_or_else(|| unreachable!("policy only selects alive targets"));
+                    let mut all = quiesce(target, ev.at, &mut completions);
+                    for e in migrants {
+                        record_recovery(
+                            &e,
+                            g,
+                            h,
+                            FaultKind::Pinned,
+                            ev.at,
+                            resume,
+                            &mut migrations,
+                            opts.capture_trace.then_some(&mut fleet_events),
+                        );
+                        all.push(e);
+                    }
+                    slots[h] = Some(build_slot(all, resume, &requests, ws, spec, params));
+                }
+                // The source restarts its remaining tenants in place after
+                // the context re-provisioning pause.
+                slots[g] = Some(build_slot(
+                    stay,
+                    ev.at + opts.restart_cost,
+                    &requests,
+                    ws,
+                    spec,
+                    params,
+                ));
+            }
+            continue;
+        }
         let g = ev.gpu;
         let Some(slot) = slots.get_mut(g).and_then(Option::take) else {
             skipped.push(SkippedFault {
@@ -584,6 +792,7 @@ pub fn run_chaos<P: Into<SharedProfile>>(
                     slots[h] = Some(build_slot(all, resume, &requests, ws, spec, params));
                 }
             }
+            FaultKind::Pinned => unreachable!("handled before the per-device dispatch"),
         }
     }
 
@@ -1208,6 +1417,132 @@ mod tests {
             policy.choose_target(7, &req(1.0), &hosts),
             Err(PlacementError::NoCapacity { app: 7 })
         );
+    }
+
+    /// Watchdog-enabled params whose thresholds never fire organically:
+    /// only the `initial_modes` pin puts a tenant at `Temporal`, and it
+    /// never promotes — isolating the pinned-evacuation path.
+    fn pinned_params() -> BlessParams {
+        BlessParams {
+            watchdog: Some(bless::WatchdogParams {
+                degrade_threshold: 1000.0,
+                promote_after: 100_000,
+            }),
+            ..BlessParams::default()
+        }
+    }
+
+    fn pinned_opts() -> ChaosOptions {
+        ChaosOptions {
+            capture_trace: true,
+            // Tenant 0 starts pinned at the ladder's bottom; its GPU0
+            // neighbour and the GPU1 tenant start fresh.
+            initial_modes: Some(vec![
+                ShareMode::Temporal,
+                ShareMode::SemiSpatial,
+                ShareMode::SemiSpatial,
+            ]),
+            pinned_evacuation: Some(PinnedPolicy {
+                after_rounds: 2,
+                check_every: SimDuration::from_millis(10),
+            }),
+            ..ChaosOptions::default()
+        }
+    }
+
+    #[test]
+    fn pinned_tenant_is_evacuated_once() {
+        // 0.45 × 3 packs tenants 0+1 on GPU0 and tenant 2 on GPU1, so
+        // GPU1 has quota room for the evacuee.
+        let (spec, ws, profiles) = fixture(&[0.45, 0.45, 0.45]);
+        let run = run_chaos(
+            &ws,
+            profiles,
+            4,
+            &spec,
+            &pinned_params(),
+            horizon(),
+            7,
+            &FaultSpec::default(),
+            &pinned_opts(),
+        )
+        .unwrap();
+
+        // Exactly one planned move: tenant 0, off its original device,
+        // once — later checks see `pinned_moved` and stay quiet.
+        assert_eq!(run.migrations.len(), 1, "got {:?}", run.migrations);
+        let m = run.migrations[0];
+        assert_eq!(m.tenant, 0);
+        assert_eq!(m.kind, FaultKind::Pinned);
+        assert_ne!(m.from, m.to);
+        assert_eq!(
+            m.resumed_at.duration_since(m.at),
+            ChaosOptions::default().migration_cost
+        );
+        assert!(run.stranded.is_empty() && run.skipped.is_empty());
+        assert!(run.all_served(), "lost {} requests", run.lost_requests());
+
+        // The synthesized trace carries the planned move.
+        let kinds: Vec<&'static str> = run.trace.iter().map(|e| e.kind()).collect();
+        assert!(kinds.contains(&"tenant_evacuated"));
+        assert!(kinds.contains(&"tenant_restored"));
+    }
+
+    #[test]
+    fn pinned_evacuation_without_watchdog_is_inert() {
+        // Default params leave the watchdog off, so the pinned counter
+        // never ticks and every periodic check finds nothing.
+        let (spec, ws, profiles) = fixture(&[0.45, 0.45, 0.45]);
+        let run = run_chaos(
+            &ws,
+            profiles,
+            4,
+            &spec,
+            &BlessParams::default(),
+            horizon(),
+            7,
+            &FaultSpec::default(),
+            &ChaosOptions {
+                capture_trace: false,
+                ..pinned_opts()
+            },
+        )
+        .unwrap();
+        assert!(run.migrations.is_empty());
+        assert!(run.all_served());
+    }
+
+    #[test]
+    fn pinned_evacuation_digest_is_seeded_and_worker_invariant() {
+        // Byte-identical request log at every worker count, pinned to a
+        // golden digest so behavioural drift in the evacuation path shows
+        // up as a test failure, not a silent change.
+        const GOLDEN: u64 = 0xf9d5_01b3_0a3a_e06b;
+        let (spec, ws, profiles) = fixture(&[0.45, 0.45, 0.45]);
+        for workers in [1usize, 2, 4] {
+            let run = run_chaos(
+                &ws,
+                profiles.clone(),
+                4,
+                &spec,
+                &pinned_params(),
+                horizon(),
+                7,
+                &FaultSpec::default(),
+                &ChaosOptions {
+                    capture_trace: false,
+                    workers: Some(workers),
+                    ..pinned_opts()
+                },
+            )
+            .unwrap();
+            assert_eq!(run.migrations.len(), 1);
+            assert_eq!(
+                run.log.digest(),
+                GOLDEN,
+                "pinned-evacuation digest drifted at workers={workers}"
+            );
+        }
     }
 }
 

@@ -26,8 +26,8 @@ pub mod placement;
 pub mod run;
 
 pub use chaos::{
-    run_chaos, ChaosOptions, ChaosRun, FaultKind, MigrationPolicy, MigrationRecord, SkippedFault,
-    StrandedTenant,
+    run_chaos, ChaosOptions, ChaosRun, FaultKind, MigrationPolicy, MigrationRecord, PinnedPolicy,
+    SkippedFault, StrandedTenant,
 };
 pub use placement::{
     place, place_linear, place_with, predicted_fleet_slowdown, ContentionOpts, Placement,

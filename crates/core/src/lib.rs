@@ -51,6 +51,7 @@
 pub mod demand;
 pub mod deploy;
 pub mod error;
+pub mod ingest;
 pub mod lanes;
 pub mod params;
 pub mod predict;
@@ -60,6 +61,10 @@ pub mod squad;
 pub use demand::aggregate_demand;
 pub use deploy::DeployedApp;
 pub use error::SchedError;
+pub use ingest::{
+    IngestConfig, IngestSink, IngestStage, PumpProgress, RateLimit, ServeDaemon, TenantIngestStats,
+    TenantStream,
+};
 pub use lanes::{LaneGroup, LaneHints, LaneKind};
 pub use params::{BlessParams, WatchdogParams};
 pub use predict::{

@@ -20,6 +20,7 @@ pub mod fleet10k;
 pub mod graphs;
 pub mod overhead;
 pub mod predictor;
+pub mod serve;
 pub mod slo;
 pub mod substrate;
 pub mod system_comparison;
@@ -176,6 +177,12 @@ pub fn registry() -> Vec<Experiment> {
             describes:
                 "§4.2.2: multi-GPU fleet (placement + replicated runtimes, parallel simulation)",
             run: fleet::run,
+        },
+        Experiment {
+            id: "serve",
+            describes:
+                "DESIGN §5l: open-loop serving daemon (lock-free ingest, admission, shed sweep)",
+            run: serve::run,
         },
         Experiment {
             id: "fleet10k",

@@ -362,6 +362,61 @@ pub fn export_chrome_trace(events: &[TraceEvent]) -> String {
                     ),
                 );
             }
+            TraceEvent::RequestAdmitted { at, app, req, seq } => {
+                push(
+                    &mut out,
+                    &format!(
+                        "{{\"ph\":\"i\",\"s\":\"t\",\"pid\":{PID_TENANTS},\"tid\":{app},\
+                         \"ts\":{},\"name\":\"admit req {req}\",\"args\":{{\"seq\":{seq}}}}}",
+                        us(*at)
+                    ),
+                );
+            }
+            TraceEvent::RequestShed {
+                at,
+                app,
+                seq,
+                reason,
+            } => {
+                let why = if *reason == 0 {
+                    "rate limit"
+                } else {
+                    "backpressure"
+                };
+                push(
+                    &mut out,
+                    &format!(
+                        "{{\"ph\":\"i\",\"s\":\"t\",\"pid\":{PID_TENANTS},\"tid\":{app},\
+                         \"ts\":{},\"name\":\"shed seq {seq}: {why}\"}}",
+                        us(*at)
+                    ),
+                );
+            }
+            TraceEvent::BackpressureOn {
+                at,
+                app,
+                outstanding,
+            } => {
+                push(
+                    &mut out,
+                    &format!(
+                        "{{\"ph\":\"i\",\"s\":\"t\",\"pid\":{PID_TENANTS},\"tid\":{app},\
+                         \"ts\":{},\"name\":\"backpressure on\",\
+                         \"args\":{{\"outstanding\":{outstanding}}}}}",
+                        us(*at)
+                    ),
+                );
+            }
+            TraceEvent::BackpressureOff { at, app } => {
+                push(
+                    &mut out,
+                    &format!(
+                        "{{\"ph\":\"i\",\"s\":\"t\",\"pid\":{PID_TENANTS},\"tid\":{app},\
+                         \"ts\":{},\"name\":\"backpressure off\"}}",
+                        us(*at)
+                    ),
+                );
+            }
         }
     }
 

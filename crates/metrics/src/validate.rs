@@ -39,6 +39,22 @@
 //! 10. **End-to-end tenant FIFO** — each tenant's completions occur in
 //!     request order, across any number of migrations.
 //!
+//! Serving traces (streams containing the ingest events emitted by the
+//! open-loop front-end, DESIGN.md §5l) add the admission invariants:
+//!
+//! 11. **Ingest conservation** — per tenant, `RequestAdmitted` and
+//!     `RequestShed` together carry a dense `seq` (0, 1, 2, …): every
+//!     offered arrival is accounted exactly once, so
+//!     `admitted + shed = offered` with no request silently lost.
+//! 12. **Ingest FIFO** — per tenant, admitted requests carry a dense
+//!     `req` in stream order, and every `RequestAdmitted` is followed by
+//!     the matching `RequestArrival` at the same instant (the daemon
+//!     really handed the request to the scheduler).
+//! 13. **Backpressure alternation** — per tenant, `BackpressureOn` and
+//!     `BackpressureOff` strictly alternate (a trailing `On` at end of
+//!     trace is legal: the bound can still be exceeded when the stream
+//!     closes).
+//!
 //! The validator is pure: it never mutates the trace and has no
 //! dependency on the scheduler, so any stream — live, golden, or
 //! replayed from JSONL — can be checked.
@@ -210,6 +226,17 @@ impl TraceValidator {
         // (buffered: only binding for fleet-recovery traces).
         let mut last_done: HashMap<u32, u64> = HashMap::new();
         let mut fifo_violations: Vec<Violation> = Vec::new();
+        // Serving-ingest state (invariants 11–13): binding only when the
+        // trace carries ingest events.
+        let mut saw_ingest = false;
+        // app -> next expected offered seq (dense over admitted ∪ shed).
+        let mut ingest_next_seq: HashMap<u32, u64> = HashMap::new();
+        // app -> next expected admitted req (dense over admitted).
+        let mut ingest_next_req: HashMap<u32, u64> = HashMap::new();
+        // Admitted requests awaiting their RequestArrival handoff.
+        let mut admitted_open: HashMap<(u32, u64), SimTime> = HashMap::new();
+        // app -> whether backpressure is currently signalled On.
+        let mut bp_on: HashMap<u32, bool> = HashMap::new();
 
         let mut i = 0usize;
         while i < events.len() {
@@ -370,6 +397,90 @@ impl TraceValidator {
                 },
                 TraceEvent::RequestArrival { app, req, .. } => {
                     arrivals.insert((*app, *req), at);
+                    // Invariant 12 (handoff): an admitted request reaches
+                    // the scheduler at the admission instant.
+                    if let Some(admitted_at) = admitted_open.remove(&(*app, *req)) {
+                        if admitted_at != at {
+                            violations.push(Violation {
+                                at,
+                                invariant: "ingest_fifo",
+                                detail: format!(
+                                    "app {} request {} admitted at {} ns but arrived at {} ns",
+                                    app,
+                                    req,
+                                    admitted_at.as_nanos(),
+                                    at.as_nanos()
+                                ),
+                            });
+                        }
+                    }
+                }
+                TraceEvent::RequestAdmitted { app, req, seq, .. } => {
+                    saw_ingest = true;
+                    let next_seq = ingest_next_seq.entry(*app).or_insert(0);
+                    if *seq != *next_seq {
+                        violations.push(Violation {
+                            at,
+                            invariant: "ingest_conservation",
+                            detail: format!(
+                                "app {}: admitted seq {} but expected offered seq {}",
+                                app, seq, next_seq
+                            ),
+                        });
+                    }
+                    *next_seq = (*seq + 1).max(*next_seq);
+                    let next_req = ingest_next_req.entry(*app).or_insert(0);
+                    if *req != *next_req {
+                        violations.push(Violation {
+                            at,
+                            invariant: "ingest_fifo",
+                            detail: format!(
+                                "app {}: admitted req {} but expected req {}",
+                                app, req, next_req
+                            ),
+                        });
+                    }
+                    *next_req = (*req + 1).max(*next_req);
+                    admitted_open.insert((*app, *req), at);
+                }
+                TraceEvent::RequestShed { app, seq, .. } => {
+                    saw_ingest = true;
+                    let next_seq = ingest_next_seq.entry(*app).or_insert(0);
+                    if *seq != *next_seq {
+                        violations.push(Violation {
+                            at,
+                            invariant: "ingest_conservation",
+                            detail: format!(
+                                "app {}: shed seq {} but expected offered seq {}",
+                                app, seq, next_seq
+                            ),
+                        });
+                    }
+                    *next_seq = (*seq + 1).max(*next_seq);
+                }
+                TraceEvent::BackpressureOn { app, .. } => {
+                    saw_ingest = true;
+                    let state = bp_on.entry(*app).or_insert(false);
+                    if *state {
+                        violations.push(Violation {
+                            at,
+                            invariant: "backpressure_alternation",
+                            detail: format!("app {}: BackpressureOn while already on", app),
+                        });
+                    }
+                    *state = true;
+                }
+                TraceEvent::BackpressureOff { app, .. } => {
+                    saw_ingest = true;
+                    let state = bp_on.entry(*app).or_insert(false);
+                    if !*state {
+                        violations.push(Violation {
+                            at,
+                            invariant: "backpressure_alternation",
+                            detail: format!("app {}: BackpressureOff while already off", app),
+                        });
+                    }
+                    *state = false;
                 }
                 TraceEvent::RequestDone { app, req, .. } => {
                     if let Some(t0) = arrivals.remove(&(*app, *req)) {
@@ -495,6 +606,30 @@ impl TraceValidator {
                     detail: format!(
                         "app {} request {} arrived at {} ns but never completed \
                          (tenant was not reported stranded)",
+                        app,
+                        req,
+                        t0.as_nanos()
+                    ),
+                });
+            }
+        }
+
+        // Ingest handoff closure: every admission must have reached the
+        // scheduler by end of trace (the arrival is injected at the same
+        // virtual instant, so an open entry means a dropped handoff).
+        if saw_ingest {
+            let mut open: Vec<(u32, u64, SimTime)> = admitted_open
+                .iter()
+                .map(|(&(app, req), &t0)| (app, req, t0))
+                .collect();
+            open.sort_unstable();
+            for (app, req, t0) in open {
+                violations.push(Violation {
+                    at: t0,
+                    invariant: "ingest_fifo",
+                    detail: format!(
+                        "app {} request {} admitted at {} ns but never arrived \
+                         at the scheduler",
                         app,
                         req,
                         t0.as_nanos()
@@ -913,6 +1048,96 @@ mod tests {
         let r = validator(108).validate(&fleet);
         assert_eq!(r.violations.len(), 1);
         assert_eq!(r.violations[0].invariant, "tenant_fifo");
+    }
+
+    fn admitted(at: u64, app: u32, req: u64, seq: u64) -> TraceEvent {
+        TraceEvent::RequestAdmitted {
+            at: t(at),
+            app,
+            req,
+            seq,
+        }
+    }
+
+    fn shed(at: u64, app: u32, seq: u64) -> TraceEvent {
+        TraceEvent::RequestShed {
+            at: t(at),
+            app,
+            seq,
+            reason: 0,
+        }
+    }
+
+    #[test]
+    fn clean_ingest_trace_passes() {
+        let ev = vec![
+            admitted(0, 0, 0, 0),
+            arrival(0, 0, 0),
+            shed(10, 0, 1),
+            TraceEvent::BackpressureOn {
+                at: t(20),
+                app: 0,
+                outstanding: 4,
+            },
+            shed(20, 0, 2),
+            TraceEvent::BackpressureOff { at: t(30), app: 0 },
+            admitted(30, 0, 1, 3),
+            arrival(30, 0, 1),
+        ];
+        validator(108).validate(&ev).assert_clean();
+    }
+
+    #[test]
+    fn seq_gap_breaks_conservation() {
+        // Offered seq 1 vanished: neither admitted nor shed.
+        let ev = vec![admitted(0, 0, 0, 0), shed(10, 0, 2)];
+        let r = validator(108).validate(&ev);
+        assert_eq!(r.violations.len(), 2, "{:?}", r.violations);
+        assert_eq!(r.violations[0].invariant, "ingest_conservation");
+        // The admitted request also never reached the scheduler.
+        assert_eq!(r.violations[1].invariant, "ingest_fifo");
+    }
+
+    #[test]
+    fn admitted_request_must_reach_the_scheduler_at_the_same_instant() {
+        // Arrival at a later instant than the admission: flagged.
+        let ev = vec![admitted(0, 0, 0, 0), arrival(5, 0, 0)];
+        let r = validator(108).validate(&ev);
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.violations[0].invariant, "ingest_fifo");
+    }
+
+    #[test]
+    fn non_dense_req_breaks_ingest_fifo() {
+        let ev = vec![
+            admitted(0, 0, 1, 0),
+            arrival(0, 0, 1),
+            admitted(5, 0, 0, 1),
+            arrival(5, 0, 0),
+        ];
+        let r = validator(108).validate(&ev);
+        assert!(r
+            .violations
+            .iter()
+            .any(|v| v.invariant == "ingest_fifo" && v.detail.contains("expected req")));
+    }
+
+    #[test]
+    fn backpressure_must_alternate() {
+        let on = |at| TraceEvent::BackpressureOn {
+            at: t(at),
+            app: 0,
+            outstanding: 1,
+        };
+        let off = |at| TraceEvent::BackpressureOff { at: t(at), app: 0 };
+        validator(108)
+            .validate(&[on(0), off(5), on(10)])
+            .assert_clean();
+        let r = validator(108).validate(&[on(0), on(5)]);
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.violations[0].invariant, "backpressure_alternation");
+        let r = validator(108).validate(&[off(0)]);
+        assert_eq!(r.violations[0].invariant, "backpressure_alternation");
     }
 
     #[test]

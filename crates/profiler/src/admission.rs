@@ -66,6 +66,39 @@ pub enum AdmissionError {
         /// GPU capacity in MiB.
         capacity_mib: u64,
     },
+    /// The serving front-end shed one offered request at runtime
+    /// (per-request admission, DESIGN.md §5l) — unlike the deployment-time
+    /// variants above, this is a per-arrival decision, and the ingest
+    /// stage accounts for every occurrence per tenant: no request is
+    /// silently lost.
+    Shed {
+        /// Tenant index of the shed request.
+        app: usize,
+        /// Why the arrival was turned away.
+        reason: ShedReason,
+    },
+}
+
+/// Why the serving front-end turned an arrival away
+/// ([`AdmissionError::Shed`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The tenant's token-bucket rate limit was exhausted at the arrival
+    /// instant.
+    RateLimited,
+    /// The tenant's outstanding-queue bound was exceeded (backpressure).
+    Backpressure,
+}
+
+impl ShedReason {
+    /// Stable wire code for trace events: 0 = rate-limited,
+    /// 1 = backpressure.
+    pub fn code(self) -> u8 {
+        match self {
+            ShedReason::RateLimited => 0,
+            ShedReason::Backpressure => 1,
+        }
+    }
 }
 
 impl std::fmt::Display for AdmissionError {
@@ -89,6 +122,13 @@ impl std::fmt::Display for AdmissionError {
                 f,
                 "placement needs {required_mib} MiB but the GPU has {capacity_mib} MiB"
             ),
+            AdmissionError::Shed { app, reason } => {
+                let why = match reason {
+                    ShedReason::RateLimited => "token-bucket rate limit",
+                    ShedReason::Backpressure => "outstanding-queue backpressure",
+                };
+                write!(f, "tenant {app} request shed: {why}")
+            }
         }
     }
 }

@@ -21,5 +21,5 @@
 pub mod admission;
 pub mod profile;
 
-pub use admission::{admit, AdmissionError, AdmissionPolicy};
+pub use admission::{admit, AdmissionError, AdmissionPolicy, ShedReason};
 pub use profile::{ProfiledApp, SharedProfile, PARTITIONS};

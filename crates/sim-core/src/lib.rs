@@ -16,6 +16,10 @@
 //!   disabled structured trace stream of scheduler events in virtual time
 //!   (see DESIGN.md §5e), consumed by the trace validator, the derived
 //!   counters, and the Perfetto exporter in the upper layers.
+//! * [`spsc::ring`] — bounded lock-free single-producer/single-consumer
+//!   rings with batched drain and producer watermarks, the ingest handoff
+//!   of the serving front-end (DESIGN.md §5l). Allocates only at
+//!   construction, never in steady state.
 //!
 //! The simulator is single-threaded by design: GPU scheduling experiments
 //! need deterministic replay far more than they need wall-clock speed, and
@@ -25,6 +29,7 @@
 pub mod event;
 pub mod fault;
 pub mod rng;
+pub mod spsc;
 pub mod time;
 pub mod trace;
 pub mod wheel;

@@ -259,6 +259,51 @@ pub enum TraceEvent {
         /// 1 = source device already dead.
         reason: u8,
     },
+    /// The serving front-end admitted an offered arrival (DESIGN.md §5l).
+    RequestAdmitted {
+        /// Arrival instant (virtual time the client offered the request).
+        at: SimTime,
+        /// Tenant index.
+        app: u32,
+        /// Driver-level request id (dense over *admitted* requests; the
+        /// id the matching [`TraceEvent::RequestArrival`] will carry).
+        req: u64,
+        /// Per-tenant offered sequence number (dense over admitted *and*
+        /// shed arrivals — the conservation key).
+        seq: u64,
+    },
+    /// The serving front-end shed an offered arrival (typed, accounted —
+    /// never a silent drop).
+    RequestShed {
+        /// Arrival instant of the shed request.
+        at: SimTime,
+        /// Tenant index.
+        app: u32,
+        /// Per-tenant offered sequence number (same numbering as
+        /// [`TraceEvent::RequestAdmitted::seq`]).
+        seq: u64,
+        /// Typed reason code: 0 = token-bucket rate limit,
+        /// 1 = backpressure (outstanding-queue bound exceeded).
+        reason: u8,
+    },
+    /// A tenant's outstanding-queue bound was crossed upward: subsequent
+    /// arrivals shed with reason 1 until [`TraceEvent::BackpressureOff`].
+    BackpressureOn {
+        /// Instant of the crossing (the first shed arrival's time).
+        at: SimTime,
+        /// Tenant index.
+        app: u32,
+        /// Outstanding admitted-but-incomplete requests at the crossing.
+        outstanding: u32,
+    },
+    /// A tenant's outstanding queue drained back under its bound.
+    BackpressureOff {
+        /// Instant the bound was re-satisfied (the next admitted
+        /// arrival's time).
+        at: SimTime,
+        /// Tenant index.
+        app: u32,
+    },
 }
 
 impl TraceEvent {
@@ -284,7 +329,11 @@ impl TraceEvent {
             | TraceEvent::DeviceFailed { at, .. }
             | TraceEvent::TenantEvacuated { at, .. }
             | TraceEvent::TenantRestored { at, .. }
-            | TraceEvent::MigrationFailed { at, .. } => *at,
+            | TraceEvent::MigrationFailed { at, .. }
+            | TraceEvent::RequestAdmitted { at, .. }
+            | TraceEvent::RequestShed { at, .. }
+            | TraceEvent::BackpressureOn { at, .. }
+            | TraceEvent::BackpressureOff { at, .. } => *at,
         }
     }
 
@@ -311,6 +360,10 @@ impl TraceEvent {
             TraceEvent::TenantEvacuated { .. } => "tenant_evacuated",
             TraceEvent::TenantRestored { .. } => "tenant_restored",
             TraceEvent::MigrationFailed { .. } => "migration_failed",
+            TraceEvent::RequestAdmitted { .. } => "request_admitted",
+            TraceEvent::RequestShed { .. } => "request_shed",
+            TraceEvent::BackpressureOn { .. } => "backpressure_on",
+            TraceEvent::BackpressureOff { .. } => "backpressure_off",
         }
     }
 
@@ -438,6 +491,22 @@ impl TraceEvent {
             }
             TraceEvent::MigrationFailed { app, reason, .. } => {
                 let _ = write!(out, ",\"app\":{app},\"reason\":{reason}");
+            }
+            TraceEvent::RequestAdmitted { app, req, seq, .. } => {
+                let _ = write!(out, ",\"app\":{app},\"req\":{req},\"seq\":{seq}");
+            }
+            TraceEvent::RequestShed {
+                app, seq, reason, ..
+            } => {
+                let _ = write!(out, ",\"app\":{app},\"seq\":{seq},\"reason\":{reason}");
+            }
+            TraceEvent::BackpressureOn {
+                app, outstanding, ..
+            } => {
+                let _ = write!(out, ",\"app\":{app},\"outstanding\":{outstanding}");
+            }
+            TraceEvent::BackpressureOff { app, .. } => {
+                let _ = write!(out, ",\"app\":{app}");
             }
         }
         out.push('}');

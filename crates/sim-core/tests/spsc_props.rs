@@ -1,0 +1,127 @@
+//! Property tests for the SPSC ingest rings (`sim_core::spsc`), pinning
+//! the correctness contract stated in the module docs:
+//!
+//! * FIFO per producer — items pop in push order,
+//! * no loss under wraparound — a full ring rejects, never drops,
+//! * batched drain ≡ one-at-a-time pop — identical sequences for any
+//!   interleaving of the two consumption styles.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code
+
+use proptest::prelude::*;
+use sim_core::spsc;
+
+/// Replays a push/pop script against a ring of `capacity` slots and a
+/// model VecDeque, returning every popped item in order. `ops` alternate:
+/// positive = push that many sequential items, zero/negative = pop that
+/// many (saturating at empty). `batched` selects `drain_into` over `pop`.
+fn replay(capacity: usize, ops: &[i32], batch: usize) -> (Vec<u64>, Vec<u64>) {
+    let (mut p, mut c) = spsc::ring::<u64>(capacity);
+    let mut model: std::collections::VecDeque<u64> = std::collections::VecDeque::new();
+    let mut next = 0u64;
+    let mut popped = Vec::new();
+    let mut expected = Vec::new();
+    let mut buf = Vec::with_capacity(batch.max(1));
+    for &op in ops {
+        if op > 0 {
+            for _ in 0..op {
+                match p.push(next) {
+                    Ok(()) => {
+                        model.push_back(next);
+                        next += 1;
+                    }
+                    Err(v) => {
+                        // Full ring: the exact rejected item comes back,
+                        // and the model must agree the ring was full.
+                        assert_eq!(v, next, "rejected item differs from pushed item");
+                        assert_eq!(model.len(), c.capacity(), "rejection while not full");
+                    }
+                }
+            }
+        } else {
+            let want = (-op) as usize;
+            if batch > 0 {
+                let mut got = 0;
+                while got < want {
+                    buf.clear();
+                    let n = c.drain_into(&mut buf, batch.min(want - got));
+                    if n == 0 {
+                        break;
+                    }
+                    popped.extend_from_slice(&buf);
+                    got += n;
+                }
+                for _ in 0..got {
+                    expected.push(model.pop_front().unwrap());
+                }
+            } else {
+                for _ in 0..want {
+                    match c.pop() {
+                        Some(v) => {
+                            popped.push(v);
+                            expected.push(model.pop_front().unwrap());
+                        }
+                        None => break,
+                    }
+                }
+            }
+        }
+    }
+    // Drain the tail so every surviving item is observed.
+    while let Some(v) = c.pop() {
+        popped.push(v);
+        expected.push(model.pop_front().unwrap());
+    }
+    assert!(model.is_empty(), "ring lost {} items", model.len());
+    (popped, expected)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// FIFO per producer and no loss under wraparound: any script of
+    /// pushes and pops against any (tiny, wrap-heavy) capacity yields
+    /// exactly the model queue's sequence.
+    #[test]
+    fn prop_fifo_and_no_loss(
+        capacity in 1usize..20,
+        ops in proptest::collection::vec(-12i32..12, 1..60),
+    ) {
+        let (popped, expected) = replay(capacity, &ops, 0);
+        prop_assert_eq!(popped, expected);
+    }
+
+    /// Batched drain is observationally identical to one-at-a-time pop:
+    /// the same script consumed via `drain_into` (any batch size) yields
+    /// the same item sequence as `pop`.
+    #[test]
+    fn prop_batched_drain_equals_pop(
+        capacity in 1usize..20,
+        batch in 1usize..16,
+        ops in proptest::collection::vec(-12i32..12, 1..60),
+    ) {
+        let (via_pop, expected_pop) = replay(capacity, &ops, 0);
+        let (via_drain, expected_drain) = replay(capacity, &ops, batch);
+        prop_assert_eq!(&via_pop, &expected_pop);
+        prop_assert_eq!(&via_drain, &expected_drain);
+        prop_assert_eq!(via_pop, via_drain);
+    }
+
+    /// Watermarks are monotone regardless of the mark script, and closing
+    /// is terminal.
+    #[test]
+    fn prop_watermark_monotone(
+        marks in proptest::collection::vec(0u64..1000, 0..40),
+    ) {
+        let (p, c) = spsc::ring::<u8>(4);
+        let mut high = 0u64;
+        for &m in &marks {
+            p.set_watermark(m);
+            high = high.max(m);
+            prop_assert_eq!(c.watermark(), high);
+        }
+        p.close();
+        prop_assert!(c.is_closed());
+        prop_assert_eq!(c.watermark(), u64::MAX);
+    }
+}
